@@ -1,0 +1,84 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench regenerates one table or figure of the paper's §5 on the
+// synthetic preset subjects. Scale can be overridden with GRAPPLE_SCALE
+// (multiplies filler statement counts; bug counts stay fixed).
+#ifndef GRAPPLE_BENCH_BENCH_UTIL_H_
+#define GRAPPLE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/checker/builtin_checkers.h"
+#include "src/core/grapple.h"
+#include "src/support/timer.h"
+#include "src/workload/workload.h"
+
+namespace grapple {
+
+inline double ScaleFromEnv(double default_scale) {
+  const char* env = std::getenv("GRAPPLE_SCALE");
+  if (env == nullptr || *env == '\0') {
+    return default_scale;
+  }
+  double scale = std::atof(env);
+  return scale > 0 ? scale : default_scale;
+}
+
+struct SubjectRun {
+  Workload workload;
+  GrappleResult result;
+};
+
+inline SubjectRun RunSubject(const WorkloadConfig& config,
+                             GrappleOptions options = GrappleOptions()) {
+  SubjectRun run;
+  run.workload = GenerateWorkload(config);
+  Program program = run.workload.program;  // keep a copy with the workload
+  Grapple grapple(std::move(program), options);
+  run.result = grapple.Check(AllBuiltinCheckers());
+  return run;
+}
+
+// Figure-9 style cost breakdown aggregated over all engine runs of a
+// subject: I/O, constraint lookup (encode/decode + cache), SMT solving, and
+// edge computation (join time not attributed to the oracle).
+struct CostBreakdown {
+  double io = 0;
+  double lookup = 0;
+  double solve = 0;
+  double edge = 0;
+
+  double Total() const { return io + lookup + solve + edge; }
+  double Pct(double part) const { return Total() > 0 ? 100.0 * part / Total() : 0.0; }
+};
+
+inline void Accumulate(const EngineStats& stats, CostBreakdown* breakdown) {
+  auto io_it = stats.phase_seconds.find("io");
+  auto join_it = stats.phase_seconds.find("join");
+  double io = io_it != stats.phase_seconds.end() ? io_it->second : 0.0;
+  double join = join_it != stats.phase_seconds.end() ? join_it->second : 0.0;
+  breakdown->io += io;
+  breakdown->lookup += stats.oracle.lookup_seconds;
+  breakdown->solve += stats.oracle.solve_seconds;
+  double edge = join - stats.oracle.lookup_seconds - stats.oracle.solve_seconds;
+  breakdown->edge += edge > 0 ? edge : 0;
+}
+
+inline CostBreakdown BreakdownOf(const GrappleResult& result) {
+  CostBreakdown breakdown;
+  Accumulate(result.alias.engine, &breakdown);
+  for (const auto& checker : result.checkers) {
+    Accumulate(checker.typestate.engine, &breakdown);
+  }
+  return breakdown;
+}
+
+inline void PrintHeaderLine(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_BENCH_BENCH_UTIL_H_

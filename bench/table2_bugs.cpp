@@ -1,0 +1,56 @@
+// Reproduces Table 2: numbers of true bugs (TP) and false positives (FP)
+// reported by the four checkers on each subject, classified mechanically
+// against the workload generator's ground truth.
+//
+// Paper totals: ZooKeeper 65/0, Hadoop 54/2, HDFS 49/5, HBase 191/10
+// (overall 359 TP, 17 FP, 4.7% FP rate).
+#include "bench/bench_util.h"
+
+namespace grapple {
+namespace {
+
+int Main() {
+  double scale = ScaleFromEnv(1.0);
+  PrintHeaderLine("Table 2: bugs reported per checker (TP / FP)");
+  std::printf("%-11s | %-7s | %-7s | %-9s | %-9s | %-9s | FN\n", "Checker", "I/O", "lock",
+              "except.", "socket", "total");
+  std::printf("%s\n", std::string(72, '-').c_str());
+
+  size_t grand_tp = 0;
+  size_t grand_fp = 0;
+  size_t grand_fn = 0;
+  for (const auto& preset : AllPresets(scale)) {
+    SubjectRun run = RunSubject(preset);
+    size_t total_tp = 0;
+    size_t total_fp = 0;
+    size_t total_fn = 0;
+    std::string row;
+    char cell[64];
+    for (const auto& checker : run.result.checkers) {
+      Classification cls = ClassifyReports(run.workload, checker.checker, checker.reports);
+      std::snprintf(cell, sizeof(cell), " %2zu / %-2zu |", cls.true_positives,
+                    cls.false_positives);
+      row += cell;
+      total_tp += cls.true_positives;
+      total_fp += cls.false_positives;
+      total_fn += cls.false_negatives;
+    }
+    std::printf("%-11s |%s %3zu / %-3zu | %zu\n", preset.name.c_str(), row.c_str(), total_tp,
+                total_fp, total_fn);
+    grand_tp += total_tp;
+    grand_fp += total_fp;
+    grand_fn += total_fn;
+  }
+  std::printf("%s\n", std::string(72, '-').c_str());
+  double fp_rate =
+      grand_tp + grand_fp > 0 ? 100.0 * grand_fp / static_cast<double>(grand_tp + grand_fp) : 0;
+  std::printf("overall: %zu true bugs, %zu false positives (%.1f%% FP rate), %zu missed\n",
+              grand_tp, grand_fp, fp_rate, grand_fn);
+  std::printf("paper:   359 true bugs, 17 false positives (4.7%% FP rate)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace grapple
+
+int main() { return grapple::Main(); }

@@ -1,0 +1,44 @@
+// Reproduces Table 3: graph sizes and running times per subject.
+//
+// Columns mirror the paper: #V, #EB (edges before computation), #EA (edges
+// after), PT (preprocessing), CT (computation), TT (total). Absolute values
+// differ (synthetic subjects, scaled sizes, different hardware); the target
+// shape is the ordering — hadoop fastest, hbase slowest by an order of
+// magnitude or more — and #EA >> #EB growth from transitive closure.
+//
+// Paper: ZooKeeper 2.4M/12.9M/24.1M 47s+1h06m,  Hadoop 8.3M/17.4M/30.2M 53m,
+//        HDFS 7.6M/18.0M/29.4M 1h54m,  HBase 26.1M/70.9M/125.9M 33h51m.
+#include "bench/bench_util.h"
+
+namespace grapple {
+namespace {
+
+int Main() {
+  double scale = ScaleFromEnv(1.0);
+  PrintHeaderLine("Table 3: Grapple performance");
+  std::printf("%-11s %9s %9s %10s %9s %11s %11s %6s\n", "Subject", "#V(K)", "#EB(K)", "#EA(K)",
+              "PT", "CT", "TT", "#part");
+  for (const auto& preset : AllPresets(scale)) {
+    WallTimer timer;
+    SubjectRun run = RunSubject(preset);
+    double total = timer.ElapsedSeconds();
+    const GrappleResult& r = run.result;
+    size_t partitions = r.alias.engine.num_partitions;
+    for (const auto& checker : r.checkers) {
+      partitions += checker.typestate.engine.num_partitions;
+    }
+    std::printf("%-11s %9.1f %9.1f %10.1f %9s %11s %11s %6zu\n", preset.name.c_str(),
+                r.TotalVerticesAllPhases() / 1000.0, r.TotalEdgesBefore() / 1000.0,
+                r.TotalEdgesAfter() / 1000.0, FormatDuration(r.PreprocessSeconds()).c_str(),
+                FormatDuration(r.ComputeSeconds()).c_str(), FormatDuration(total).c_str(),
+                partitions);
+  }
+  std::printf("\npaper shape check: hadoop < zookeeper < hdfs << hbase in total time;\n");
+  std::printf("edge count grows substantially during computation (#EA >> #EB).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace grapple
+
+int main() { return grapple::Main(); }

@@ -1,0 +1,69 @@
+// The paper's running example (Figures 3 and 5): the buggy FileWriter
+// program, built with the programmatic IR builder, and a demonstration of
+// why path sensitivity matters.
+//
+// Of the four control-flow paths, only x >= 0 && y <= 0 leaks (the file is
+// opened but never closed); the path x < 0 && y > 0 — where write/close
+// would fire on a never-opened file — is infeasible because y = x + 1.
+// Grapple reports exactly one warning, with the witness constraint; a
+// path-insensitive checker would either report spurious erroneous events or
+// nothing at all (§2.1).
+#include <cstdio>
+
+#include "src/checker/builtin_checkers.h"
+#include "src/core/grapple.h"
+#include "src/ir/builder.h"
+
+namespace {
+
+grapple::Program BuildFigure3() {
+  using namespace grapple;
+  MethodBuilder mb("main");
+  LocalId out = mb.Obj("out", "FileWriter");
+  LocalId o = mb.Obj("o", "FileWriter");
+  LocalId x = mb.Int("x");
+  LocalId y = mb.Int("y");
+  mb.Havoc(x);  // x = Integer.parseInt(args[0])
+  mb.AssignInt(y, OpLocal(x));
+  mb.If(
+      CondExpr::Compare(OpLocal(x), IrCmpOp::kGe, OpConst(0)),
+      [&](MethodBuilder& b) {
+        b.Alloc(out, "FileWriter");  // Line 4: out = new FileWriter(...)
+        b.SetLine(4);
+        b.Event(out, "open");
+        b.Assign(o, out);  // Line 5: o = out (o and out alias)
+        b.Bin(y, OpLocal(x), IrBinOp::kSub, OpConst(1));  // Line 6: y--
+      },
+      [&](MethodBuilder& b) {
+        b.Bin(y, OpLocal(x), IrBinOp::kAdd, OpConst(1));  // Line 8: y++
+      });
+  mb.If(CondExpr::Compare(OpLocal(y), IrCmpOp::kGt, OpConst(0)), [&](MethodBuilder& b) {
+    b.Event(out, "write");  // Line 10: out.write(x)
+    b.Event(o, "close");    // Line 11: o.close() — through the alias!
+  });
+  mb.Ret();
+
+  Program program;
+  program.AddMethod(std::move(mb).Build());
+  return program;
+}
+
+}  // namespace
+
+int main() {
+  grapple::Grapple analyzer(BuildFigure3());
+  grapple::GrappleResult result = analyzer.Check({grapple::MakeIoCheckerSpec()});
+
+  const auto& reports = result.checkers[0].reports;
+  std::printf("Figure 3 program: %zu warning(s)\n", reports.size());
+  for (const auto& report : reports) {
+    std::printf("  %s\n", report.ToString().c_str());
+  }
+  std::printf(
+      "\nExpected: exactly one warning — the object can still be Open at exit\n"
+      "along the feasible path x >= 0 && x - 1 <= 0. The write/close events on\n"
+      "the x < 0 side are never charged to the object (it is not allocated\n"
+      "there), and the close through the alias `o` is correctly credited on\n"
+      "the path where it happens.\n");
+  return reports.size() == 1 ? 0 : 1;
+}

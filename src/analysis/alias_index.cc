@@ -1,0 +1,61 @@
+#include "src/analysis/alias_index.h"
+
+#include <algorithm>
+
+namespace grapple {
+
+AliasIndex::AliasIndex(GraphEngine* engine, Label flows_to,
+                       const std::unordered_set<VertexId>& receivers,
+                       size_t max_encodings_per_pair) {
+  engine->ForEachEdgeWithLabel(flows_to, [&](const EdgeRecord& edge) {
+    if (receivers.find(edge.dst) == receivers.end()) {
+      return;
+    }
+    by_receiver_[edge.dst].push_back(edge.src);
+    auto& encs = encodings_[PairKey(edge.dst, edge.src)];
+    ByteReader reader(edge.payload.data(), edge.payload.size());
+    PathEncoding enc = PathEncoding::Deserialize(&reader);
+    if (std::find(encs.begin(), encs.end(), enc) != encs.end()) {
+      return;
+    }
+    if (encs.size() >= max_encodings_per_pair) {
+      // Too many distinct flow paths: weaken the whole pair to `true` so no
+      // feasible flow is ever dropped.
+      encs.clear();
+      encs.push_back(PathEncoding::Empty());
+      return;
+    }
+    if (encs.size() == 1 && encs[0] == PathEncoding::Empty() && !enc.empty()) {
+      return;  // already weakened
+    }
+    encs.push_back(std::move(enc));
+  });
+  for (auto& [receiver, objects] : by_receiver_) {
+    std::sort(objects.begin(), objects.end());
+    objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+    pairs_ += objects.size();
+  }
+}
+
+const std::vector<VertexId>& AliasIndex::ObjectsFlowingTo(VertexId receiver) const {
+  auto it = by_receiver_.find(receiver);
+  return it == by_receiver_.end() ? empty_ : it->second;
+}
+
+const std::vector<PathEncoding>& AliasIndex::FlowEncodings(VertexId receiver,
+                                                           VertexId object) const {
+  auto it = encodings_.find(PairKey(receiver, object));
+  return it == encodings_.end() ? no_encodings_ : it->second;
+}
+
+std::unordered_map<VertexId, std::vector<VertexId>> AliasIndex::InvertToObjects() const {
+  std::unordered_map<VertexId, std::vector<VertexId>> by_object;
+  for (const auto& [receiver, objects] : by_receiver_) {
+    for (VertexId object : objects) {
+      by_object[object].push_back(receiver);
+    }
+  }
+  return by_object;
+}
+
+}  // namespace grapple

@@ -1,0 +1,58 @@
+// In-memory alias query index (phase 1 -> phase 2 hand-off, §2.2).
+//
+// After the alias computation finishes, the flowsTo edges relevant to event
+// receivers are harvested from the engine's final partitions and held in
+// memory so the dataflow phase can answer "which tracked objects may this
+// event's receiver reference?" in O(1). The flow *encodings* are retained
+// too: phase 2 can qualify each event edge with the constraint of the
+// object-to-receiver flow, pruning events whose aliasing is infeasible on
+// the path being explored.
+#ifndef GRAPPLE_SRC_ANALYSIS_ALIAS_INDEX_H_
+#define GRAPPLE_SRC_ANALYSIS_ALIAS_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/graph/engine.h"
+#include "src/pathenc/path_encoding.h"
+
+namespace grapple {
+
+class AliasIndex {
+ public:
+  // Scans the engine's final edges once; keeps flowsTo edges whose
+  // destination is in `receivers`, retaining up to `max_encodings_per_pair`
+  // distinct flow-path encodings per (receiver, object) pair (beyond the
+  // cap the pair's encodings degrade to the always-true encoding).
+  AliasIndex(GraphEngine* engine, Label flows_to,
+             const std::unordered_set<VertexId>& receivers,
+             size_t max_encodings_per_pair = 12);
+
+  // Object vertices that may flow to `receiver` (deduplicated).
+  const std::vector<VertexId>& ObjectsFlowingTo(VertexId receiver) const;
+
+  // Distinct flow-path encodings for the (receiver, object) pair; empty
+  // when the pair is unknown.
+  const std::vector<PathEncoding>& FlowEncodings(VertexId receiver, VertexId object) const;
+
+  // receiver -> objects, inverted: objects -> receivers.
+  std::unordered_map<VertexId, std::vector<VertexId>> InvertToObjects() const;
+
+  size_t NumPairs() const { return pairs_; }
+
+ private:
+  static uint64_t PairKey(VertexId receiver, VertexId object) {
+    return (static_cast<uint64_t>(receiver) << 32) | object;
+  }
+
+  std::unordered_map<VertexId, std::vector<VertexId>> by_receiver_;
+  std::unordered_map<uint64_t, std::vector<PathEncoding>> encodings_;
+  std::vector<VertexId> empty_;
+  std::vector<PathEncoding> no_encodings_;
+  size_t pairs_ = 0;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_ANALYSIS_ALIAS_INDEX_H_

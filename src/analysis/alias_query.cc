@@ -1,0 +1,89 @@
+#include "src/analysis/alias_query.h"
+
+#include <algorithm>
+#include <set>
+
+namespace grapple {
+
+AliasQuery::AliasQuery(const AliasGraph& graph, GraphEngine* engine, Label flows_to)
+    : graph_(graph) {
+  engine->ForEachEdgeWithLabel(flows_to, [&](const EdgeRecord& edge) {
+    by_var_[edge.dst].push_back(edge.src);
+  });
+  for (auto& [var, objects] : by_var_) {
+    std::sort(objects.begin(), objects.end());
+    objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+    facts_ += objects.size();
+  }
+}
+
+std::vector<PointsToFact> AliasQuery::Collect(const std::string& method_name,
+                                              const std::string& var_name,
+                                              uint32_t clone_filter) const {
+  std::vector<PointsToFact> results;
+  const auto& info = graph_.vertex_info();
+  for (VertexId v = 0; v < info.size(); ++v) {
+    const AliasVertexInfo& vertex = info[v];
+    if (vertex.kind != AliasVertexInfo::Kind::kVar) {
+      continue;
+    }
+    if (clone_filter != kNoClone && vertex.clone != clone_filter) {
+      continue;
+    }
+    const Method& method = graph_.program().MethodAt(vertex.method);
+    if (method.name != method_name || method.locals[vertex.var].name != var_name) {
+      continue;
+    }
+    auto it = by_var_.find(v);
+    if (it == by_var_.end()) {
+      continue;
+    }
+    for (VertexId object : it->second) {
+      PointsToFact fact;
+      fact.object_vertex = object;
+      fact.object_clone = info[object].clone;
+      fact.var_vertex = v;
+      fact.var_clone = vertex.clone;
+      fact.description = graph_.DescribeVertex(object) + " -> " + graph_.DescribeVertex(v);
+      results.push_back(std::move(fact));
+    }
+  }
+  // Dedup per (object, var occurrence).
+  std::sort(results.begin(), results.end(), [](const PointsToFact& a, const PointsToFact& b) {
+    return std::tie(a.object_vertex, a.var_vertex) < std::tie(b.object_vertex, b.var_vertex);
+  });
+  results.erase(std::unique(results.begin(), results.end(),
+                            [](const PointsToFact& a, const PointsToFact& b) {
+                              return a.object_vertex == b.object_vertex &&
+                                     a.var_vertex == b.var_vertex;
+                            }),
+                results.end());
+  return results;
+}
+
+std::vector<PointsToFact> AliasQuery::PointsTo(const std::string& method_name,
+                                               const std::string& var_name) const {
+  return Collect(method_name, var_name, kNoClone);
+}
+
+std::vector<PointsToFact> AliasQuery::PointsToInClone(const std::string& method_name,
+                                                      const std::string& var_name,
+                                                      uint32_t clone) const {
+  return Collect(method_name, var_name, clone);
+}
+
+bool AliasQuery::MayAlias(const std::string& method_a, const std::string& var_a,
+                          const std::string& method_b, const std::string& var_b) const {
+  std::set<VertexId> objects_a;
+  for (const auto& fact : PointsTo(method_a, var_a)) {
+    objects_a.insert(fact.object_vertex);
+  }
+  for (const auto& fact : PointsTo(method_b, var_b)) {
+    if (objects_a.find(fact.object_vertex) != objects_a.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace grapple

@@ -1,0 +1,294 @@
+#include "src/analysis/typestate_graph.h"
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+inline constexpr VertexId kNoTsVertex = 0xFFFFFFFFu;
+
+uint64_t OccKey(CfetNodeId node, uint32_t stmt_index) {
+  return (node << 20) ^ stmt_index;
+}
+
+}  // namespace
+
+struct TypestateGraph::Walker {
+  TypestateGraph* graph;
+  const AliasGraph& ag;
+  uint32_t object_pos = 0;  // position within graph->tracked_
+  const TrackedObject* obj = nullptr;
+
+  std::unordered_set<VertexId> receivers;       // receiver vertices aliased to obj
+  std::unordered_set<uint32_t> alloc_ancestors;  // clones on the alloc's parent chain
+  std::unordered_map<uint32_t, int> interesting_memo;
+  std::unordered_set<uint32_t> on_stack;
+  // (clone, node, stmt) -> event in/out vertices, shared across re-visits of
+  // shared clones.
+  std::unordered_map<uint32_t, std::unordered_map<uint64_t, std::pair<VertexId, VertexId>>>
+      event_vertices;
+
+  VertexId seed = kNoTsVertex;
+
+  struct Frame {
+    uint32_t clone;
+    CfetNodeId node;
+    uint32_t stmt_index;
+    CallSiteId ret_site;
+    bool insensitive;
+  };
+
+  VertexId NewVertex(TsVertexInfo::Kind kind, const Stmt* stmt, uint32_t clone,
+                     CfetNodeId node) {
+    TsVertexInfo info;
+    info.kind = kind;
+    info.object = object_pos;
+    info.stmt = stmt;
+    info.clone = clone;
+    info.node = node;
+    graph->info_.push_back(info);
+    return graph->next_vertex_++;
+  }
+
+  void Emit(VertexId src, VertexId dst, Label label, const PathEncoding& enc) {
+    graph->engine_->AddBaseEdge(src, dst, label, enc);
+    ++graph->emitted_edges_;
+  }
+
+  bool RelevantEvent(const EventOccurrence& occ) const {
+    if (receivers.find(occ.receiver_vertex) == receivers.end()) {
+      return false;
+    }
+    return graph->fsm_.FindEvent(occ.stmt->event).has_value();
+  }
+
+  // Does the clone's spliced subtree contain any relevant event or the
+  // tracked allocation? Memoized; cycles (shared instances) read as "not
+  // interesting" while in progress, which only skips constraint-free
+  // repetition.
+  bool Interesting(uint32_t clone) {
+    auto it = interesting_memo.find(clone);
+    if (it != interesting_memo.end()) {
+      return it->second != 0;
+    }
+    interesting_memo[clone] = 0;  // in-progress / cycle default
+    bool result = alloc_ancestors.find(clone) != alloc_ancestors.end();
+    if (!result) {
+      for (const auto& occ : ag.clones()[clone].events) {
+        if (RelevantEvent(occ)) {
+          result = true;
+          break;
+        }
+      }
+    }
+    if (!result) {
+      for (const auto& [site, child] : ag.clones()[clone].children) {
+        if (Interesting(child)) {
+          result = true;
+          break;
+        }
+      }
+    }
+    interesting_memo[clone] = result ? 1 : 0;
+    return result;
+  }
+
+  // With event qualification: can the object-to-receiver flow hold on any
+  // path through the current walk position? `acc` covers the segment since
+  // the last interesting point; if even that fragment contradicts every
+  // flow encoding, no full path can apply the event here.
+  bool EventApplicableHere(const EventOccurrence& occ, const PathEncoding& acc) {
+    if (!graph->qualify_events_) {
+      return true;
+    }
+    const auto& flows = graph->aliases_.FlowEncodings(occ.receiver_vertex, obj->object_vertex);
+    if (flows.empty()) {
+      return true;  // unknown pair: conservatively apply
+    }
+    for (const PathEncoding& flow : flows) {
+      PathEncoding full = PathEncoding::Append(flow, acc);
+      if (graph->solver_.Solve(graph->decoder_.Decode(full)) != SolveResult::kUnsat) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::pair<VertexId, VertexId> EventVerticesFor(uint32_t clone, const EventOccurrence& occ) {
+    auto& per_clone = event_vertices[clone];
+    uint64_t key = OccKey(occ.node, occ.stmt_index);
+    auto it = per_clone.find(key);
+    if (it != per_clone.end()) {
+      return it->second;
+    }
+    VertexId in = NewVertex(TsVertexInfo::Kind::kEventIn, occ.stmt, clone, occ.node);
+    VertexId out = NewVertex(TsVertexInfo::Kind::kEventOut, occ.stmt, clone, occ.node);
+    per_clone.emplace(key, std::make_pair(in, out));
+    // The event edge(s). With event qualification, each distinct
+    // object-to-receiver flow path contributes one edge carrying that
+    // flow's encoding: the event only applies where the aliasing is
+    // feasible (conjunction happens at the engine's state x event join).
+    FsmEventId event = *graph->fsm_.FindEvent(occ.stmt->event);
+    MethodId m = ag.clones()[clone].method;
+    PathEncoding here = PathEncoding::Interval(m, occ.node, occ.node);
+    bool emitted = false;
+    if (graph->qualify_events_) {
+      for (const PathEncoding& flow :
+           graph->aliases_.FlowEncodings(occ.receiver_vertex, obj->object_vertex)) {
+        Emit(in, out, graph->labels_.event[event], PathEncoding::Append(flow, here));
+        emitted = true;
+      }
+    }
+    if (!emitted) {
+      Emit(in, out, graph->labels_.event[event], here);
+    }
+    return {in, out};
+  }
+
+  const EventOccurrence* FindOccurrence(uint32_t clone, CfetNodeId node, uint32_t stmt_index) {
+    for (const auto& occ : ag.clones()[clone].events) {
+      if (occ.node == node && occ.stmt_index == stmt_index) {
+        return &occ;
+      }
+    }
+    return nullptr;
+  }
+
+  void Run() {
+    // Receivers aliased to the object.
+    // (Populated by TypestateGraph before calling Run.)
+    seed = NewVertex(TsVertexInfo::Kind::kSeed, obj->alloc_stmt, obj->clone, obj->node);
+    graph->seeds_.push_back(seed);
+    for (uint32_t c = obj->clone; c != kNoClone; c = ag.clones()[c].parent) {
+      alloc_ancestors.insert(c);
+    }
+    uint32_t entry = ag.EntryOf(obj->clone);
+    MethodId m = ag.clones()[entry].method;
+    WalkStmts(entry, kCfetRoot, 0, {}, kNoTsVertex,
+              PathEncoding::Interval(m, kCfetRoot, kCfetRoot));
+  }
+
+  void WalkStmts(uint32_t clone, CfetNodeId node_id, uint32_t stmt_begin,
+                 std::vector<Frame> cont, VertexId current, PathEncoding acc) {
+    MethodId m = ag.clones()[clone].method;
+    const MethodCfet& cfet = ag.icfet().OfMethod(m);
+    const CfetNode* node = cfet.FindNode(node_id);
+    if (node == nullptr) {
+      return;
+    }
+    for (uint32_t si = stmt_begin; si < node->stmts.size(); ++si) {
+      const CfetStmtRef& ref = node->stmts[si];
+      switch (ref.stmt->kind) {
+        case StmtKind::kAlloc:
+          if (clone == obj->clone && node_id == obj->node && si == obj->stmt_index) {
+            VertexId alloc_out =
+                NewVertex(TsVertexInfo::Kind::kAllocOut, obj->alloc_stmt, clone, node_id);
+            Emit(seed, alloc_out, graph->labels_.state[graph->fsm_.initial()], acc);
+            current = alloc_out;
+            acc = PathEncoding::Interval(m, node_id, node_id);
+          }
+          break;
+        case StmtKind::kEvent: {
+          const EventOccurrence* occ = FindOccurrence(clone, node_id, si);
+          if (occ == nullptr || !RelevantEvent(*occ) || current == kNoTsVertex) {
+            break;
+          }
+          if (!EventApplicableHere(*occ, acc)) {
+            // The aliasing that would make this event apply is infeasible
+            // along every walk path through this tree position: skip the
+            // event, let the object's state flow past it.
+            break;
+          }
+          auto [in, out] = EventVerticesFor(clone, *occ);
+          Emit(current, in, graph->labels_.flow, acc);
+          current = out;
+          acc = PathEncoding::Interval(m, node_id, node_id);
+          break;
+        }
+        case StmtKind::kCall: {
+          if (ref.call_site == kNoCallSite) {
+            break;
+          }
+          auto cit = ag.clones()[clone].children.find(ref.call_site);
+          if (cit == ag.clones()[clone].children.end()) {
+            break;
+          }
+          uint32_t child = cit->second;
+          if (!Interesting(child) || on_stack.find(child) != on_stack.end()) {
+            break;  // constraint-free skip (case-3 cancellation semantics)
+          }
+          bool insensitive = ag.clones()[child].shared;
+          on_stack.insert(child);
+          Frame frame{clone, node_id, si + 1, ref.call_site, insensitive};
+          cont.push_back(frame);
+          PathEncoding call_acc =
+              insensitive ? acc
+                          : PathEncoding::Append(acc, PathEncoding::CallEdge(ref.call_site));
+          MethodId callee = ag.clones()[child].method;
+          call_acc = PathEncoding::Append(
+              call_acc, PathEncoding::Interval(callee, kCfetRoot, kCfetRoot));
+          WalkStmts(child, kCfetRoot, 0, std::move(cont), current, std::move(call_acc));
+          on_stack.erase(child);
+          return;  // continuation resumed inside the callee walk
+        }
+        default:
+          break;
+      }
+    }
+    if (node->has_children) {
+      for (CfetNodeId child :
+           {MethodCfet::FalseChild(node_id), MethodCfet::TrueChild(node_id)}) {
+        if (cfet.FindNode(child) == nullptr) {
+          continue;
+        }
+        PathEncoding child_acc =
+            PathEncoding::Append(acc, PathEncoding::Interval(m, node_id, child));
+        WalkStmts(clone, child, 0, cont, current, std::move(child_acc));
+      }
+      return;
+    }
+    // Leaf: resume the continuation, or emit the program-exit point.
+    if (cont.empty()) {
+      if (current != kNoTsVertex) {
+        VertexId exit_vertex = NewVertex(TsVertexInfo::Kind::kExit, nullptr, clone, node_id);
+        Emit(current, exit_vertex, graph->labels_.flow, acc);
+      }
+      return;
+    }
+    Frame frame = cont.back();
+    cont.pop_back();
+    PathEncoding ret_acc =
+        frame.insensitive ? acc : PathEncoding::Append(acc, PathEncoding::RetEdge(frame.ret_site));
+    WalkStmts(frame.clone, frame.node, frame.stmt_index, std::move(cont), current,
+              std::move(ret_acc));
+  }
+};
+
+TypestateGraph::TypestateGraph(const AliasGraph& alias_graph, const AliasIndex& aliases,
+                               const Fsm& fsm, const TypestateLabels& labels,
+                               const std::vector<uint32_t>& tracked, EdgeSink* engine,
+                               bool qualify_events)
+    : alias_graph_(alias_graph),
+      aliases_(aliases),
+      fsm_(fsm),
+      labels_(labels),
+      engine_(engine),
+      qualify_events_(qualify_events),
+      decoder_(&alias_graph.icfet()),
+      tracked_(tracked) {
+  auto by_object = aliases.InvertToObjects();
+  for (uint32_t pos = 0; pos < tracked_.size(); ++pos) {
+    const TrackedObject& obj = alias_graph_.objects()[tracked_[pos]];
+    Walker walker{this, alias_graph_};
+    walker.object_pos = pos;
+    walker.obj = &obj;
+    auto it = by_object.find(obj.object_vertex);
+    if (it != by_object.end()) {
+      walker.receivers.insert(it->second.begin(), it->second.end());
+    }
+    walker.Run();
+  }
+}
+
+}  // namespace grapple

@@ -1,0 +1,93 @@
+// Phase-2 program graph: path-sensitive typestate dataflow (§2.2).
+//
+// For every tracked allocation occurrence o, we walk the *spliced* execution
+// tree of its entry instantiation (the clone tree stitched over the ICFET)
+// and materialize a condensed per-object point graph:
+//
+//   seed(o) --state[q0]--> allocOut(o)                 (constraint: the path
+//                                                       from entry to the alloc)
+//   x_out --flow--> y_in                               (constraint: the CFET
+//                                                       path between them)
+//   y_in --event[e]--> y_out                           (at each event on an
+//                                                       alias of o)
+//   z_out --flow--> exit                               (at entry-method leaves)
+//
+// Running the typestate grammar (src/grammar/typestate_grammar.h) on this
+// graph to closure yields state[q] edges seed(o) -> point, i.e. "o may be in
+// state q at this point along a feasible path" — exactly the dataflow facts
+// the checker inspects. Callee subtrees containing no event on an alias of o
+// are skipped (their constraints cancel, mirroring the matched-call/return
+// cancellation of §4.2 case 3); shared (recursive) instances are walked
+// context-insensitively with a cycle guard.
+#ifndef GRAPPLE_SRC_ANALYSIS_TYPESTATE_GRAPH_H_
+#define GRAPPLE_SRC_ANALYSIS_TYPESTATE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/alias_graph.h"
+#include "src/analysis/alias_index.h"
+#include "src/checker/fsm.h"
+#include "src/grammar/typestate_grammar.h"
+#include "src/graph/engine.h"
+#include "src/pathenc/constraint_decoder.h"
+#include "src/smt/solver.h"
+
+namespace grapple {
+
+struct TsVertexInfo {
+  enum class Kind : uint8_t { kSeed, kEventIn, kEventOut, kAllocOut, kExit };
+  Kind kind = Kind::kSeed;
+  // Index into the tracked-objects list passed to the builder.
+  uint32_t object = 0;
+  const Stmt* stmt = nullptr;  // event statement / alloc statement
+  uint32_t clone = kNoClone;
+  CfetNodeId node = kCfetRoot;
+};
+
+class TypestateGraph {
+ public:
+  // `tracked` holds indices into alias_graph.objects(). The FSM must be
+  // "completed" (every (state, event) defined; see checker::CompleteFsm) for
+  // erroneous-event detection to surface as error-state edges. Feeds base
+  // edges into `engine`; call engine->Finalize(num_vertices()) after.
+  // With `qualify_events` set, each event edge carries the encoding of the
+  // object-to-receiver flow that makes the event apply (one edge per
+  // distinct flow path), so events whose aliasing is infeasible on the
+  // explored path are pruned by the solver instead of applying
+  // unconditionally.
+  TypestateGraph(const AliasGraph& alias_graph, const AliasIndex& aliases, const Fsm& fsm,
+                 const TypestateLabels& labels, const std::vector<uint32_t>& tracked,
+                 EdgeSink* engine, bool qualify_events = true);
+
+  VertexId num_vertices() const { return next_vertex_; }
+  const std::vector<TsVertexInfo>& vertex_info() const { return info_; }
+  const std::vector<uint32_t>& tracked() const { return tracked_; }
+  // Seed vertex of tracked object i (by position in `tracked`).
+  VertexId SeedOf(uint32_t i) const { return seeds_[i]; }
+  uint64_t num_base_edges() const { return emitted_edges_; }
+
+ private:
+  struct Walker;
+
+  const AliasGraph& alias_graph_;
+  const AliasIndex& aliases_;
+  const Fsm& fsm_;
+  TypestateLabels labels_;
+  EdgeSink* engine_;
+  bool qualify_events_;
+  // For walk-time event-applicability checks (see the .cc).
+  PathDecoder decoder_;
+  Solver solver_;
+  std::vector<uint32_t> tracked_;
+  std::vector<TsVertexInfo> info_;
+  std::vector<VertexId> seeds_;
+  VertexId next_vertex_ = 0;
+  uint64_t emitted_edges_ = 0;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_ANALYSIS_TYPESTATE_GRAPH_H_

@@ -1,0 +1,146 @@
+#include "src/baseline/explicit_oracle.h"
+
+#include "src/support/byte_io.h"
+#include "src/support/timer.h"
+
+namespace grapple {
+
+void SerializeConstraint(const Constraint& constraint, std::vector<uint8_t>* out) {
+  PutVarint64(out, constraint.atoms().size());
+  for (const auto& atom : constraint.atoms()) {
+    uint8_t flags = static_cast<uint8_t>(atom.cmp) | (atom.opaque ? 0x80 : 0);
+    out->push_back(flags);
+    if (atom.opaque) {
+      continue;
+    }
+    PutVarintSigned64(out, atom.expr.constant());
+    PutVarint64(out, atom.expr.terms().size());
+    for (const auto& [var, coeff] : atom.expr.terms()) {
+      PutVarint64(out, var);
+      PutVarintSigned64(out, coeff);
+    }
+  }
+}
+
+Constraint DeserializeConstraint(const uint8_t* data, size_t len) {
+  Constraint constraint;
+  ByteReader reader(data, len);
+  uint64_t count = reader.GetVarint64();
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    uint8_t flags = 0;
+    if (!reader.GetRaw(&flags, 1)) {
+      break;
+    }
+    if ((flags & 0x80) != 0) {
+      constraint.And(Atom::Opaque());
+      continue;
+    }
+    Atom atom;
+    atom.cmp = static_cast<Cmp>(flags & 0x7F);
+    LinearExpr expr = LinearExpr::Constant(reader.GetVarintSigned64());
+    uint64_t terms = reader.GetVarint64();
+    for (uint64_t t = 0; t < terms && reader.ok(); ++t) {
+      VarId var = static_cast<VarId>(reader.GetVarint64());
+      int64_t coeff = reader.GetVarintSigned64();
+      expr = expr.Add(LinearExpr::Term(var, coeff));
+    }
+    atom.expr = std::move(expr);
+    constraint.And(std::move(atom));
+  }
+  return constraint;
+}
+
+ExplicitOracle::ExplicitOracle(const Icfet* icfet) : ExplicitOracle(icfet, Options()) {}
+
+ExplicitOracle::ExplicitOracle(const Icfet* icfet, Options options)
+    : options_(options),
+      decoder_(icfet),
+      solver_(options.solver_limits),
+      cache_(options.cache_capacity) {}
+
+std::vector<uint8_t> ExplicitOracle::BasePayload(const PathEncoding& enc) {
+  std::vector<uint8_t> out;
+  enc.Serialize(&out);
+  return out;
+}
+
+std::vector<uint8_t> ExplicitOracle::TruePayload() {
+  std::vector<uint8_t> out;
+  PathEncoding::Empty().Serialize(&out);
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> ExplicitOracle::MergeAndCheck(const uint8_t* a, size_t a_len,
+                                                                  const uint8_t* b,
+                                                                  size_t b_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.merges;
+  WallTimer lookup_timer;
+  // Plain byte-level concatenation of the two item sequences: adjust the
+  // leading item count, keep everything else verbatim. No fusion, no
+  // cancellation — the formula grows with path length.
+  ByteReader ra(a, a_len);
+  ByteReader rb(b, b_len);
+  uint64_t count_a = ra.GetVarint64();
+  uint64_t count_b = rb.GetVarint64();
+  std::vector<uint8_t> bytes;
+  if (count_a + count_b > options_.max_items) {
+    // Backstop: keep the first formula, weaken the rest to `true`.
+    ByteReader full_a(a, a_len);
+    PathEncoding left = PathEncoding::Deserialize(&full_a);
+    PathEncoding capped = PathEncoding::Append(left, PathEncoding::Opaque(), options_.max_items);
+    capped.Serialize(&bytes);
+  } else {
+    PutVarint64(&bytes, count_a + count_b);
+    bytes.insert(bytes.end(), a + ra.position(), a + a_len);
+    bytes.insert(bytes.end(), b + rb.position(), b + b_len);
+  }
+  std::string key(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  stats_.lookup_seconds += lookup_timer.ElapsedSeconds();
+
+  SolveResult result;
+  bool cached = false;
+  if (options_.enable_cache) {
+    auto hit = cache_.Get(key);
+    if (hit.has_value()) {
+      ++stats_.cache_hits;
+      result = *hit;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    ++stats_.constraints_checked;
+    WallTimer decode_timer;
+    ByteReader reader(bytes.data(), bytes.size());
+    PathEncoding full = PathEncoding::Deserialize(&reader);
+    Constraint constraint = decoder_.Decode(full);
+    stats_.lookup_seconds += decode_timer.ElapsedSeconds();
+    WallTimer solve_timer;
+    result = solver_.Solve(constraint);
+    stats_.solve_seconds += solve_timer.ElapsedSeconds();
+    if (options_.enable_cache) {
+      cache_.Put(key, result);
+    }
+  }
+  if (result == SolveResult::kUnsat) {
+    ++stats_.unsat;
+    return std::nullopt;
+  }
+  if (result == SolveResult::kUnknown) {
+    ++stats_.unknown;
+  }
+  return bytes;
+}
+
+OracleStats ExplicitOracle::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ExplicitOracle::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = OracleStats();
+  cache_.ResetStats();
+}
+
+}  // namespace grapple

@@ -1,0 +1,187 @@
+#include "src/baseline/traditional.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/alias_graph.h"
+#include "src/baseline/explicit_oracle.h"
+#include "src/cfg/call_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/grammar/pointsto_grammar.h"
+#include "src/graph/edge.h"
+#include "src/pathenc/constraint_decoder.h"
+#include "src/support/timer.h"
+#include "src/symexec/cfet_builder.h"
+
+namespace grapple {
+
+namespace {
+
+// Cap on the stored formula length — a termination backstop far above what
+// a memory-budgeted run ever reaches.
+constexpr size_t kMaxFormulaItems = 4096;
+
+// An in-memory edge with its constraint held as a separate heap object
+// linked by pointer — the representation the paper's traditional
+// implementation used. The path sequence rides along so composition can
+// rebuild the conjunction with correct per-activation variables.
+struct MemEdge {
+  VertexId src;
+  VertexId dst;
+  Label label;
+  PathEncoding enc;
+  std::shared_ptr<const Constraint> constraint;
+};
+
+uint64_t ConstraintBytes(const Constraint& constraint) {
+  uint64_t bytes = sizeof(Constraint) + 32;  // allocation + control block
+  for (const auto& atom : constraint.atoms()) {
+    bytes += sizeof(Atom) + atom.expr.terms().size() * 16;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+TraditionalResult RunTraditionalAliasAnalysis(const Program& input,
+                                              const TraditionalOptions& options) {
+  TraditionalResult result;
+  WallTimer timer;
+
+  // Frontend, identical to Grapple's.
+  Program program = input;
+  UnrollLoops(&program, options.loop_unroll);
+  CallGraph call_graph(program);
+  Icfet icfet = BuildIcfet(program, call_graph);
+
+  Grammar grammar;
+  std::vector<std::string> fields;
+  {
+    std::unordered_set<std::string> set;
+    std::function<void(const std::vector<Stmt>&)> scan = [&](const std::vector<Stmt>& block) {
+      for (const auto& stmt : block) {
+        if (stmt.kind == StmtKind::kLoad || stmt.kind == StmtKind::kStore) {
+          set.insert(stmt.field);
+        }
+        scan(stmt.then_block);
+        scan(stmt.else_block);
+      }
+    };
+    for (const auto& method : program.methods()) {
+      scan(method.body);
+    }
+    fields.assign(set.begin(), set.end());
+  }
+  PointsToLabels labels = BuildPointsToGrammar(&grammar, fields);
+
+  CollectingSink sink;
+  AliasGraph alias_graph(program, call_graph, icfet, labels, &sink);
+
+  PathDecoder decoder(&icfet);
+  Solver solver(options.solver_limits);
+
+  std::vector<MemEdge> edges;
+  std::unordered_map<VertexId, std::vector<uint32_t>> out_index;
+  std::unordered_map<VertexId, std::vector<uint32_t>> in_index;
+  std::unordered_set<uint64_t> dedup;
+  std::deque<uint32_t> worklist;
+  uint64_t bytes = 0;
+
+  auto add_edge = [&](VertexId src, VertexId dst, Label label, const PathEncoding& enc,
+                      std::shared_ptr<const Constraint> constraint) -> bool {
+    uint64_t key = EdgeTripleHash(src, dst, label) ^ enc.HashValue();
+    if (!dedup.insert(key).second) {
+      return false;
+    }
+    uint32_t idx = static_cast<uint32_t>(edges.size());
+    bytes += sizeof(MemEdge) + 64 + enc.size() * sizeof(PathItem) + ConstraintBytes(*constraint);
+    edges.push_back({src, dst, label, enc, std::move(constraint)});
+    out_index[src].push_back(idx);
+    in_index[dst].push_back(idx);
+    worklist.push_back(idx);
+    return true;
+  };
+
+  // Expands unary productions and mirrors for one (src, dst, label, ...)
+  // tuple and inserts the closure.
+  auto add_closure = [&](VertexId src, VertexId dst, Label label, const PathEncoding& enc,
+                         const std::shared_ptr<const Constraint>& constraint) {
+    std::vector<std::tuple<VertexId, VertexId, Label>> queue{{src, dst, label}};
+    std::unordered_set<uint64_t> seen;
+    while (!queue.empty()) {
+      auto [s, d, l] = queue.back();
+      queue.pop_back();
+      if (!seen.insert(EdgeTripleHash(s, d, l)).second) {
+        continue;
+      }
+      add_edge(s, d, l, enc, constraint);
+      for (Label unary : grammar.UnaryResults(l)) {
+        queue.emplace_back(s, d, unary);
+      }
+      Label mirror = grammar.MirrorOf(l);
+      if (mirror != kNoLabel) {
+        queue.emplace_back(d, s, mirror);
+      }
+    }
+  };
+
+  for (const auto& base : sink.edges()) {
+    auto constraint = std::make_shared<const Constraint>(decoder.Decode(base.enc));
+    add_closure(base.src, base.dst, base.label, base.enc, constraint);
+  }
+
+  auto combine = [&](const MemEdge& first, const MemEdge& second) {
+    const auto& results = grammar.BinaryResults(first.label, second.label);
+    if (results.empty()) {
+      return;
+    }
+    PathEncoding merged_enc = PathEncoding::Append(first.enc, second.enc, kMaxFormulaItems);
+    ++result.constraints_solved;
+    auto merged = std::make_shared<const Constraint>(decoder.Decode(merged_enc));
+    if (solver.Solve(*merged) == SolveResult::kUnsat) {
+      return;
+    }
+    for (Label label : results) {
+      add_closure(first.src, second.dst, label, merged_enc, merged);
+    }
+  };
+
+  while (!worklist.empty()) {
+    if (bytes > options.memory_budget_bytes) {
+      result.out_of_memory = true;
+      break;
+    }
+    if (timer.ElapsedSeconds() > options.max_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    uint32_t idx = worklist.front();
+    worklist.pop_front();
+    MemEdge edge = edges[idx];  // copy: the vector may grow during combine
+    auto out_it = out_index.find(edge.dst);
+    if (out_it != out_index.end()) {
+      std::vector<uint32_t> successors = out_it->second;
+      for (uint32_t next : successors) {
+        combine(edge, edges[next]);
+      }
+    }
+    auto in_it = in_index.find(edge.src);
+    if (in_it != in_index.end()) {
+      std::vector<uint32_t> predecessors = in_it->second;
+      for (uint32_t prev : predecessors) {
+        combine(edges[prev], edge);
+      }
+    }
+  }
+
+  result.edges = edges.size();
+  result.peak_bytes = bytes;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace grapple

@@ -1,0 +1,153 @@
+#include "src/cfg/call_graph.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+void CollectCalls(const Program& program, const std::vector<Stmt>& block,
+                  std::vector<MethodId>* out) {
+  for (const auto& stmt : block) {
+    if (stmt.kind == StmtKind::kCall) {
+      auto callee = program.FindMethod(stmt.callee);
+      if (callee.has_value()) {
+        out->push_back(*callee);
+      }
+    }
+    CollectCalls(program, stmt.then_block, out);
+    CollectCalls(program, stmt.else_block, out);
+  }
+}
+
+}  // namespace
+
+CallGraph::CallGraph(const Program& program) {
+  size_t n = program.NumMethods();
+  callees_.resize(n);
+  callers_.resize(n);
+  for (MethodId m = 0; m < n; ++m) {
+    std::vector<MethodId> calls;
+    CollectCalls(program, program.MethodAt(m).body, &calls);
+    std::sort(calls.begin(), calls.end());
+    calls.erase(std::unique(calls.begin(), calls.end()), calls.end());
+    callees_[m] = std::move(calls);
+    for (MethodId callee : callees_[m]) {
+      callers_[callee].push_back(m);
+    }
+  }
+  ComputeSccs();
+}
+
+void CallGraph::ComputeSccs() {
+  size_t n = callees_.size();
+  scc_of_.assign(n, 0);
+  recursive_.assign(n, 0);
+
+  // Iterative Tarjan.
+  std::vector<uint32_t> index(n, UINT32_MAX);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<MethodId> stack;
+  uint32_t next_index = 0;
+  num_sccs_ = 0;
+
+  struct Frame {
+    MethodId node;
+    size_t child = 0;
+  };
+
+  // SCC ids assigned in Tarjan completion order (reverse topological), so
+  // callees get smaller SCC ids than callers.
+  for (MethodId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    frames.push_back(Frame{root});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      MethodId v = frame.node;
+      if (frame.child < callees_[v].size()) {
+        MethodId w = callees_[v][frame.child++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        uint32_t scc = static_cast<uint32_t>(num_sccs_++);
+        size_t members = 0;
+        for (;;) {
+          MethodId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc_of_[w] = scc;
+          ++members;
+          if (w == v) {
+            break;
+          }
+        }
+        if (members > 1) {
+          // Mark every member recursive; resolved below once all SCC ids
+          // are final.
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        MethodId parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+
+  // Recursive methods: SCC with >1 member, or a direct self-call.
+  std::vector<uint32_t> scc_size(num_sccs_, 0);
+  for (MethodId m = 0; m < n; ++m) {
+    ++scc_size[scc_of_[m]];
+  }
+  for (MethodId m = 0; m < n; ++m) {
+    if (scc_size[scc_of_[m]] > 1) {
+      recursive_[m] = 1;
+    }
+    for (MethodId callee : callees_[m]) {
+      if (callee == m) {
+        recursive_[m] = 1;
+      }
+    }
+  }
+
+  // Bottom-up order: ascending SCC id (Tarjan finishes callees first).
+  bottom_up_.resize(n);
+  for (MethodId m = 0; m < n; ++m) {
+    bottom_up_[m] = m;
+  }
+  std::sort(bottom_up_.begin(), bottom_up_.end(), [this](MethodId a, MethodId b) {
+    if (scc_of_[a] != scc_of_[b]) {
+      return scc_of_[a] < scc_of_[b];
+    }
+    return a < b;
+  });
+}
+
+std::vector<MethodId> CallGraph::EntryMethods() const {
+  std::vector<MethodId> entries;
+  for (MethodId m = 0; m < callers_.size(); ++m) {
+    if (callers_[m].empty()) {
+      entries.push_back(m);
+    }
+  }
+  return entries;
+}
+
+}  // namespace grapple

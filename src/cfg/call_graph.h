@@ -1,0 +1,56 @@
+// Context-insensitive call graph with SCC condensation.
+//
+// The call graph drives two things (paper §2.1):
+//   * reverse-topological (bottom-up) inlining order for context-sensitive
+//     cloning of the program graph, and
+//   * detection of recursion: methods in a non-trivial SCC are collapsed and
+//     treated context-insensitively.
+#ifndef GRAPPLE_SRC_CFG_CALL_GRAPH_H_
+#define GRAPPLE_SRC_CFG_CALL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace grapple {
+
+class CallGraph {
+ public:
+  // Builds the graph by scanning every call statement. Calls to methods not
+  // present in the program (external APIs) are ignored.
+  explicit CallGraph(const Program& program);
+
+  size_t NumMethods() const { return callees_.size(); }
+  const std::vector<MethodId>& CalleesOf(MethodId method) const { return callees_[method]; }
+  const std::vector<MethodId>& CallersOf(MethodId method) const { return callers_[method]; }
+
+  // SCC id of a method (computed with Tarjan's algorithm). Ids are dense.
+  uint32_t SccOf(MethodId method) const { return scc_of_[method]; }
+  size_t NumSccs() const { return num_sccs_; }
+
+  // True when the method participates in recursion: its SCC has more than
+  // one member, or it calls itself directly.
+  bool IsRecursive(MethodId method) const { return recursive_[method] != 0; }
+
+  // Methods ordered so that every (non-recursive) callee precedes its
+  // callers — the order in which bottom-up inlining proceeds.
+  const std::vector<MethodId>& BottomUpOrder() const { return bottom_up_; }
+
+  // Methods with no in-program callers (analysis entry points).
+  std::vector<MethodId> EntryMethods() const;
+
+ private:
+  void ComputeSccs();
+
+  std::vector<std::vector<MethodId>> callees_;
+  std::vector<std::vector<MethodId>> callers_;
+  std::vector<uint32_t> scc_of_;
+  std::vector<uint8_t> recursive_;
+  std::vector<MethodId> bottom_up_;
+  size_t num_sccs_ = 0;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CFG_CALL_GRAPH_H_

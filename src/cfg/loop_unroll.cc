@@ -1,0 +1,67 @@
+#include "src/cfg/loop_unroll.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+void UnrollBlock(std::vector<Stmt>* block, size_t bound);
+
+// Builds the k-times unrolled form of `while (cond) { body }`:
+//   if (cond) { body; if (cond) { body; ... } }
+Stmt BuildUnrolled(const Stmt& loop, size_t remaining) {
+  Stmt guard;
+  guard.kind = StmtKind::kIf;
+  guard.cond = loop.cond;
+  guard.source_line = loop.source_line;
+  guard.then_block = loop.then_block;  // body copy (already loop-free)
+  if (remaining > 1) {
+    guard.then_block.push_back(BuildUnrolled(loop, remaining - 1));
+  }
+  return guard;
+}
+
+void UnrollBlock(std::vector<Stmt>* block, size_t bound) {
+  for (auto& stmt : *block) {
+    UnrollBlock(&stmt.then_block, bound);
+    UnrollBlock(&stmt.else_block, bound);
+    if (stmt.kind == StmtKind::kWhile) {
+      // The body has already been unrolled above, so nesting copies of it is
+      // safe even for nested loops.
+      stmt = BuildUnrolled(stmt, bound);
+    }
+  }
+}
+
+bool BlockHasLoops(const std::vector<Stmt>& block) {
+  for (const auto& stmt : block) {
+    if (stmt.kind == StmtKind::kWhile) {
+      return true;
+    }
+    if (BlockHasLoops(stmt.then_block) || BlockHasLoops(stmt.else_block)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void UnrollLoops(Method* method, size_t bound) {
+  GRAPPLE_CHECK_GE(bound, 1u);
+  UnrollBlock(&method->body, bound);
+}
+
+void UnrollLoops(Program* program, size_t bound) {
+  for (size_t i = 0; i < program->NumMethods(); ++i) {
+    UnrollLoops(&program->MutableMethod(static_cast<MethodId>(i)), bound);
+  }
+}
+
+bool HasLoops(const Method& method) { return BlockHasLoops(method.body); }
+
+}  // namespace grapple

@@ -1,0 +1,31 @@
+// Bounded loop unrolling (§3.1 of the paper).
+//
+// The CFET must be cycle-free for the interval encoding to identify paths
+// uniquely, so "we statically unroll the loop a certain number of times,
+// effectively transforming each loop into a piece of cycle-free code". A
+// `while (c) { B }` with bound k becomes k nested `if (c) { B ... }`
+// conditionals; executions needing more than k iterations are truncated
+// (they fall out of the innermost conditional), which under-approximates
+// deep-iteration behaviour exactly as the paper does.
+#ifndef GRAPPLE_SRC_CFG_LOOP_UNROLL_H_
+#define GRAPPLE_SRC_CFG_LOOP_UNROLL_H_
+
+#include <cstddef>
+
+#include "src/ir/ir.h"
+
+namespace grapple {
+
+// Rewrites every kWhile in the method body (recursively) into nested kIf
+// statements. `bound` >= 1.
+void UnrollLoops(Method* method, size_t bound);
+
+// Applies UnrollLoops to every method.
+void UnrollLoops(Program* program, size_t bound);
+
+// True if any kWhile remains (used by invariants/tests).
+bool HasLoops(const Method& method);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CFG_LOOP_UNROLL_H_

@@ -1,0 +1,78 @@
+#include "src/checker/builtin_checkers.h"
+
+namespace grapple {
+
+FsmSpec MakeIoCheckerSpec() {
+  Fsm fsm("io");
+  FsmStateId init = fsm.AddState("Init", /*accepting=*/true);
+  FsmStateId open = fsm.AddState("Open", /*accepting=*/false);
+  FsmStateId closed = fsm.AddState("Closed", /*accepting=*/true);
+  FsmEventId ev_open = fsm.AddEvent("open");
+  FsmEventId ev_write = fsm.AddEvent("write");
+  FsmEventId ev_read = fsm.AddEvent("read");
+  FsmEventId ev_close = fsm.AddEvent("close");
+  fsm.SetInitial(init);
+  fsm.AddTransition(init, ev_open, open);
+  fsm.AddTransition(open, ev_write, open);
+  fsm.AddTransition(open, ev_read, open);
+  fsm.AddTransition(open, ev_close, closed);
+  return FsmSpec{std::move(fsm),
+                 {"FileWriter", "FileReader", "FileOutputStream", "FileInputStream"}};
+}
+
+FsmSpec MakeLockCheckerSpec() {
+  Fsm fsm("lock");
+  FsmStateId unlocked = fsm.AddState("Unlocked", /*accepting=*/true);
+  FsmStateId locked = fsm.AddState("Locked", /*accepting=*/false);
+  FsmEventId ev_lock = fsm.AddEvent("lock");
+  FsmEventId ev_unlock = fsm.AddEvent("unlock");
+  fsm.SetInitial(unlocked);
+  fsm.AddTransition(unlocked, ev_lock, locked);
+  fsm.AddTransition(locked, ev_unlock, unlocked);
+  return FsmSpec{std::move(fsm), {"Lock", "Mutex"}};
+}
+
+FsmSpec MakeExceptionCheckerSpec() {
+  Fsm fsm("except");
+  FsmStateId created = fsm.AddState("Created", /*accepting=*/true);
+  FsmStateId thrown = fsm.AddState("Thrown", /*accepting=*/false);
+  FsmStateId handled = fsm.AddState("Handled", /*accepting=*/true);
+  FsmEventId ev_throw = fsm.AddEvent("throw");
+  FsmEventId ev_handle = fsm.AddEvent("handle");
+  fsm.SetInitial(created);
+  fsm.AddTransition(created, ev_throw, thrown);
+  fsm.AddTransition(thrown, ev_handle, handled);
+  return FsmSpec{std::move(fsm), {"Exception", "IOException", "InterruptedException"}};
+}
+
+FsmSpec MakeSocketCheckerSpec() {
+  Fsm fsm("socket");
+  FsmStateId init = fsm.AddState("Init", /*accepting=*/true);
+  FsmStateId open = fsm.AddState("Open", /*accepting=*/false);
+  FsmStateId bound = fsm.AddState("Bound", /*accepting=*/false);
+  FsmStateId closed = fsm.AddState("Closed", /*accepting=*/true);
+  FsmEventId ev_open = fsm.AddEvent("open");
+  FsmEventId ev_bind = fsm.AddEvent("bind");
+  FsmEventId ev_configure = fsm.AddEvent("configure");
+  FsmEventId ev_accept = fsm.AddEvent("accept");
+  FsmEventId ev_close = fsm.AddEvent("close");
+  fsm.SetInitial(init);
+  fsm.AddTransition(init, ev_open, open);
+  fsm.AddTransition(open, ev_bind, bound);
+  fsm.AddTransition(open, ev_close, closed);
+  fsm.AddTransition(bound, ev_configure, bound);
+  fsm.AddTransition(bound, ev_accept, bound);
+  fsm.AddTransition(bound, ev_close, closed);
+  return FsmSpec{std::move(fsm), {"Socket", "ServerSocketChannel"}};
+}
+
+std::vector<FsmSpec> AllBuiltinCheckers() {
+  std::vector<FsmSpec> specs;
+  specs.push_back(MakeIoCheckerSpec());
+  specs.push_back(MakeLockCheckerSpec());
+  specs.push_back(MakeExceptionCheckerSpec());
+  specs.push_back(MakeSocketCheckerSpec());
+  return specs;
+}
+
+}  // namespace grapple

@@ -1,0 +1,46 @@
+// The four finite-state property checkers evaluated in the paper (§5):
+// Java-I/O-style resources, lock usage, exception handling, and socket
+// usage. Each is just data — an FSM plus the object types it tracks — run
+// through the generic pipeline; adding a fifth checker is a dozen lines
+// (see examples/custom_checker.cpp).
+#ifndef GRAPPLE_SRC_CHECKER_BUILTIN_CHECKERS_H_
+#define GRAPPLE_SRC_CHECKER_BUILTIN_CHECKERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/checker/fsm.h"
+
+namespace grapple {
+
+// I/O resource checker (Figure 3a):
+//   Init(acc) -open-> Open -write-> Open -close-> Closed(acc)
+//   write/close on Init, write on Closed, double close: erroneous.
+//   Exit while Open: resource leak.
+FsmSpec MakeIoCheckerSpec();
+
+// Lock-usage checker:
+//   Unlocked(acc) -lock-> Locked -unlock-> Unlocked
+//   unlock while Unlocked (mis-ordering), double lock: erroneous.
+//   Exit while Locked: lock never released.
+FsmSpec MakeLockCheckerSpec();
+
+// Exception-handling checker (after Yuan et al., "Simple Testing Can
+// Prevent Most Critical Failures"):
+//   Created(acc) -throw-> Thrown -handle-> Handled(acc)
+//   Exit while Thrown: an explicitly thrown exception with no handler.
+FsmSpec MakeExceptionCheckerSpec();
+
+// Socket-usage checker (Figure 2):
+//   Init(acc) -open-> Open -bind-> Bound; configure/accept on Bound;
+//   close from Open/Bound -> Closed(acc).
+//   bind before open, accept before bind, etc.: erroneous.
+//   Exit while Open/Bound: socket leak.
+FsmSpec MakeSocketCheckerSpec();
+
+// All four, in the order the paper's tables list them.
+std::vector<FsmSpec> AllBuiltinCheckers();
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CHECKER_BUILTIN_CHECKERS_H_

@@ -1,0 +1,164 @@
+#include "src/checker/checker.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+Fsm CompleteFsm(const Fsm& fsm) {
+  Fsm completed = fsm;
+  FsmStateId error = completed.AddState("ERROR", /*accepting=*/false);
+  completed.SetError(error);
+  for (FsmStateId q = 0; q < error; ++q) {
+    for (FsmEventId e = 0; e < completed.NumEvents(); ++e) {
+      if (!completed.Next(q, e).has_value()) {
+        completed.AddTransition(q, e, error);
+      }
+    }
+  }
+  return completed;
+}
+
+std::string BugReport::ToString() const {
+  std::ostringstream out;
+  out << "[" << checker << "] ";
+  if (kind == Kind::kErroneousEvent) {
+    out << "erroneous event '" << event << "'";
+    if (event_line >= 0) {
+      out << " (line " << event_line << ")";
+    }
+    out << " in state " << state;
+  } else {
+    out << "object may end in non-accepting state " << state;
+  }
+  out << " on object " << object_desc;
+  if (alloc_line >= 0) {
+    out << " allocated at line " << alloc_line;
+  }
+  if (!constraint.empty() && constraint != "true") {
+    out << " [path: " << constraint << "]";
+  }
+  return out.str();
+}
+
+std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm& fsm,
+                                      const TypestateLabels& labels, const TypestateGraph& ts,
+                                      const AliasGraph& alias_graph, GraphEngine* engine,
+                                      IntervalOracle* oracle) {
+  // Reverse map: label -> state id.
+  std::unordered_map<Label, FsmStateId> state_of_label;
+  for (size_t q = 0; q < labels.state.size(); ++q) {
+    state_of_label[labels.state[q]] = static_cast<FsmStateId>(q);
+  }
+  // Seed vertex -> tracked position for attribution.
+  std::unordered_map<VertexId, uint32_t> seed_to_pos;
+  for (uint32_t pos = 0; pos < ts.tracked().size(); ++pos) {
+    seed_to_pos[ts.SeedOf(pos)] = pos;
+  }
+
+  std::vector<BugReport> reports;
+  // Dedup keys use the allocation *statement* (not the occurrence): bounded
+  // loop unrolling and CFET branch duplication give one textual allocation
+  // many tracked occurrences, which would otherwise repeat every warning.
+  std::set<std::tuple<const Stmt*, const Stmt*, FsmStateId>> seen_events;
+  std::set<std::pair<const Stmt*, FsmStateId>> seen_exits;
+
+  auto make_base_report = [&](uint32_t pos) {
+    const TrackedObject& obj = alias_graph.objects()[ts.tracked()[pos]];
+    BugReport report;
+    report.checker = checker_name;
+    report.object_index = ts.tracked()[pos];
+    report.object_desc = alias_graph.DescribeVertex(obj.object_vertex);
+    report.type = obj.type;
+    report.alloc_line = obj.alloc_stmt->source_line;
+    return report;
+  };
+
+  // Pass 1: gather the seed-originating state edges (a small fraction of the
+  // final graph). Pre-states at event in-vertices are needed to attribute an
+  // error edge at the out-vertex to the state the object was in.
+  struct StateFact {
+    uint32_t pos;
+    VertexId dst;
+    FsmStateId state;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<StateFact> facts;
+  std::unordered_map<VertexId, std::vector<FsmStateId>> states_at;
+  engine->ForEachEdge([&](const EdgeRecord& edge) {
+    auto lit = state_of_label.find(edge.label);
+    if (lit == state_of_label.end()) {
+      return;
+    }
+    auto sit = seed_to_pos.find(edge.src);
+    if (sit == seed_to_pos.end()) {
+      return;
+    }
+    facts.push_back({sit->second, edge.dst, lit->second, edge.payload});
+    states_at[edge.dst].push_back(lit->second);
+  });
+
+  // Pass 2: classify.
+  for (const auto& fact : facts) {
+    const TsVertexInfo& dst = ts.vertex_info()[fact.dst];
+    if (fsm.IsError(fact.state)) {
+      if (dst.kind != TsVertexInfo::Kind::kEventOut) {
+        continue;
+      }
+      // The in-vertex is allocated immediately before the out-vertex (see
+      // TypestateGraph::Walker::EventVerticesFor).
+      VertexId in_vertex = fact.dst - 1;
+      auto event = fsm.FindEvent(dst.stmt->event);
+      // The pre-states that make this event erroneous.
+      std::vector<FsmStateId> pre_states;
+      auto it = states_at.find(in_vertex);
+      if (it != states_at.end() && event.has_value()) {
+        for (FsmStateId q : it->second) {
+          if (fsm.Next(q, *event) == fsm.error_state()) {
+            pre_states.push_back(q);
+          }
+        }
+      }
+      if (pre_states.empty()) {
+        pre_states.push_back(fact.state);  // fallback: report the sink
+      }
+      const Stmt* alloc_stmt = alias_graph.objects()[ts.tracked()[fact.pos]].alloc_stmt;
+      for (FsmStateId q : pre_states) {
+        if (!seen_events.insert({alloc_stmt, dst.stmt, q}).second) {
+          continue;
+        }
+        BugReport report = make_base_report(fact.pos);
+        report.kind = BugReport::Kind::kErroneousEvent;
+        report.event = dst.stmt->event;
+        report.event_line = dst.stmt->source_line;
+        report.state = fsm.StateName(q);
+        report.constraint =
+            oracle->DecodePayload(fact.payload.data(), fact.payload.size()).ToString();
+        ByteReader reader(fact.payload.data(), fact.payload.size());
+        report.witness_path = PathEncoding::Deserialize(&reader).ToString();
+        reports.push_back(std::move(report));
+      }
+      continue;
+    }
+    if (dst.kind == TsVertexInfo::Kind::kExit && !fsm.IsAccepting(fact.state)) {
+      const Stmt* alloc_stmt = alias_graph.objects()[ts.tracked()[fact.pos]].alloc_stmt;
+      if (!seen_exits.insert({alloc_stmt, fact.state}).second) {
+        continue;
+      }
+      BugReport report = make_base_report(fact.pos);
+      report.kind = BugReport::Kind::kBadExitState;
+      report.state = fsm.StateName(fact.state);
+      report.constraint =
+          oracle->DecodePayload(fact.payload.data(), fact.payload.size()).ToString();
+      ByteReader reader(fact.payload.data(), fact.payload.size());
+      report.witness_path = PathEncoding::Deserialize(&reader).ToString();
+      reports.push_back(std::move(report));
+    }
+  }
+  return reports;
+}
+
+}  // namespace grapple

@@ -1,0 +1,65 @@
+// Phase 3: FSM checking and bug-report extraction (§2.2).
+//
+// After the typestate closure finishes, two classes of warning are read off
+// the final state edges:
+//   * erroneous event — a state[ERROR] edge whose destination is an event's
+//     out-vertex: some feasible path drives the object into a state where
+//     the event is undefined (write-after-close, unlock-without-lock, ...);
+//   * bad exit state — a state[q] edge reaching a program-exit vertex with
+//     q non-accepting: the object can still be "live" when the program
+//     finishes (resource leak, unreleased lock, unhandled exception, ...).
+#ifndef GRAPPLE_SRC_CHECKER_CHECKER_H_
+#define GRAPPLE_SRC_CHECKER_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/alias_graph.h"
+#include "src/analysis/typestate_graph.h"
+#include "src/checker/fsm.h"
+#include "src/grammar/typestate_grammar.h"
+#include "src/graph/constraint_oracle.h"
+#include "src/graph/engine.h"
+
+namespace grapple {
+
+// Returns a copy of `fsm` completed with a non-accepting ERROR sink: every
+// (state, event) pair without a transition now moves to ERROR, and ERROR has
+// no outgoing transitions. The sink is registered via Fsm::SetError.
+Fsm CompleteFsm(const Fsm& fsm);
+
+struct BugReport {
+  enum class Kind { kErroneousEvent, kBadExitState };
+
+  std::string checker;
+  Kind kind = Kind::kBadExitState;
+  // The tracked allocation the warning is about.
+  uint32_t object_index = 0;  // index into AliasGraph::objects()
+  std::string object_desc;
+  std::string type;
+  int32_t alloc_line = -1;
+  // kErroneousEvent: the offending event.
+  std::string event;
+  int32_t event_line = -1;
+  // State the object was in (before the event / at exit).
+  std::string state;
+  // Pretty-printed witness path constraint.
+  std::string constraint;
+  // The witness path's interval encoding (ICFET coordinates), for debugging
+  // and IDE integration.
+  std::string witness_path;
+
+  std::string ToString() const;
+};
+
+// Scans the finished typestate engine run and extracts deduplicated
+// warnings. `fsm` must be the completed FSM used to build the grammar and
+// graph; `oracle` decodes witness constraints.
+std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm& fsm,
+                                      const TypestateLabels& labels, const TypestateGraph& ts,
+                                      const AliasGraph& alias_graph, GraphEngine* engine,
+                                      IntervalOracle* oracle);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CHECKER_CHECKER_H_

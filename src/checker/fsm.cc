@@ -1,0 +1,51 @@
+#include "src/checker/fsm.h"
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+FsmStateId Fsm::AddState(const std::string& state_name, bool accepting) {
+  FsmStateId id = static_cast<FsmStateId>(state_names_.size());
+  state_names_.push_back(state_name);
+  accepting_.push_back(accepting ? 1 : 0);
+  if (initial_ == kNoFsmState) {
+    initial_ = id;
+  }
+  return id;
+}
+
+FsmEventId Fsm::AddEvent(const std::string& event_name) {
+  auto it = event_by_name_.find(event_name);
+  if (it != event_by_name_.end()) {
+    return it->second;
+  }
+  FsmEventId id = static_cast<FsmEventId>(event_names_.size());
+  event_names_.push_back(event_name);
+  event_by_name_.emplace(event_name, id);
+  return id;
+}
+
+void Fsm::AddTransition(FsmStateId from, FsmEventId event, FsmStateId to) {
+  GRAPPLE_CHECK_LT(from, state_names_.size());
+  GRAPPLE_CHECK_LT(to, state_names_.size());
+  GRAPPLE_CHECK_LT(event, event_names_.size());
+  transitions_[(static_cast<uint32_t>(from) << 16) | event] = to;
+}
+
+std::optional<FsmEventId> Fsm::FindEvent(const std::string& event_name) const {
+  auto it = event_by_name_.find(event_name);
+  if (it == event_by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<FsmStateId> Fsm::Next(FsmStateId from, FsmEventId event) const {
+  auto it = transitions_.find((static_cast<uint32_t>(from) << 16) | event);
+  if (it == transitions_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace grapple

@@ -1,0 +1,75 @@
+// Finite-state-machine property specifications.
+//
+// An FSM describes the legal lifecycle of objects of some set of types
+// (Figure 2/3a of the paper): states, an initial state, accepting states
+// (legal states for an object to be in when the program exits), and labelled
+// transitions. Two kinds of violation exist:
+//   * an event fires in a state with no transition for it (or a transition
+//     into an explicit error state) — an "erroneous event", and
+//   * the program can exit while the object is in a non-accepting state —
+//     e.g. an opened-but-never-closed resource.
+#ifndef GRAPPLE_SRC_CHECKER_FSM_H_
+#define GRAPPLE_SRC_CHECKER_FSM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grapple {
+
+using FsmStateId = uint16_t;
+using FsmEventId = uint16_t;
+
+inline constexpr FsmStateId kNoFsmState = 0xFFFF;
+
+class Fsm {
+ public:
+  explicit Fsm(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  FsmStateId AddState(const std::string& state_name, bool accepting);
+  FsmEventId AddEvent(const std::string& event_name);
+  void SetInitial(FsmStateId state) { initial_ = state; }
+  // Marks a state as the explicit error sink; reaching it is a violation
+  // even before program exit.
+  void SetError(FsmStateId state) { error_ = state; }
+  void AddTransition(FsmStateId from, FsmEventId event, FsmStateId to);
+
+  FsmStateId initial() const { return initial_; }
+  FsmStateId error_state() const { return error_; }
+  size_t NumStates() const { return state_names_.size(); }
+  size_t NumEvents() const { return event_names_.size(); }
+  bool IsAccepting(FsmStateId state) const { return accepting_[state] != 0; }
+  bool IsError(FsmStateId state) const { return state == error_ && error_ != kNoFsmState; }
+  const std::string& StateName(FsmStateId state) const { return state_names_[state]; }
+  const std::string& EventName(FsmEventId event) const { return event_names_[event]; }
+  std::optional<FsmEventId> FindEvent(const std::string& event_name) const;
+
+  // The target state, or nullopt when the event is undefined in `from`
+  // (an implicit violation).
+  std::optional<FsmStateId> Next(FsmStateId from, FsmEventId event) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> state_names_;
+  std::vector<std::string> event_names_;
+  std::vector<uint8_t> accepting_;
+  std::unordered_map<std::string, FsmEventId> event_by_name_;
+  std::unordered_map<uint32_t, FsmStateId> transitions_;  // (from<<16|event) -> to
+  FsmStateId initial_ = kNoFsmState;
+  FsmStateId error_ = kNoFsmState;
+};
+
+// The binding of an FSM to the object types it governs.
+struct FsmSpec {
+  Fsm fsm;
+  // Object type names whose instances this FSM tracks.
+  std::vector<std::string> tracked_types;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CHECKER_FSM_H_

@@ -1,0 +1,76 @@
+#include "src/checker/report_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace grapple {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ReportToJson(const BugReport& report) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"checker\":\"" << JsonEscape(report.checker) << "\",";
+  out << "\"kind\":\""
+      << (report.kind == BugReport::Kind::kErroneousEvent ? "erroneous_event"
+                                                          : "bad_exit_state")
+      << "\",";
+  out << "\"object\":\"" << JsonEscape(report.object_desc) << "\",";
+  out << "\"type\":\"" << JsonEscape(report.type) << "\",";
+  out << "\"alloc_line\":" << report.alloc_line << ",";
+  if (report.kind == BugReport::Kind::kErroneousEvent) {
+    out << "\"event\":\"" << JsonEscape(report.event) << "\",";
+    out << "\"event_line\":" << report.event_line << ",";
+  }
+  out << "\"state\":\"" << JsonEscape(report.state) << "\",";
+  out << "\"constraint\":\"" << JsonEscape(report.constraint) << "\",";
+  out << "\"witness_path\":\"" << JsonEscape(report.witness_path) << "\"";
+  out << "}";
+  return out.str();
+}
+
+std::string ReportsToJson(const std::vector<BugReport>& reports) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n  " << ReportToJson(reports[i]);
+  }
+  out << "\n]";
+  return out.str();
+}
+
+}  // namespace grapple

@@ -1,0 +1,24 @@
+// JSON rendering of bug reports, for editor/CI integration
+// (examples/analyze_file --json).
+#ifndef GRAPPLE_SRC_CHECKER_REPORT_JSON_H_
+#define GRAPPLE_SRC_CHECKER_REPORT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/checker/checker.h"
+
+namespace grapple {
+
+// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+// One report as a JSON object.
+std::string ReportToJson(const BugReport& report);
+
+// An array of reports.
+std::string ReportsToJson(const std::vector<BugReport>& reports);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CHECKER_REPORT_JSON_H_

@@ -1,0 +1,199 @@
+#include "src/core/grapple.h"
+
+#include <filesystem>
+#include <unordered_set>
+
+#include "src/cfg/loop_unroll.h"
+#include "src/grammar/pointsto_grammar.h"
+#include "src/grammar/typestate_grammar.h"
+#include "src/support/logging.h"
+#include "src/support/timer.h"
+
+namespace grapple {
+
+namespace {
+
+// The field universe: every field name stored or loaded anywhere.
+void CollectFields(const std::vector<Stmt>& block, std::unordered_set<std::string>* out) {
+  for (const auto& stmt : block) {
+    if (stmt.kind == StmtKind::kLoad || stmt.kind == StmtKind::kStore) {
+      out->insert(stmt.field);
+    }
+    CollectFields(stmt.then_block, out);
+    CollectFields(stmt.else_block, out);
+  }
+}
+
+std::vector<std::string> FieldUniverse(const Program& program) {
+  std::unordered_set<std::string> fields;
+  for (const auto& method : program.methods()) {
+    CollectFields(method.body, &fields);
+  }
+  std::vector<std::string> sorted(fields.begin(), fields.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+size_t GrappleResult::TotalReports() const {
+  size_t total = 0;
+  for (const auto& checker : checkers) {
+    total += checker.reports.size();
+  }
+  return total;
+}
+
+uint64_t GrappleResult::TotalVerticesAllPhases() const {
+  uint64_t total = alias.num_vertices;
+  for (const auto& checker : checkers) {
+    total += checker.typestate.num_vertices;
+  }
+  return total;
+}
+
+uint64_t GrappleResult::TotalEdgesBefore() const {
+  uint64_t total = alias.edges_before;
+  for (const auto& checker : checkers) {
+    total += checker.typestate.edges_before;
+  }
+  return total;
+}
+
+uint64_t GrappleResult::TotalEdgesAfter() const {
+  uint64_t total = alias.edges_after;
+  for (const auto& checker : checkers) {
+    total += checker.typestate.edges_after;
+  }
+  return total;
+}
+
+double GrappleResult::PreprocessSeconds() const {
+  double total = frontend_seconds + alias.engine.preprocess_seconds;
+  for (const auto& checker : checkers) {
+    total += checker.typestate.engine.preprocess_seconds;
+  }
+  return total;
+}
+
+double GrappleResult::ComputeSeconds() const {
+  double total = alias.engine.compute_seconds;
+  for (const auto& checker : checkers) {
+    total += checker.typestate.engine.compute_seconds;
+  }
+  return total;
+}
+
+Grapple::Grapple(Program program) : Grapple(std::move(program), GrappleOptions()) {}
+
+Grapple::Grapple(Program program, GrappleOptions options)
+    : options_(std::move(options)), program_(std::make_unique<Program>(std::move(program))) {
+  WallTimer timer;
+  UnrollLoops(program_.get(), options_.loop_unroll);
+  call_graph_ = std::make_unique<CallGraph>(*program_);
+  icfet_ = BuildIcfet(*program_, *call_graph_, options_.icfet);
+  frontend_seconds_ = timer.ElapsedSeconds();
+  if (options_.work_dir.empty()) {
+    temp_dir_ = std::make_unique<TempDir>("grapple-work");
+    work_dir_ = temp_dir_->path();
+  } else {
+    work_dir_ = options_.work_dir;
+  }
+}
+
+std::string Grapple::PhaseDir(const std::string& name) {
+  std::string dir = work_dir_ + "/" + name;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  GRAPPLE_CHECK(!ec) << "cannot create phase dir " << dir;
+  return dir;
+}
+
+GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
+  GRAPPLE_CHECK(!used_) << "Grapple::Check may be called once per instance";
+  used_ = true;
+  WallTimer total_timer;
+  GrappleResult result;
+  result.frontend_seconds = frontend_seconds_;
+
+  IntervalOracle::Options oracle_options;
+  oracle_options.cache_capacity = options_.cache_capacity;
+  oracle_options.enable_cache = options_.enable_cache;
+  oracle_options.max_encoding_items = options_.max_encoding_items;
+  oracle_options.solver_limits = options_.solver_limits;
+  oracle_options.simulated_solve_latency_us = options_.simulated_solve_latency_us;
+
+  EngineOptions engine_options;
+  engine_options.memory_budget_bytes = options_.memory_budget_bytes;
+  engine_options.num_threads = options_.num_threads;
+  engine_options.max_variants_per_triple = options_.max_variants_per_triple;
+
+  // --- Phase 1: path-sensitive alias analysis ---
+  WallTimer alias_timer;
+  Grammar pointsto_grammar;
+  PointsToLabels pt_labels = BuildPointsToGrammar(&pointsto_grammar, FieldUniverse(*program_));
+  IntervalOracle alias_oracle(&icfet_, oracle_options);
+  EngineOptions alias_engine_options = engine_options;
+  alias_engine_options.work_dir = PhaseDir("alias");
+  GraphEngine alias_engine(&pointsto_grammar, &alias_oracle, alias_engine_options);
+  AliasGraph alias_graph(*program_, *call_graph_, icfet_, pt_labels, &alias_engine);
+  alias_engine.Finalize(alias_graph.num_vertices());
+  alias_engine.Run();
+  result.alias.num_vertices = alias_graph.num_vertices();
+  result.alias.edges_before = alias_engine.stats().base_edges;
+  result.alias.edges_after = alias_engine.stats().final_edges;
+  result.alias.engine = alias_engine.stats();
+  result.alias.seconds = alias_timer.ElapsedSeconds();
+
+  // Harvest aliasing facts for every event receiver once.
+  std::unordered_set<VertexId> receivers;
+  for (const auto& clone : alias_graph.clones()) {
+    for (const auto& occ : clone.events) {
+      receivers.insert(occ.receiver_vertex);
+    }
+  }
+  AliasIndex alias_index(&alias_engine, pt_labels.flows_to, receivers);
+  result.alias_pairs = alias_index.NumPairs();
+
+  // --- Phases 2 + 3 per checker ---
+  for (const auto& spec : specs) {
+    WallTimer checker_timer;
+    CheckerRunResult checker_result;
+    checker_result.checker = spec.fsm.name();
+
+    std::unordered_set<std::string> types(spec.tracked_types.begin(), spec.tracked_types.end());
+    std::vector<uint32_t> tracked;
+    for (uint32_t i = 0; i < alias_graph.objects().size(); ++i) {
+      if (types.find(alias_graph.objects()[i].type) != types.end()) {
+        tracked.push_back(i);
+      }
+    }
+    checker_result.tracked_objects = tracked.size();
+
+    Fsm completed = CompleteFsm(spec.fsm);
+    Grammar ts_grammar;
+    TypestateLabels ts_labels = BuildTypestateGrammar(&ts_grammar, completed);
+    IntervalOracle ts_oracle(&icfet_, oracle_options);
+    EngineOptions ts_engine_options = engine_options;
+    ts_engine_options.work_dir = PhaseDir("typestate-" + spec.fsm.name());
+    GraphEngine ts_engine(&ts_grammar, &ts_oracle, ts_engine_options);
+    TypestateGraph ts_graph(alias_graph, alias_index, completed, ts_labels, tracked, &ts_engine,
+                            options_.qualify_events_with_alias_paths);
+    ts_engine.Finalize(ts_graph.num_vertices());
+    ts_engine.Run();
+
+    checker_result.reports = ExtractReports(spec.fsm.name(), completed, ts_labels, ts_graph,
+                                            alias_graph, &ts_engine, &ts_oracle);
+    checker_result.typestate.num_vertices = ts_graph.num_vertices();
+    checker_result.typestate.edges_before = ts_engine.stats().base_edges;
+    checker_result.typestate.edges_after = ts_engine.stats().final_edges;
+    checker_result.typestate.engine = ts_engine.stats();
+    checker_result.typestate.seconds = checker_timer.ElapsedSeconds();
+    result.checkers.push_back(std::move(checker_result));
+  }
+
+  result.total_seconds = total_timer.ElapsedSeconds() + frontend_seconds_;
+  return result;
+}
+
+}  // namespace grapple

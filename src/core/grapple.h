@@ -1,0 +1,124 @@
+// The Grapple system facade: frontend -> phase 1 (path-sensitive alias
+// analysis) -> phase 2 (path-sensitive typestate dataflow, per checker) ->
+// phase 3 (FSM checking), as described in §2.2.
+//
+// Typical use:
+//
+//   Program program = ...;                 // built or parsed
+//   Grapple grapple(std::move(program));
+//   GrappleResult result = grapple.Check(AllBuiltinCheckers());
+//   for (const auto& checker : result.checkers) {
+//     for (const auto& report : checker.reports) {
+//       std::cout << report.ToString() << "\n";
+//     }
+//   }
+#ifndef GRAPPLE_SRC_CORE_GRAPPLE_H_
+#define GRAPPLE_SRC_CORE_GRAPPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/alias_graph.h"
+#include "src/analysis/alias_index.h"
+#include "src/cfg/call_graph.h"
+#include "src/checker/builtin_checkers.h"
+#include "src/checker/checker.h"
+#include "src/graph/engine.h"
+#include "src/ir/ir.h"
+#include "src/smt/solver.h"
+#include "src/support/byte_io.h"
+#include "src/symexec/cfet_builder.h"
+
+namespace grapple {
+
+struct GrappleOptions {
+  // Bounded loop unrolling factor (§3.1).
+  size_t loop_unroll = 2;
+  // Engine memory budget; smaller values force more partitions and exercise
+  // the out-of-core machinery.
+  uint64_t memory_budget_bytes = uint64_t{64} << 20;
+  size_t num_threads = 1;
+  // Constraint-memoization LRU (Table 4). Disable to measure its benefit.
+  bool enable_cache = true;
+  size_t cache_capacity = size_t{1} << 16;
+  size_t max_encoding_items = 64;
+  size_t max_variants_per_triple = 8;
+  // Partition spill directory; empty creates a private temp dir.
+  std::string work_dir;
+  IcfetOptions icfet;
+  SolverLimits solver_limits;
+  // Per-solve busy-wait (µs) modeling an external SMT solver's call cost;
+  // 0 = the built-in solver's native speed. See IntervalOracle::Options.
+  uint32_t simulated_solve_latency_us = 0;
+  // Qualify each typestate event edge with the encoding of the
+  // object-to-receiver flow that makes it apply (extra precision: events
+  // whose aliasing is path-infeasible no longer fire). See
+  // TypestateGraph's constructor.
+  bool qualify_events_with_alias_paths = true;
+};
+
+// Statistics of one engine run plus its graph generation.
+struct PhaseStats {
+  uint64_t num_vertices = 0;
+  uint64_t edges_before = 0;  // base edges (after unary/mirror expansion)
+  uint64_t edges_after = 0;   // final edges at fixpoint
+  EngineStats engine;
+  double seconds = 0;
+};
+
+struct CheckerRunResult {
+  std::string checker;
+  size_t tracked_objects = 0;
+  std::vector<BugReport> reports;
+  PhaseStats typestate;
+};
+
+struct GrappleResult {
+  double frontend_seconds = 0;  // IR prep + ICFET construction
+  PhaseStats alias;
+  size_t alias_pairs = 0;  // flowsTo facts held for phase-2 queries
+  std::vector<CheckerRunResult> checkers;
+  double total_seconds = 0;
+
+  size_t TotalReports() const;
+  // Aggregates for Table-3 style reporting.
+  uint64_t TotalVerticesAllPhases() const;
+  uint64_t TotalEdgesBefore() const;
+  uint64_t TotalEdgesAfter() const;
+  double PreprocessSeconds() const;
+  double ComputeSeconds() const;
+};
+
+class Grapple {
+ public:
+  // Takes ownership of the program; loops are unrolled in place, then the
+  // call graph and ICFET are built (the "frontend").
+  explicit Grapple(Program program);
+  Grapple(Program program, GrappleOptions options);
+
+  // Runs the full pipeline for the given property specs. Phase 1 runs once;
+  // phases 2-3 run per spec. May be called once per Grapple instance.
+  GrappleResult Check(const std::vector<FsmSpec>& specs);
+
+  const Program& program() const { return *program_; }
+  const Icfet& icfet() const { return icfet_; }
+  const CallGraph& call_graph() const { return *call_graph_; }
+  double frontend_seconds() const { return frontend_seconds_; }
+
+ private:
+  std::string PhaseDir(const std::string& name);
+
+  GrappleOptions options_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<TempDir> temp_dir_;
+  std::string work_dir_;
+  std::unique_ptr<CallGraph> call_graph_;
+  Icfet icfet_;
+  double frontend_seconds_ = 0;
+  bool used_ = false;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CORE_GRAPPLE_H_

@@ -1,0 +1,60 @@
+#include "src/grammar/grammar.h"
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+Label Grammar::Intern(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  Label label = static_cast<Label>(names_.size());
+  GRAPPLE_CHECK_LT(names_.size(), size_t{kNoLabel}) << "label space exhausted";
+  names_.push_back(name);
+  by_name_.emplace(name, label);
+  mirror_.push_back(kNoLabel);
+  begins_binary_.push_back(0);
+  return label;
+}
+
+std::optional<Label> Grammar::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& Grammar::NameOf(Label label) const {
+  GRAPPLE_CHECK_LT(label, names_.size());
+  return names_[label];
+}
+
+void Grammar::AddUnary(Label single, Label result) { unary_[single].push_back(result); }
+
+void Grammar::AddBinary(Label first, Label second, Label result) {
+  binary_[PairKey(first, second)].push_back(result);
+  begins_binary_[first] = 1;
+}
+
+void Grammar::SetMirror(Label label, Label mirror) {
+  mirror_[label] = mirror;
+  mirror_[mirror] = label;
+}
+
+const std::vector<Label>& Grammar::UnaryResults(Label single) const {
+  auto it = unary_.find(single);
+  return it == unary_.end() ? empty_ : it->second;
+}
+
+const std::vector<Label>& Grammar::BinaryResults(Label first, Label second) const {
+  auto it = binary_.find(PairKey(first, second));
+  return it == binary_.end() ? empty_ : it->second;
+}
+
+Label Grammar::MirrorOf(Label label) const { return mirror_[label]; }
+
+bool Grammar::CanBeginBinary(Label first) const { return begins_binary_[first] != 0; }
+
+}  // namespace grapple

@@ -1,0 +1,63 @@
+// Normalized context-free grammars for grammar-guided reachability (§2.1).
+//
+// The engine checks one pair of consecutive edges at a time, so every rule is
+// at most binary (the paper notes any CFG can be normalized this way, as in
+// Chomsky normal form). A grammar also records "mirror" labels: when an edge
+// u -L-> v is added and L has a mirror M, the engine materializes v -M-> u
+// with the same payload (how reverse/bar edges such as flowsTo-bar stay in
+// sync with their forward counterparts).
+#ifndef GRAPPLE_SRC_GRAMMAR_GRAMMAR_H_
+#define GRAPPLE_SRC_GRAMMAR_GRAMMAR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grapple {
+
+using Label = uint16_t;
+inline constexpr Label kNoLabel = 0xFFFF;
+
+class Grammar {
+ public:
+  // Registers (or returns the existing) label with this name.
+  Label Intern(const std::string& name);
+  std::optional<Label> Find(const std::string& name) const;
+  const std::string& NameOf(Label label) const;
+  size_t NumLabels() const { return names_.size(); }
+
+  // result := single
+  void AddUnary(Label single, Label result);
+  // result := first second
+  void AddBinary(Label first, Label second, Label result);
+  // Adding u -label-> v also adds v -mirror-> u. Symmetric labels (alias)
+  // may mirror themselves.
+  void SetMirror(Label label, Label mirror);
+
+  const std::vector<Label>& UnaryResults(Label single) const;
+  const std::vector<Label>& BinaryResults(Label first, Label second) const;
+  Label MirrorOf(Label label) const;  // kNoLabel when none
+
+  // True when `first` can start some binary rule — a cheap pre-filter for
+  // the join loop.
+  bool CanBeginBinary(Label first) const;
+
+ private:
+  static uint32_t PairKey(Label a, Label b) {
+    return (static_cast<uint32_t>(a) << 16) | b;
+  }
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Label> by_name_;
+  std::unordered_map<Label, std::vector<Label>> unary_;
+  std::unordered_map<uint32_t, std::vector<Label>> binary_;
+  std::vector<Label> mirror_;
+  std::vector<uint8_t> begins_binary_;
+  std::vector<Label> empty_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAMMAR_GRAMMAR_H_

@@ -1,0 +1,59 @@
+#include "src/grammar/pointsto_grammar.h"
+
+namespace grapple {
+
+PointsToLabels BuildPointsToGrammar(Grammar* grammar, const std::vector<std::string>& fields) {
+  PointsToLabels labels;
+  labels.fields = fields;
+  labels.new_label = grammar->Intern("new");
+  labels.new_bar = grammar->Intern("newBar");
+  labels.assign = grammar->Intern("assign");
+  labels.assign_bar = grammar->Intern("assignBar");
+  labels.flows_to = grammar->Intern("flowsTo");
+  labels.flows_to_bar = grammar->Intern("flowsToBar");
+  labels.alias = grammar->Intern("alias");
+
+  grammar->SetMirror(labels.new_label, labels.new_bar);
+  grammar->SetMirror(labels.assign, labels.assign_bar);
+  grammar->SetMirror(labels.flows_to, labels.flows_to_bar);
+  grammar->SetMirror(labels.alias, labels.alias);
+
+  // FT := new ; FT := FT assign
+  grammar->AddUnary(labels.new_label, labels.flows_to);
+  grammar->AddBinary(labels.flows_to, labels.assign, labels.flows_to);
+  // FTB := newBar ; FTB := assignBar FTB
+  grammar->AddUnary(labels.new_bar, labels.flows_to_bar);
+  grammar->AddBinary(labels.assign_bar, labels.flows_to_bar, labels.flows_to_bar);
+  // alias := FTB FT (self-mirrored: u~v implies v~u)
+  grammar->AddBinary(labels.flows_to_bar, labels.flows_to, labels.alias);
+
+  for (const auto& field : fields) {
+    Label store = grammar->Intern("store[" + field + "]");
+    Label store_bar = grammar->Intern("storeBar[" + field + "]");
+    Label load = grammar->Intern("load[" + field + "]");
+    Label load_bar = grammar->Intern("loadBar[" + field + "]");
+    grammar->SetMirror(store, store_bar);
+    grammar->SetMirror(load, load_bar);
+    labels.store.push_back(store);
+    labels.store_bar.push_back(store_bar);
+    labels.load.push_back(load);
+    labels.load_bar.push_back(load_bar);
+
+    // SA_f := store_f alias ; SAL_f := SA_f load_f ; FT := FT SAL_f
+    Label sa = grammar->Intern("SA[" + field + "]");
+    Label sal = grammar->Intern("SAL[" + field + "]");
+    grammar->AddBinary(store, labels.alias, sa);
+    grammar->AddBinary(sa, load, sal);
+    grammar->AddBinary(labels.flows_to, sal, labels.flows_to);
+
+    // LA_f := loadBar_f alias ; LAS_f := LA_f storeBar_f ; FTB := LAS_f FTB
+    Label la = grammar->Intern("LA[" + field + "]");
+    Label las = grammar->Intern("LAS[" + field + "]");
+    grammar->AddBinary(load_bar, labels.alias, la);
+    grammar->AddBinary(la, store_bar, las);
+    grammar->AddBinary(las, labels.flows_to_bar, labels.flows_to_bar);
+  }
+  return labels;
+}
+
+}  // namespace grapple

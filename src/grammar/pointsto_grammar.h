@@ -1,0 +1,51 @@
+// The Sridharan–Bodik points-to grammar (Figure 4 of the paper), normalized
+// to binary rules over a finite field set:
+//
+//   flowsTo  ::= new (assign | store[f] alias load[f])*
+//   alias    ::= flowsToBar flowsTo
+//   flowsToBar ::= (assignBar | loadBar[f] alias storeBar[f])* newBar
+//
+// Binary normalization (per field f):
+//   FT  := new            | FT assign | FT SAL_f
+//   SA_f  := store_f alias      SAL_f := SA_f load_f
+//   FTB := newBar         | assignBar FTB | LAS_f FTB
+//   LA_f  := loadBar_f alias    LAS_f := LA_f storeBar_f
+//   alias := FTB FT                       (alias mirrors itself)
+//
+// Base graphs must emit each new/assign/store/load edge together with its
+// bar mirror (the graph generator does; see src/analysis).
+#ifndef GRAPPLE_SRC_GRAMMAR_POINTSTO_GRAMMAR_H_
+#define GRAPPLE_SRC_GRAMMAR_POINTSTO_GRAMMAR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+
+namespace grapple {
+
+struct PointsToLabels {
+  // The field universe, in label-index order (store[i]/load[i] belong to
+  // fields[i]).
+  std::vector<std::string> fields;
+  Label new_label = kNoLabel;
+  Label new_bar = kNoLabel;
+  Label assign = kNoLabel;
+  Label assign_bar = kNoLabel;
+  Label flows_to = kNoLabel;
+  Label flows_to_bar = kNoLabel;
+  Label alias = kNoLabel;
+  // Indexed by field id (position in the `fields` vector passed in).
+  std::vector<Label> store;
+  std::vector<Label> store_bar;
+  std::vector<Label> load;
+  std::vector<Label> load_bar;
+};
+
+// Populates `grammar` with the points-to rules for the given field names and
+// returns the label handles.
+PointsToLabels BuildPointsToGrammar(Grammar* grammar, const std::vector<std::string>& fields);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAMMAR_POINTSTO_GRAMMAR_H_

@@ -1,0 +1,34 @@
+#include "src/grammar/typestate_grammar.h"
+
+namespace grapple {
+
+TypestateLabels BuildTypestateGrammar(Grammar* grammar, const Fsm& fsm) {
+  TypestateLabels labels;
+  labels.flow = grammar->Intern("flow");
+  labels.event.reserve(fsm.NumEvents());
+  for (size_t e = 0; e < fsm.NumEvents(); ++e) {
+    labels.event.push_back(grammar->Intern("event[" + fsm.EventName(static_cast<FsmEventId>(e)) + "]"));
+  }
+  labels.state.reserve(fsm.NumStates());
+  for (size_t q = 0; q < fsm.NumStates(); ++q) {
+    labels.state.push_back(grammar->Intern("state[" + fsm.StateName(static_cast<FsmStateId>(q)) + "]"));
+  }
+  for (size_t q = 0; q < fsm.NumStates(); ++q) {
+    // state[q] := state[q] flow. The explicit error sink (if any) gets no
+    // flow rule: an error edge stays pinned at the event that caused it, so
+    // the checker reports the transition point, not every downstream vertex.
+    if (!fsm.IsError(static_cast<FsmStateId>(q))) {
+      grammar->AddBinary(labels.state[q], labels.flow, labels.state[q]);
+    }
+    for (size_t e = 0; e < fsm.NumEvents(); ++e) {
+      auto next = fsm.Next(static_cast<FsmStateId>(q), static_cast<FsmEventId>(e));
+      if (next.has_value()) {
+        // state[q'] := state[q] event[e]
+        grammar->AddBinary(labels.state[q], labels.event[e], labels.state[*next]);
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace grapple

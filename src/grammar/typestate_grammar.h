@@ -1,0 +1,35 @@
+// The typestate-propagation grammar for phase 2 (dataflow analysis, §2.2).
+//
+// Dataflow facts are FSM states. Vertices of the phase-2 graph are program
+// (event) points; base edges are `flow` (control-flow successor) and one
+// event label per FSM input symbol; a seed edge labelled state[q0'] connects
+// the allocation vertex to its program point. The regular rules
+//
+//   state[q'] := state[q] event[e]   for every transition d(q, e) = q'
+//   state[q]  := state[q] flow
+//
+// then propagate reachable states — grammar-guided reachability where the
+// grammar happens to be regular, running on the same engine as phase 1.
+#ifndef GRAPPLE_SRC_GRAMMAR_TYPESTATE_GRAMMAR_H_
+#define GRAPPLE_SRC_GRAMMAR_TYPESTATE_GRAMMAR_H_
+
+#include <vector>
+
+#include "src/checker/fsm.h"
+#include "src/grammar/grammar.h"
+
+namespace grapple {
+
+struct TypestateLabels {
+  Label flow = kNoLabel;
+  // Indexed by FSM event id.
+  std::vector<Label> event;
+  // Indexed by FSM state id.
+  std::vector<Label> state;
+};
+
+TypestateLabels BuildTypestateGrammar(Grammar* grammar, const Fsm& fsm);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAMMAR_TYPESTATE_GRAMMAR_H_

@@ -1,0 +1,112 @@
+#include "src/graph/constraint_oracle.h"
+
+namespace grapple {
+
+IntervalOracle::IntervalOracle(const Icfet* icfet) : IntervalOracle(icfet, Options()) {}
+
+IntervalOracle::IntervalOracle(const Icfet* icfet, Options options)
+    : options_(options),
+      decoder_(icfet),
+      solver_(options.solver_limits),
+      cache_(options.cache_capacity) {}
+
+std::vector<uint8_t> IntervalOracle::BasePayload(const PathEncoding& enc) {
+  std::vector<uint8_t> out;
+  enc.Serialize(&out);
+  return out;
+}
+
+std::vector<uint8_t> IntervalOracle::TruePayload() {
+  return BasePayload(PathEncoding::Empty());
+}
+
+SolveResult IntervalOracle::CheckEncodingLocked(const PathEncoding& enc, const std::string& key) {
+  if (options_.enable_cache) {
+    auto cached = cache_.Get(key);
+    if (cached.has_value()) {
+      ++stats_.cache_hits;
+      return *cached;
+    }
+  }
+  ++stats_.constraints_checked;
+  WallTimer decode_timer;
+  Constraint constraint = decoder_.Decode(enc);
+  stats_.lookup_seconds += decode_timer.ElapsedSeconds();
+  WallTimer solve_timer;
+  SolveResult result = solver_.Solve(constraint);
+  if (options_.simulated_solve_latency_us > 0) {
+    double target = options_.simulated_solve_latency_us * 1e-6;
+    while (solve_timer.ElapsedSeconds() < target) {
+      // busy-wait: models a blocking round trip to an external solver
+    }
+  }
+  stats_.solve_seconds += solve_timer.ElapsedSeconds();
+  if (result == SolveResult::kUnsat) {
+    ++stats_.unsat;
+  } else if (result == SolveResult::kUnknown) {
+    ++stats_.unknown;
+  }
+  if (options_.enable_cache) {
+    cache_.Put(key, result);
+  }
+  return result;
+}
+
+std::optional<std::vector<uint8_t>> IntervalOracle::MergeAndCheck(const uint8_t* a, size_t a_len,
+                                                                  const uint8_t* b,
+                                                                  size_t b_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.merges;
+  WallTimer lookup_timer;
+  ByteReader reader_a(a, a_len);
+  ByteReader reader_b(b, b_len);
+  PathEncoding enc_a = PathEncoding::Deserialize(&reader_a);
+  PathEncoding enc_b = PathEncoding::Deserialize(&reader_b);
+  // Feasibility is decided on the *full* concatenated path (so callee branch
+  // conditions and parameter equations all participate, as in the paper's
+  // Figure 6 walk-through)...
+  PathEncoding full = PathEncoding::Append(enc_a, enc_b, options_.max_encoding_items);
+  std::vector<uint8_t> full_bytes;
+  full.Serialize(&full_bytes);
+  std::string key(reinterpret_cast<const char*>(full_bytes.data()), full_bytes.size());
+  stats_.lookup_seconds += lookup_timer.ElapsedSeconds();
+  SolveResult result = CheckEncodingLocked(full, key);
+  if (result == SolveResult::kUnsat) {
+    return std::nullopt;
+  }
+  // ... while the stored encoding drops completed callee segments (§4.2
+  // case 3), bounding growth by call depth.
+  WallTimer compact_timer;
+  std::vector<uint8_t> bytes;
+  full.Compact().Serialize(&bytes);
+  stats_.lookup_seconds += compact_timer.ElapsedSeconds();
+  return bytes;
+}
+
+SolveResult IntervalOracle::CheckPayload(const uint8_t* payload, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteReader reader(payload, len);
+  PathEncoding enc = PathEncoding::Deserialize(&reader);
+  std::string key(reinterpret_cast<const char*>(payload), len);
+  return CheckEncodingLocked(enc, key);
+}
+
+Constraint IntervalOracle::DecodePayload(const uint8_t* payload, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteReader reader(payload, len);
+  PathEncoding enc = PathEncoding::Deserialize(&reader);
+  return decoder_.Decode(enc);
+}
+
+OracleStats IntervalOracle::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void IntervalOracle::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = OracleStats();
+  cache_.ResetStats();
+}
+
+}  // namespace grapple

@@ -1,0 +1,102 @@
+// The constraint oracle: how the engine asks "is this combined path
+// feasible, and what payload does the induced edge carry?".
+//
+// Two implementations exist:
+//   * IntervalOracle (here) — the Grapple design: payloads are interval
+//     sequence encodings; merging uses the 4-case algorithm; feasibility
+//     decodes against the in-memory ICFET and solves with the built-in SMT
+//     solver; results are memoized in an LRU cache keyed by the encoding
+//     (§4.3, Table 4).
+//   * ExplicitOracle (src/baseline) — the Table-5 baseline: payloads carry
+//     the constraint itself, growing with path length.
+#ifndef GRAPPLE_SRC_GRAPH_CONSTRAINT_ORACLE_H_
+#define GRAPPLE_SRC_GRAPH_CONSTRAINT_ORACLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/pathenc/constraint_decoder.h"
+#include "src/pathenc/path_encoding.h"
+#include "src/smt/solver.h"
+#include "src/support/lru_cache.h"
+#include "src/support/timer.h"
+
+namespace grapple {
+
+struct OracleStats {
+  uint64_t merges = 0;
+  uint64_t constraints_checked = 0;  // actual decode+solve executions
+  uint64_t cache_hits = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  double lookup_seconds = 0;  // encoding/decoding + cache probing
+  double solve_seconds = 0;   // SMT time
+};
+
+class ConstraintOracle {
+ public:
+  virtual ~ConstraintOracle() = default;
+
+  // Payload for a base edge carrying `enc`.
+  virtual std::vector<uint8_t> BasePayload(const PathEncoding& enc) = 0;
+
+  // Payload representing the always-true constraint (used when widening).
+  virtual std::vector<uint8_t> TruePayload() = 0;
+
+  // Combines the payloads of two consecutive edges; returns the payload for
+  // the induced transitive edge, or nullopt when the combined constraint is
+  // unsatisfiable (the edge must not be added). Must be thread-safe.
+  virtual std::optional<std::vector<uint8_t>> MergeAndCheck(const uint8_t* a, size_t a_len,
+                                                            const uint8_t* b, size_t b_len) = 0;
+
+  virtual OracleStats Stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+class IntervalOracle : public ConstraintOracle {
+ public:
+  struct Options {
+    size_t cache_capacity = size_t{1} << 16;
+    bool enable_cache = true;
+    // Encoding-length cap handed to PathEncoding::Merge.
+    size_t max_encoding_items = 64;
+    SolverLimits solver_limits;
+    // Adds a busy-wait of this many microseconds to every actual solve,
+    // modeling the per-call cost of an out-of-process SMT solver (the paper
+    // used Z3); 0 disables. Used by the Figure-9 bench to reproduce the
+    // paper's cost profile (see DESIGN.md substitutions).
+    uint32_t simulated_solve_latency_us = 0;
+  };
+
+  explicit IntervalOracle(const Icfet* icfet);
+  IntervalOracle(const Icfet* icfet, Options options);
+
+  std::vector<uint8_t> BasePayload(const PathEncoding& enc) override;
+  std::vector<uint8_t> TruePayload() override;
+  std::optional<std::vector<uint8_t>> MergeAndCheck(const uint8_t* a, size_t a_len,
+                                                    const uint8_t* b, size_t b_len) override;
+  OracleStats Stats() const override;
+  void ResetStats() override;
+
+  // Decodes and solves one payload directly (used by checkers on final
+  // edges, bypassing merge).
+  SolveResult CheckPayload(const uint8_t* payload, size_t len);
+  Constraint DecodePayload(const uint8_t* payload, size_t len);
+
+ private:
+  SolveResult CheckEncodingLocked(const PathEncoding& enc, const std::string& key);
+
+  Options options_;
+  mutable std::mutex mu_;
+  PathDecoder decoder_;
+  Solver solver_;
+  LruCache<std::string, SolveResult> cache_;
+  OracleStats stats_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAPH_CONSTRAINT_ORACLE_H_

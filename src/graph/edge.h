@@ -1,0 +1,44 @@
+// Edge records for the out-of-core engine.
+//
+// Edge payloads are variable-length byte strings (the serialized path
+// encoding, or — for the Table-5 baseline codec — an explicit constraint).
+// Records are inlined into partition files exactly as §4.3 describes: no
+// out-of-line constraint objects, sequential access only.
+#ifndef GRAPPLE_SRC_GRAPH_EDGE_H_
+#define GRAPPLE_SRC_GRAPH_EDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/support/byte_io.h"
+
+namespace grapple {
+
+using VertexId = uint32_t;
+
+struct EdgeRecord {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Label label = kNoLabel;
+  std::vector<uint8_t> payload;
+};
+
+// Record wire format: varint src, varint dst, varint label, varint payload
+// length, payload bytes.
+void SerializeEdge(const EdgeRecord& edge, std::vector<uint8_t>* out);
+
+// Returns false at end-of-stream or on corruption.
+bool DeserializeEdge(ByteReader* reader, EdgeRecord* edge);
+
+// 64-bit content hash of the full record (used for dedup indexing).
+uint64_t EdgeContentHash(VertexId src, VertexId dst, Label label, const uint8_t* payload,
+                         size_t payload_len);
+
+// Hash of the (src, dst, label) triple only (used for the per-triple
+// payload-variant cap).
+uint64_t EdgeTripleHash(VertexId src, VertexId dst, Label label);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAPH_EDGE_H_

@@ -1,0 +1,514 @@
+#include "src/graph/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+struct Candidate {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Label label = kNoLabel;
+  std::vector<uint8_t> payload;
+};
+
+}  // namespace
+
+// In-memory view of the two loaded partitions plus everything induced while
+// they are resident.
+class GraphEngine::LoadedPair {
+ public:
+  struct MemEdge {
+    VertexId src;
+    VertexId dst;
+    Label label;
+    uint32_t payload_off;
+    uint32_t payload_len;
+  };
+
+  LoadedPair(VertexId lo1, VertexId hi1, VertexId lo2, VertexId hi2)
+      : lo1_(lo1), hi1_(hi1), lo2_(lo2), hi2_(hi2) {}
+
+  bool Owns(VertexId v) const {
+    return (v >= lo1_ && v < hi1_) || (v >= lo2_ && v < hi2_);
+  }
+
+  size_t NumEdges() const { return edges_.size(); }
+  const MemEdge& EdgeAt(size_t i) const { return edges_[i]; }
+  const uint8_t* PayloadOf(const MemEdge& e) const { return arena_.data() + e.payload_off; }
+  uint64_t arena_bytes() const { return arena_.size(); }
+
+  const std::vector<uint32_t>& OutOf(VertexId v) const {
+    auto it = out_.find(v);
+    return it == out_.end() ? empty_ : it->second;
+  }
+  const std::vector<uint32_t>& InOf(VertexId v) const {
+    auto it = in_.find(v);
+    return it == in_.end() ? empty_ : it->second;
+  }
+
+  // Appends without any checks (caller already dedup'd globally).
+  uint32_t Insert(VertexId src, VertexId dst, Label label, const uint8_t* payload, size_t len) {
+    uint32_t idx = static_cast<uint32_t>(edges_.size());
+    MemEdge e;
+    e.src = src;
+    e.dst = dst;
+    e.label = label;
+    e.payload_off = static_cast<uint32_t>(arena_.size());
+    e.payload_len = static_cast<uint32_t>(len);
+    arena_.insert(arena_.end(), payload, payload + len);
+    edges_.push_back(e);
+    out_[src].push_back(idx);
+    in_[dst].push_back(idx);
+    return idx;
+  }
+
+  EdgeRecord ToRecord(const MemEdge& e) const {
+    EdgeRecord record;
+    record.src = e.src;
+    record.dst = e.dst;
+    record.label = e.label;
+    record.payload.assign(PayloadOf(e), PayloadOf(e) + e.payload_len);
+    return record;
+  }
+
+ private:
+  VertexId lo1_, hi1_, lo2_, hi2_;
+  std::vector<MemEdge> edges_;
+  std::vector<uint8_t> arena_;
+  std::unordered_map<VertexId, std::vector<uint32_t>> out_;
+  std::unordered_map<VertexId, std::vector<uint32_t>> in_;
+  std::vector<uint32_t> empty_;
+};
+
+GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, EngineOptions options)
+    : grammar_(grammar),
+      oracle_(oracle),
+      options_(std::move(options)),
+      store_(options_.work_dir, &profiler_),
+      pool_(options_.num_threads == 0 ? 1 : options_.num_threads) {}
+
+void GraphEngine::AddBaseEdge(VertexId src, VertexId dst, Label label, const PathEncoding& enc) {
+  GRAPPLE_CHECK(!finalized_) << "AddBaseEdge after Finalize";
+  EdgeRecord edge;
+  edge.src = src;
+  edge.dst = dst;
+  edge.label = label;
+  edge.payload = oracle_->BasePayload(enc);
+  pending_base_.push_back(std::move(edge));
+}
+
+void GraphEngine::ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out) const {
+  // Closure over unary productions and mirror labels; payload shared.
+  std::vector<EdgeRecord> queue{edge};
+  std::unordered_set<uint64_t> seen;
+  seen.insert(EdgeTripleHash(edge.src, edge.dst, edge.label));
+  while (!queue.empty()) {
+    EdgeRecord cur = std::move(queue.back());
+    queue.pop_back();
+    for (Label result : grammar_->UnaryResults(cur.label)) {
+      uint64_t key = EdgeTripleHash(cur.src, cur.dst, result);
+      if (seen.insert(key).second) {
+        EdgeRecord derived = cur;
+        derived.label = result;
+        queue.push_back(std::move(derived));
+      }
+    }
+    Label mirror = grammar_->MirrorOf(cur.label);
+    if (mirror != kNoLabel) {
+      uint64_t key = EdgeTripleHash(cur.dst, cur.src, mirror);
+      if (seen.insert(key).second) {
+        EdgeRecord derived;
+        derived.src = cur.dst;
+        derived.dst = cur.src;
+        derived.label = mirror;
+        derived.payload = cur.payload;
+        queue.push_back(std::move(derived));
+      }
+    }
+    out->push_back(std::move(cur));
+  }
+}
+
+// Global dedup and per-triple variant bookkeeping, kept out of the header.
+// Hash-based: a 64-bit collision silently drops an edge, with negligible
+// probability at the scales this engine targets.
+struct GraphEngineIndexHolder {
+  std::unordered_set<uint64_t> content;
+  std::unordered_map<uint64_t, uint32_t> variants;
+};
+
+GraphEngine::~GraphEngine() = default;
+
+std::string EngineStats::ToString() const {
+  std::ostringstream out;
+  out << "edges: " << base_edges << " -> " << final_edges << " (+" << edges_added
+      << " induced, " << unsat_pruned + oracle.unsat << " pruned unsat)\n";
+  out << "partitions: " << num_partitions << " (peak " << peak_partitions << ", "
+      << partition_splits << " splits); pair loads: " << pair_loads << ", join rounds: "
+      << join_rounds << ", joins: " << joins_attempted << "\n";
+  out << "constraints: " << oracle.merges << " merges, " << oracle.constraints_checked
+      << " solved, " << oracle.cache_hits << " cache hits";
+  uint64_t lookups = oracle.constraints_checked + oracle.cache_hits;
+  if (lookups > 0) {
+    out << " (" << (100 * oracle.cache_hits / lookups) << "% hit rate)";
+  }
+  out << "\n";
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "time: preprocess %.3fs, compute %.3fs (lookup %.3fs, solve %.3fs)",
+                preprocess_seconds, compute_seconds, oracle.lookup_seconds,
+                oracle.solve_seconds);
+  out << buffer;
+  if (timed_out) {
+    out << " [TIMED OUT]";
+  }
+  out << "\n";
+  return out.str();
+}
+
+void GraphEngine::Finalize(VertexId num_vertices) {
+  GRAPPLE_CHECK(!finalized_);
+  finalized_ = true;
+  WallTimer timer;
+  // Expand unary/mirror closures and dedup.
+  index_ = std::make_unique<GraphEngineIndexHolder>();
+  std::vector<EdgeRecord> expanded;
+  expanded.reserve(pending_base_.size() * 2);
+  for (const auto& edge : pending_base_) {
+    std::vector<EdgeRecord> closure;
+    ExpandEdge(edge, &closure);
+    for (auto& derived : closure) {
+      uint64_t hash = EdgeContentHash(derived.src, derived.dst, derived.label,
+                                      derived.payload.data(), derived.payload.size());
+      if (index_->content.insert(hash).second) {
+        ++index_->variants[EdgeTripleHash(derived.src, derived.dst, derived.label)];
+        expanded.push_back(std::move(derived));
+      }
+    }
+  }
+  pending_base_.clear();
+  pending_base_.shrink_to_fit();
+  stats_.base_edges = expanded.size();
+  store_.Initialize(std::move(expanded), num_vertices, options_.memory_budget_bytes / 4);
+  stats_.preprocess_seconds = timer.ElapsedSeconds();
+  stats_.num_partitions = store_.NumPartitions();
+  stats_.peak_partitions = store_.NumPartitions();
+}
+
+void GraphEngine::Run() {
+  GRAPPLE_CHECK(finalized_) << "call Finalize before Run";
+  WallTimer timer;
+  for (;;) {
+    if (options_.max_seconds > 0 && timer.ElapsedSeconds() > options_.max_seconds) {
+      stats_.timed_out = true;
+      break;
+    }
+    // Pick the next stale pair (i <= j).
+    bool found = false;
+    size_t pick_i = 0;
+    size_t pick_j = 0;
+    size_t n = store_.NumPartitions();
+    for (size_t i = 0; i < n && !found; ++i) {
+      for (size_t j = i; j < n && !found; ++j) {
+        auto versions = std::make_pair(store_.Info(i).version, store_.Info(j).version);
+        auto it = pair_done_.find({i, j});
+        if (it == pair_done_.end() || it->second != versions) {
+          pick_i = i;
+          pick_j = j;
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      break;
+    }
+    ProcessPair(pick_i, pick_j);
+  }
+  stats_.compute_seconds = timer.ElapsedSeconds();
+  stats_.num_partitions = store_.NumPartitions();
+  stats_.oracle = oracle_->Stats();
+  stats_.phase_seconds = profiler_.Snapshot();
+  stats_.final_edges = store_.TotalEdges();
+}
+
+void GraphEngine::ProcessPair(size_t pi, size_t pj) {
+  ++stats_.pair_loads;
+  const PartitionInfo& info_i = store_.Info(pi);
+  const PartitionInfo& info_j = store_.Info(pj);
+  LoadedPair pair(info_i.lo, info_i.hi, pi == pj ? info_i.lo : info_j.lo,
+                  pi == pj ? info_i.hi : info_j.hi);
+
+  std::vector<EdgeRecord> loaded = store_.Load(pi);
+  size_t count_i = loaded.size();
+  if (pi != pj) {
+    std::vector<EdgeRecord> more = store_.Load(pj);
+    loaded.insert(loaded.end(), std::make_move_iterator(more.begin()),
+                  std::make_move_iterator(more.end()));
+  }
+  for (const auto& edge : loaded) {
+    pair.Insert(edge.src, edge.dst, edge.label, edge.payload.data(), edge.payload.size());
+  }
+  size_t total_loaded = loaded.size();
+  loaded.clear();
+  loaded.shrink_to_fit();
+
+  ScopedPhase join_phase(&profiler_, "join");
+  GraphEngineIndexHolder& index = *index_;
+
+  // Delta frontier: if this pair previously reached a local fixpoint at
+  // versions (vi, vj), the old x old joins are already done — only edges
+  // recorded after those versions seed the frontier. Edge files are append
+  // ordered and rewrites preserve prefix order, so "new" is a suffix of
+  // each partition's load.
+  size_t old_i = 0;
+  size_t old_j = 0;
+  auto prev_done = pair_done_.find({pi, pj});
+  if (prev_done != pair_done_.end()) {
+    old_i = store_.EdgesAtVersion(pi, prev_done->second.first);
+    if (pi != pj) {
+      old_j = store_.EdgesAtVersion(pj, prev_done->second.second);
+    }
+  }
+  std::vector<uint32_t> frontier;
+  std::vector<uint8_t> in_frontier(pair.NumEdges(), 0);
+  for (size_t e = 0; e < total_loaded; ++e) {
+    bool is_new = (e < count_i) ? e >= old_i : (e - count_i) >= old_j;
+    if (is_new) {
+      frontier.push_back(static_cast<uint32_t>(e));
+      in_frontier[e] = 1;
+    }
+  }
+  std::vector<EdgeRecord> external;
+  bool changed_i = false;
+  bool changed_j = false;
+  bool complete = true;
+
+  while (!frontier.empty()) {
+    ++stats_.join_rounds;
+    // --- parallel candidate generation ---
+    size_t shards = pool_.num_threads();
+    std::vector<std::vector<Candidate>> shard_candidates(shards);
+    std::atomic<uint64_t> joins{0};
+    pool_.ParallelFor(frontier.size(), [&](size_t shard, size_t begin, size_t end) {
+      auto& out = shard_candidates[shard];
+      uint64_t local_joins = 0;
+      for (size_t f = begin; f < end; ++f) {
+        uint32_t idx = frontier[f];
+        const auto& e1 = pair.EdgeAt(idx);
+        // Forward: e1 as the first edge of the pair.
+        if (pair.Owns(e1.dst)) {
+          for (uint32_t idx2 : pair.OutOf(e1.dst)) {
+            const auto& e2 = pair.EdgeAt(idx2);
+            const auto& results = grammar_->BinaryResults(e1.label, e2.label);
+            if (results.empty()) {
+              continue;
+            }
+            ++local_joins;
+            auto payload = oracle_->MergeAndCheck(pair.PayloadOf(e1), e1.payload_len,
+                                                  pair.PayloadOf(e2), e2.payload_len);
+            if (!payload.has_value()) {
+              continue;
+            }
+            for (Label result : results) {
+              Candidate c;
+              c.src = e1.src;
+              c.dst = e2.dst;
+              c.label = result;
+              c.payload = *payload;
+              out.push_back(std::move(c));
+            }
+          }
+        }
+        // Backward: e1 as the second edge; skip first edges that are in the
+        // frontier themselves (their forward pass covers the pair).
+        for (uint32_t idx0 : pair.InOf(e1.src)) {
+          if (in_frontier[idx0]) {
+            continue;
+          }
+          const auto& e0 = pair.EdgeAt(idx0);
+          const auto& results = grammar_->BinaryResults(e0.label, e1.label);
+          if (results.empty()) {
+            continue;
+          }
+          ++local_joins;
+          auto payload = oracle_->MergeAndCheck(pair.PayloadOf(e0), e0.payload_len,
+                                                pair.PayloadOf(e1), e1.payload_len);
+          if (!payload.has_value()) {
+            continue;
+          }
+          for (Label result : results) {
+            Candidate c;
+            c.src = e0.src;
+            c.dst = e1.dst;
+            c.label = result;
+            c.payload = *payload;
+            out.push_back(std::move(c));
+          }
+        }
+      }
+      joins.fetch_add(local_joins, std::memory_order_relaxed);
+    });
+    stats_.joins_attempted += joins.load();
+
+    // --- sequential integration ---
+    std::fill(in_frontier.begin(), in_frontier.end(), 0);
+    std::vector<uint32_t> next_frontier;
+    auto integrate = [&](EdgeRecord&& record) {
+      uint64_t triple = EdgeTripleHash(record.src, record.dst, record.label);
+      uint64_t content = EdgeContentHash(record.src, record.dst, record.label,
+                                         record.payload.data(), record.payload.size());
+      if (index.content.count(content) != 0) {
+        return;
+      }
+      uint32_t& variant_count = index.variants[triple];
+      if (variant_count >= options_.max_variants_per_triple) {
+        // Widen: replace further variants by the always-true payload.
+        record.payload = oracle_->TruePayload();
+        content = EdgeContentHash(record.src, record.dst, record.label, record.payload.data(),
+                                  record.payload.size());
+        if (index.content.count(content) != 0) {
+          return;
+        }
+        ++stats_.widened_triples;
+      }
+      index.content.insert(content);
+      ++variant_count;
+      ++stats_.edges_added;
+      if (pair.Owns(record.src)) {
+        uint32_t idx = pair.Insert(record.src, record.dst, record.label, record.payload.data(),
+                                   record.payload.size());
+        next_frontier.push_back(idx);
+        in_frontier.push_back(1);
+        VertexId src = record.src;
+        if (src >= store_.Info(pi).lo && src < store_.Info(pi).hi) {
+          changed_i = true;
+        } else {
+          changed_j = true;
+        }
+      } else {
+        external.push_back(std::move(record));
+      }
+    };
+    for (auto& shard : shard_candidates) {
+      for (auto& candidate : shard) {
+        EdgeRecord record;
+        record.src = candidate.src;
+        record.dst = candidate.dst;
+        record.label = candidate.label;
+        record.payload = std::move(candidate.payload);
+        std::vector<EdgeRecord> closure;
+        ExpandEdge(record, &closure);
+        for (auto& derived : closure) {
+          integrate(std::move(derived));
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+    for (uint32_t idx : frontier) {
+      in_frontier[idx] = 1;
+    }
+    // Eager memory guard: stop the local fixpoint early when the resident
+    // pair has outgrown the budget; write back (splitting) and reschedule.
+    if (pair.arena_bytes() > options_.memory_budget_bytes) {
+      complete = false;
+      break;
+    }
+  }
+
+  // --- write back ---
+  uint64_t target = options_.memory_budget_bytes / 4;
+  auto writeback = [&](size_t index_p, bool changed, VertexId lo, VertexId hi) {
+    if (!changed) {
+      return false;
+    }
+    std::vector<EdgeRecord> edges;
+    uint64_t bytes = 0;
+    for (size_t e = 0; e < pair.NumEdges(); ++e) {
+      const auto& mem = pair.EdgeAt(e);
+      if (mem.src >= lo && mem.src < hi) {
+        edges.push_back(pair.ToRecord(mem));
+        bytes += 16 + mem.payload_len;
+      }
+    }
+    if (bytes > target * 2 && hi - lo > 1) {
+      size_t pieces = store_.SplitAndRewrite(index_p, std::move(edges), target);
+      if (pieces > 1) {
+        stats_.partition_splits += pieces - 1;
+        return true;  // layout changed
+      }
+      return false;
+    }
+    store_.Rewrite(index_p, edges);
+    return false;
+  };
+
+  // Write the higher-indexed partition first so index pi stays valid if pj
+  // splits.
+  bool layout_changed = false;
+  if (pi != pj) {
+    layout_changed |= writeback(pj, changed_j, store_.Info(pj).lo, store_.Info(pj).hi);
+  }
+  layout_changed |= writeback(pi, changed_i || (pi == pj && changed_j), store_.Info(pi).lo,
+                              store_.Info(pi).hi);
+
+  // Flush externals grouped by owner.
+  if (!external.empty()) {
+    std::sort(external.begin(), external.end(),
+              [](const EdgeRecord& a, const EdgeRecord& b) { return a.src < b.src; });
+    size_t begin = 0;
+    while (begin < external.size()) {
+      size_t owner = store_.PartitionOf(external[begin].src);
+      size_t end = begin;
+      while (end < external.size() &&
+             external[end].src < store_.Info(owner).hi) {
+        ++end;
+      }
+      std::vector<EdgeRecord> chunk(external.begin() + static_cast<ptrdiff_t>(begin),
+                                    external.begin() + static_cast<ptrdiff_t>(end));
+      store_.Append(owner, chunk);
+      begin = end;
+    }
+  }
+
+  stats_.peak_partitions = std::max(stats_.peak_partitions, store_.NumPartitions());
+
+  if (layout_changed) {
+    // Partition indices shifted; all bookkeeping is stale.
+    pair_done_.clear();
+    return;
+  }
+  if (complete) {
+    pair_done_[{pi, pj}] = {store_.Info(pi).version, store_.Info(pj).version};
+  } else {
+    pair_done_.erase({pi, pj});
+  }
+}
+
+void GraphEngine::ForEachEdge(const std::function<void(const EdgeRecord&)>& fn) {
+  for (size_t p = 0; p < store_.NumPartitions(); ++p) {
+    std::vector<EdgeRecord> edges = store_.Load(p);
+    for (const auto& edge : edges) {
+      fn(edge);
+    }
+  }
+}
+
+void GraphEngine::ForEachEdgeWithLabel(Label label,
+                                       const std::function<void(const EdgeRecord&)>& fn) {
+  ForEachEdge([&](const EdgeRecord& edge) {
+    if (edge.label == label) {
+      fn(edge);
+    }
+  });
+}
+
+}  // namespace grapple

@@ -1,0 +1,150 @@
+// Grapple's edge-pair-centric out-of-core computation (§4.3, Figure 7).
+//
+// The program graph is partitioned on disk by source-vertex interval. Each
+// scheduling step loads two partitions, repeatedly joins consecutive edge
+// pairs (u -A-> v, v -B-> w) against the grammar, asks the constraint oracle
+// whether the combined path is feasible, and adds the induced edge
+// u -C-> w. Edges owned by unloaded partitions are buffered and appended as
+// deltas; partitions that outgrow the budget are split eagerly. The global
+// fixpoint is reached when every partition pair has been processed against
+// the latest version of both sides with no new edges produced.
+#ifndef GRAPPLE_SRC_GRAPH_ENGINE_H_
+#define GRAPPLE_SRC_GRAPH_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+#include "src/graph/constraint_oracle.h"
+#include "src/graph/edge.h"
+#include "src/graph/partition_store.h"
+#include "src/pathenc/path_encoding.h"
+#include "src/support/thread_pool.h"
+#include "src/support/timer.h"
+
+namespace grapple {
+
+struct EngineOptions {
+  // Directory for partition files (must exist; caller owns cleanup).
+  std::string work_dir;
+  // Soft cap on the bytes of edge data held in memory at once (two loaded
+  // partitions + induced edges). Partitions target budget/4 so that a pair
+  // plus growth fits.
+  uint64_t memory_budget_bytes = uint64_t{64} << 20;
+  // Worker threads for the join loop (1 = sequential).
+  size_t num_threads = 1;
+  // Per-(src,dst,label) cap on distinct payload variants; reaching it
+  // widens the triple to the always-true payload. Guarantees termination
+  // and bounds path-variant blow-up (engineering addition; see DESIGN.md).
+  size_t max_variants_per_triple = 8;
+  // Wall-clock cap for Run(); 0 disables. Exceeding it stops the fixpoint
+  // early with stats().timed_out set (used by the Table-5 baseline, whose
+  // string-style codec may not terminate in reasonable time).
+  double max_seconds = 0;
+};
+
+struct EngineStats {
+  uint64_t base_edges = 0;
+  uint64_t final_edges = 0;
+  uint64_t pair_loads = 0;  // "computational iterations" in Table 5 terms
+  uint64_t join_rounds = 0;
+  uint64_t joins_attempted = 0;
+  uint64_t edges_added = 0;
+  uint64_t unsat_pruned = 0;
+  uint64_t widened_triples = 0;
+  uint64_t partition_splits = 0;
+  bool timed_out = false;
+  size_t num_partitions = 0;
+  size_t peak_partitions = 0;
+  double preprocess_seconds = 0;
+  double compute_seconds = 0;
+  OracleStats oracle;
+  // "io" / "lookup" / "solve" / "join" buckets (Figure 9).
+  std::map<std::string, double> phase_seconds;
+
+  // Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+// Receives base edges from graph generators. GraphEngine is the production
+// sink; baselines (src/baseline) provide in-memory sinks.
+class EdgeSink {
+ public:
+  virtual ~EdgeSink() = default;
+  virtual void AddBaseEdge(VertexId src, VertexId dst, Label label, const PathEncoding& enc) = 0;
+};
+
+// Buffers base edges in memory (for baselines and tests).
+struct CollectedEdge {
+  VertexId src;
+  VertexId dst;
+  Label label;
+  PathEncoding enc;
+};
+
+class CollectingSink : public EdgeSink {
+ public:
+  void AddBaseEdge(VertexId src, VertexId dst, Label label, const PathEncoding& enc) override {
+    edges_.push_back({src, dst, label, enc});
+  }
+  const std::vector<CollectedEdge>& edges() const { return edges_; }
+
+ private:
+  std::vector<CollectedEdge> edges_;
+};
+
+struct GraphEngineIndexHolder;
+
+class GraphEngine : public EdgeSink {
+ public:
+  // `grammar` and `oracle` must outlive the engine.
+  GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, EngineOptions options);
+  ~GraphEngine();
+
+  // --- graph ingestion (before Run) ---
+  void AddBaseEdge(VertexId src, VertexId dst, Label label, const PathEncoding& enc) override;
+  // Declares the vertex count, expands unary/mirror closures over base
+  // edges, and spills the initial partitions. Ingestion ends here.
+  void Finalize(VertexId num_vertices);
+
+  // Runs the dynamic transitive closure to fixpoint.
+  void Run();
+
+  // --- result access (after Run; streams partitions from disk) ---
+  void ForEachEdge(const std::function<void(const EdgeRecord&)>& fn);
+  void ForEachEdgeWithLabel(Label label, const std::function<void(const EdgeRecord&)>& fn);
+
+  const EngineStats& stats() const { return stats_; }
+  size_t NumPartitions() const { return store_.NumPartitions(); }
+
+ private:
+  class LoadedPair;
+
+  void ProcessPair(size_t pi, size_t pj);
+  // Applies unary-production and mirror closure to an edge, collecting all
+  // records (including the original) into `out`.
+  void ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out) const;
+
+  const Grammar* grammar_;
+  ConstraintOracle* oracle_;
+  EngineOptions options_;
+  PhaseProfiler profiler_;
+  PartitionStore store_;
+  ThreadPool pool_;
+  EngineStats stats_;
+
+  std::vector<EdgeRecord> pending_base_;
+  std::unique_ptr<GraphEngineIndexHolder> index_;
+  bool finalized_ = false;
+
+  // Pair-scheduling bookkeeping: versions of (pi, pj) when last processed.
+  std::map<std::pair<size_t, size_t>, std::pair<uint64_t, uint64_t>> pair_done_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAPH_ENGINE_H_

@@ -1,0 +1,241 @@
+#include "src/graph/partition_store.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler)
+    : dir_(std::move(dir)), profiler_(profiler) {}
+
+std::string PartitionStore::FileFor(VertexId lo) const {
+  return dir_ + "/part-" + std::to_string(lo) + "-" + std::to_string(file_counter_) + ".edges";
+}
+
+void PartitionStore::WriteEdges(const std::string& path, const std::vector<EdgeRecord>& edges,
+                                uint64_t* bytes) {
+  ScopedPhase phase(profiler_, "io");
+  std::vector<uint8_t> buffer;
+  for (const auto& edge : edges) {
+    SerializeEdge(edge, &buffer);
+  }
+  GRAPPLE_CHECK(WriteFileBytes(path, buffer)) << "failed to write partition " << path;
+  *bytes = buffer.size();
+}
+
+void PartitionStore::Initialize(std::vector<EdgeRecord> edges, VertexId num_vertices,
+                                uint64_t target_bytes) {
+  num_vertices_ = num_vertices;
+  partitions_.clear();
+  std::sort(edges.begin(), edges.end(), [](const EdgeRecord& a, const EdgeRecord& b) {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.dst < b.dst;
+  });
+
+  // Greedy fill: cut a partition when its serialized size would exceed the
+  // target (never splitting one source vertex across partitions).
+  size_t begin = 0;
+  VertexId interval_lo = 0;
+  while (begin < edges.size() || interval_lo < num_vertices || partitions_.empty()) {
+    uint64_t size_estimate = 0;
+    size_t end = begin;
+    VertexId last_src = interval_lo;
+    while (end < edges.size()) {
+      uint64_t edge_size = 16 + edges[end].payload.size();
+      if (end > begin && size_estimate + edge_size > target_bytes &&
+          edges[end].src != last_src) {
+        break;
+      }
+      size_estimate += edge_size;
+      last_src = edges[end].src;
+      ++end;
+    }
+    PartitionInfo info;
+    info.lo = interval_lo;
+    info.hi = (end == edges.size()) ? num_vertices : edges[end].src;
+    if (info.hi <= info.lo) {
+      info.hi = info.lo + 1;
+    }
+    ++file_counter_;
+    info.path = FileFor(info.lo);
+    std::vector<EdgeRecord> chunk(edges.begin() + static_cast<ptrdiff_t>(begin),
+                                  edges.begin() + static_cast<ptrdiff_t>(end));
+    WriteEdges(info.path, chunk, &info.bytes);
+    info.edges = chunk.size();
+    info.version = 1;
+    info.segments = {{1, info.edges}};
+    partitions_.push_back(std::move(info));
+    begin = end;
+    interval_lo = partitions_.back().hi;
+    if (begin >= edges.size() && interval_lo >= num_vertices) {
+      break;
+    }
+  }
+  // Make the final partition cover the tail of the vertex space.
+  if (!partitions_.empty()) {
+    partitions_.back().hi = std::max(partitions_.back().hi, num_vertices);
+  }
+}
+
+size_t PartitionStore::PartitionOf(VertexId v) const {
+  // Binary search over sorted, contiguous intervals.
+  size_t lo = 0;
+  size_t hi = partitions_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (v < partitions_[mid].lo) {
+      hi = mid;
+    } else if (v >= partitions_[mid].hi) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  GRAPPLE_LOG(FATAL) << "vertex " << v << " outside partitioned space";
+  return 0;
+}
+
+std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
+  ScopedPhase phase(profiler_, "io");
+  std::vector<uint8_t> bytes;
+  GRAPPLE_CHECK(ReadFileBytes(partitions_[index].path, &bytes))
+      << "failed to read partition " << partitions_[index].path;
+  std::vector<EdgeRecord> edges;
+  edges.reserve(partitions_[index].edges);
+  ByteReader reader(bytes);
+  EdgeRecord edge;
+  while (DeserializeEdge(&reader, &edge)) {
+    edges.push_back(std::move(edge));
+    edge = EdgeRecord();
+  }
+  return edges;
+}
+
+void PartitionStore::Rewrite(size_t index, const std::vector<EdgeRecord>& edges) {
+  PartitionInfo& info = partitions_[index];
+  WriteEdges(info.path, edges, &info.bytes);
+  info.edges = edges.size();
+  ++info.version;
+  // Rewrites preserve the prefix order of previously recorded edges (the
+  // engine serializes its loaded set in load order), so older segment
+  // boundaries stay valid.
+  info.segments.emplace_back(info.version, info.edges);
+}
+
+void PartitionStore::Append(size_t index, const std::vector<EdgeRecord>& edges) {
+  if (edges.empty()) {
+    return;
+  }
+  ScopedPhase phase(profiler_, "io");
+  std::vector<uint8_t> buffer;
+  for (const auto& edge : edges) {
+    SerializeEdge(edge, &buffer);
+  }
+  PartitionInfo& info = partitions_[index];
+  GRAPPLE_CHECK(AppendFileBytes(info.path, buffer)) << "failed to append to " << info.path;
+  info.bytes += buffer.size();
+  info.edges += edges.size();
+  ++info.version;
+  info.segments.emplace_back(info.version, info.edges);
+}
+
+size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edges,
+                                       uint64_t target_bytes) {
+  PartitionInfo original = partitions_[index];
+  if (original.hi - original.lo <= 1) {
+    Rewrite(index, edges);
+    return 1;
+  }
+  std::sort(edges.begin(), edges.end(), [](const EdgeRecord& a, const EdgeRecord& b) {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.dst < b.dst;
+  });
+
+  std::vector<PartitionInfo> pieces;
+  std::vector<std::vector<EdgeRecord>> piece_edges;
+  size_t begin = 0;
+  VertexId interval_lo = original.lo;
+  while (interval_lo < original.hi) {
+    uint64_t size_estimate = 0;
+    size_t end = begin;
+    VertexId last_src = interval_lo;
+    while (end < edges.size()) {
+      uint64_t edge_size = 16 + edges[end].payload.size();
+      if (end > begin && size_estimate + edge_size > target_bytes &&
+          edges[end].src != last_src && edges[end].src > interval_lo) {
+        break;
+      }
+      size_estimate += edge_size;
+      last_src = edges[end].src;
+      ++end;
+    }
+    PartitionInfo info;
+    info.lo = interval_lo;
+    info.hi = (end == edges.size()) ? original.hi : edges[end].src;
+    if (info.hi <= info.lo) {
+      info.hi = info.lo + 1;
+    }
+    info.hi = std::min(info.hi, original.hi);
+    pieces.push_back(info);
+    piece_edges.emplace_back(edges.begin() + static_cast<ptrdiff_t>(begin),
+                             edges.begin() + static_cast<ptrdiff_t>(end));
+    begin = end;
+    interval_lo = info.hi;
+  }
+  pieces.back().hi = original.hi;
+
+  if (pieces.size() == 1) {
+    Rewrite(index, edges);
+    return 1;
+  }
+
+  RemoveFile(original.path);
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    ++file_counter_;
+    pieces[i].path = FileFor(pieces[i].lo);
+    WriteEdges(pieces[i].path, piece_edges[i], &pieces[i].bytes);
+    pieces[i].edges = piece_edges[i].size();
+    pieces[i].version = original.version + 1;
+    pieces[i].segments = {{pieces[i].version, pieces[i].edges}};
+  }
+  partitions_.erase(partitions_.begin() + static_cast<ptrdiff_t>(index));
+  partitions_.insert(partitions_.begin() + static_cast<ptrdiff_t>(index), pieces.begin(),
+                     pieces.end());
+  return pieces.size();
+}
+
+uint64_t PartitionStore::EdgesAtVersion(size_t index, uint64_t version) const {
+  const PartitionInfo& info = partitions_[index];
+  uint64_t count = 0;
+  for (const auto& [seg_version, seg_count] : info.segments) {
+    if (seg_version <= version) {
+      count = seg_count;
+    } else {
+      break;
+    }
+  }
+  return count;
+}
+
+uint64_t PartitionStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& info : partitions_) {
+    total += info.bytes;
+  }
+  return total;
+}
+
+uint64_t PartitionStore::TotalEdges() const {
+  uint64_t total = 0;
+  for (const auto& info : partitions_) {
+    total += info.edges;
+  }
+  return total;
+}
+
+}  // namespace grapple

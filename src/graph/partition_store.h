@@ -1,0 +1,86 @@
+// On-disk edge partitions (§4.3, "Graph Engine").
+//
+// The vertex space is split into logical intervals; a partition holds every
+// edge whose source vertex falls in its interval, as one append-friendly
+// binary file under the engine's work directory. New edges destined for a
+// partition that is not loaded are appended as deltas; rewriting a partition
+// compacts base + deltas. Oversized partitions are split ("repartitioning")
+// so that any two partitions still fit the memory budget together.
+#ifndef GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_
+#define GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/edge.h"
+#include "src/support/timer.h"
+
+namespace grapple {
+
+struct PartitionInfo {
+  VertexId lo = 0;  // interval [lo, hi)
+  VertexId hi = 0;
+  std::string path;
+  uint64_t bytes = 0;
+  uint64_t edges = 0;
+  uint64_t version = 0;  // bumped on every write/append
+  // Append history: (version, cumulative edge count) after each mutation.
+  // Lets the engine compute, for a partition-pair last processed at version
+  // V, which loaded edges are new since then (delta-frontier joins).
+  std::vector<std::pair<uint64_t, uint64_t>> segments;
+};
+
+class PartitionStore {
+ public:
+  // `dir` must exist; `profiler` (optional) receives "io" time.
+  PartitionStore(std::string dir, PhaseProfiler* profiler);
+
+  // Creates the initial layout from base edges, targeting `target_bytes`
+  // per partition. Consumes `edges`.
+  void Initialize(std::vector<EdgeRecord> edges, VertexId num_vertices, uint64_t target_bytes);
+
+  size_t NumPartitions() const { return partitions_.size(); }
+  const PartitionInfo& Info(size_t index) const { return partitions_[index]; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  // Index of the partition owning vertex `v`.
+  size_t PartitionOf(VertexId v) const;
+
+  // Reads a partition (base file including appended deltas).
+  std::vector<EdgeRecord> Load(size_t index);
+
+  // Rewrites a partition's file with exactly `edges`.
+  void Rewrite(size_t index, const std::vector<EdgeRecord>& edges);
+
+  // Appends delta edges (already owned by this partition).
+  void Append(size_t index, const std::vector<EdgeRecord>& edges);
+
+  // Replaces partition `index` with >= 2 partitions of roughly
+  // `target_bytes` each, redistributing `edges` (which must all belong to
+  // the partition's interval). No-op (plain rewrite) when the interval has
+  // a single vertex or the data fits. Returns the number of partitions the
+  // interval now spans.
+  size_t SplitAndRewrite(size_t index, std::vector<EdgeRecord> edges, uint64_t target_bytes);
+
+  // Cumulative edge count of partition `index` as of `version` (0 when the
+  // partition's history does not reach back that far, e.g. after a split).
+  uint64_t EdgesAtVersion(size_t index, uint64_t version) const;
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalEdges() const;
+
+ private:
+  std::string FileFor(VertexId lo) const;
+  void WriteEdges(const std::string& path, const std::vector<EdgeRecord>& edges, uint64_t* bytes);
+
+  std::string dir_;
+  PhaseProfiler* profiler_;
+  VertexId num_vertices_ = 0;
+  std::vector<PartitionInfo> partitions_;  // sorted by lo, contiguous
+  uint64_t file_counter_ = 0;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_

@@ -1,0 +1,198 @@
+#include "src/ir/builder.h"
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+MethodBuilder::MethodBuilder(std::string name) {
+  method_.name = std::move(name);
+  blocks_.push_back(&method_.body);
+}
+
+LocalId MethodBuilder::Declare(Local local) {
+  for (const auto& existing : method_.locals) {
+    GRAPPLE_CHECK(existing.name != local.name)
+        << "duplicate local '" << local.name << "' in method " << method_.name;
+  }
+  LocalId id = static_cast<LocalId>(method_.locals.size());
+  method_.locals.push_back(std::move(local));
+  return id;
+}
+
+LocalId MethodBuilder::IntParam(const std::string& name) {
+  GRAPPLE_CHECK(!params_closed_) << "parameters must be declared first";
+  LocalId id = Declare(Local{name, /*is_object=*/false, ""});
+  method_.num_params = method_.locals.size();
+  return id;
+}
+
+LocalId MethodBuilder::ObjParam(const std::string& name, const std::string& type) {
+  GRAPPLE_CHECK(!params_closed_) << "parameters must be declared first";
+  LocalId id = Declare(Local{name, /*is_object=*/true, type});
+  method_.num_params = method_.locals.size();
+  return id;
+}
+
+LocalId MethodBuilder::Int(const std::string& name) {
+  params_closed_ = true;
+  return Declare(Local{name, /*is_object=*/false, ""});
+}
+
+LocalId MethodBuilder::Obj(const std::string& name, const std::string& type) {
+  params_closed_ = true;
+  return Declare(Local{name, /*is_object=*/true, type});
+}
+
+void MethodBuilder::ReturnsObject(const std::string& type) {
+  method_.returns_object = true;
+  method_.return_type = type;
+}
+
+void MethodBuilder::Append(Stmt stmt) {
+  params_closed_ = true;
+  blocks_.back()->push_back(std::move(stmt));
+}
+
+void MethodBuilder::Alloc(LocalId dst, const std::string& type) {
+  Stmt s;
+  s.kind = StmtKind::kAlloc;
+  s.dst = dst;
+  s.type_name = type;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Assign(LocalId dst, LocalId src) {
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.dst = dst;
+  s.src = src;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Load(LocalId dst, LocalId base, const std::string& field) {
+  Stmt s;
+  s.kind = StmtKind::kLoad;
+  s.dst = dst;
+  s.base = base;
+  s.field = field;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Store(LocalId base, const std::string& field, LocalId src) {
+  Stmt s;
+  s.kind = StmtKind::kStore;
+  s.base = base;
+  s.field = field;
+  s.src = src;
+  Append(std::move(s));
+}
+
+void MethodBuilder::ConstInt(LocalId dst, int64_t value) {
+  Stmt s;
+  s.kind = StmtKind::kConstInt;
+  s.dst = dst;
+  s.const_value = value;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Bin(LocalId dst, Operand lhs, IrBinOp op, Operand rhs) {
+  Stmt s;
+  s.kind = StmtKind::kBinOp;
+  s.dst = dst;
+  s.lhs = lhs;
+  s.bin_op = op;
+  s.rhs = rhs;
+  Append(std::move(s));
+}
+
+void MethodBuilder::AssignInt(LocalId dst, Operand src) {
+  Bin(dst, src, IrBinOp::kAdd, OpConst(0));
+}
+
+void MethodBuilder::Havoc(LocalId dst) {
+  Stmt s;
+  s.kind = StmtKind::kHavoc;
+  s.dst = dst;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Call(LocalId dst, const std::string& callee, std::vector<LocalId> args) {
+  Stmt s;
+  s.kind = StmtKind::kCall;
+  s.dst = dst;
+  s.callee = callee;
+  s.args = std::move(args);
+  Append(std::move(s));
+}
+
+void MethodBuilder::CallVoid(const std::string& callee, std::vector<LocalId> args) {
+  Call(kNoLocal, callee, std::move(args));
+}
+
+void MethodBuilder::Ret() {
+  Stmt s;
+  s.kind = StmtKind::kReturn;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Ret(LocalId src) {
+  Stmt s;
+  s.kind = StmtKind::kReturn;
+  s.src = src;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Event(LocalId receiver, const std::string& event) {
+  Stmt s;
+  s.kind = StmtKind::kEvent;
+  s.src = receiver;
+  s.event = event;
+  Append(std::move(s));
+}
+
+void MethodBuilder::Nop() {
+  Stmt s;
+  s.kind = StmtKind::kNop;
+  Append(std::move(s));
+}
+
+void MethodBuilder::If(CondExpr cond, const BlockFn& then_fn, const BlockFn& else_fn) {
+  Stmt s;
+  s.kind = StmtKind::kIf;
+  s.cond = cond;
+  blocks_.push_back(&s.then_block);
+  if (then_fn) {
+    then_fn(*this);
+  }
+  blocks_.pop_back();
+  if (else_fn) {
+    blocks_.push_back(&s.else_block);
+    else_fn(*this);
+    blocks_.pop_back();
+  }
+  Append(std::move(s));
+}
+
+void MethodBuilder::While(CondExpr cond, const BlockFn& body_fn) {
+  Stmt s;
+  s.kind = StmtKind::kWhile;
+  s.cond = cond;
+  blocks_.push_back(&s.then_block);
+  if (body_fn) {
+    body_fn(*this);
+  }
+  blocks_.pop_back();
+  Append(std::move(s));
+}
+
+void MethodBuilder::SetLine(int32_t line) {
+  GRAPPLE_CHECK(!blocks_.back()->empty()) << "SetLine with no statement appended";
+  blocks_.back()->back().source_line = line;
+}
+
+Method MethodBuilder::Build() && {
+  GRAPPLE_CHECK_EQ(blocks_.size(), 1u) << "unbalanced blocks in " << method_.name;
+  return std::move(method_);
+}
+
+}  // namespace grapple

@@ -1,0 +1,87 @@
+// Programmatic IR construction.
+//
+// Example (the buggy FileWriter program of Figure 3b):
+//
+//   MethodBuilder mb("main");
+//   LocalId out = mb.Obj("out", "FileWriter");
+//   LocalId o = mb.Obj("o", "FileWriter");
+//   LocalId x = mb.Int("x");
+//   LocalId y = mb.Int("y");
+//   mb.Havoc(x);
+//   mb.AssignInt(y, OpLocal(x));
+//   mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGe, OpConst(0)),
+//         [&](MethodBuilder& b) {
+//           b.Alloc(out, "FileWriter");
+//           b.Event(out, "open");
+//           b.Assign(o, out);
+//           b.Bin(y, OpLocal(x), IrBinOp::kSub, OpConst(1));
+//         },
+//         [&](MethodBuilder& b) { b.Bin(y, OpLocal(x), IrBinOp::kAdd, OpConst(1)); });
+//   ...
+//   Method m = std::move(mb).Build();
+#ifndef GRAPPLE_SRC_IR_BUILDER_H_
+#define GRAPPLE_SRC_IR_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace grapple {
+
+inline Operand OpConst(int64_t value) { return Operand::Const(value); }
+inline Operand OpLocal(LocalId local) { return Operand::Local(local); }
+
+class MethodBuilder {
+ public:
+  explicit MethodBuilder(std::string name);
+
+  // --- declarations (parameters must be declared before other locals) ---
+  LocalId IntParam(const std::string& name);
+  LocalId ObjParam(const std::string& name, const std::string& type);
+  LocalId Int(const std::string& name);
+  LocalId Obj(const std::string& name, const std::string& type);
+  // Declares the method as object-returning.
+  void ReturnsObject(const std::string& type);
+
+  // --- statements, appended to the innermost open block ---
+  void Alloc(LocalId dst, const std::string& type);
+  void Assign(LocalId dst, LocalId src);
+  void Load(LocalId dst, LocalId base, const std::string& field);
+  void Store(LocalId base, const std::string& field, LocalId src);
+  void ConstInt(LocalId dst, int64_t value);
+  void Bin(LocalId dst, Operand lhs, IrBinOp op, Operand rhs);
+  // dst = lhs (integer copy / operand move).
+  void AssignInt(LocalId dst, Operand src);
+  void Havoc(LocalId dst);
+  void Call(LocalId dst, const std::string& callee, std::vector<LocalId> args);
+  void CallVoid(const std::string& callee, std::vector<LocalId> args);
+  void Ret();
+  void Ret(LocalId src);
+  void Event(LocalId receiver, const std::string& event);
+  void Nop();
+
+  using BlockFn = std::function<void(MethodBuilder&)>;
+  void If(CondExpr cond, const BlockFn& then_fn, const BlockFn& else_fn = nullptr);
+  void While(CondExpr cond, const BlockFn& body_fn);
+
+  // Attaches a source line to the most recently appended statement of the
+  // innermost block (for bug-report provenance).
+  void SetLine(int32_t line);
+
+  Method Build() &&;
+
+ private:
+  LocalId Declare(Local local);
+  void Append(Stmt stmt);
+
+  Method method_;
+  // Stack of open blocks; back() receives appended statements.
+  std::vector<std::vector<Stmt>*> blocks_;
+  bool params_closed_ = false;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_IR_BUILDER_H_

@@ -1,0 +1,243 @@
+#include "src/ir/ir.h"
+
+#include <sstream>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+size_t CountStatements(const std::vector<Stmt>& block) {
+  size_t count = 0;
+  for (const auto& stmt : block) {
+    ++count;
+    count += CountStatements(stmt.then_block);
+    count += CountStatements(stmt.else_block);
+  }
+  return count;
+}
+
+std::string OperandToString(const Method& method, const Operand& op) {
+  if (op.is_const) {
+    return std::to_string(op.value);
+  }
+  return method.locals[op.local].name;
+}
+
+std::string CondToString(const Method& method, const CondExpr& cond) {
+  if (cond.kind == CondExpr::Kind::kOpaque) {
+    return "?";
+  }
+  return OperandToString(method, cond.lhs) + " " + IrCmpOpName(cond.op) + " " +
+         OperandToString(method, cond.rhs);
+}
+
+void PrintBlock(const Method& method, const std::vector<Stmt>& block, int indent,
+                std::ostringstream* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  auto name = [&](LocalId id) -> std::string {
+    return id == kNoLocal ? "_" : method.locals[id].name;
+  };
+  for (const auto& stmt : block) {
+    switch (stmt.kind) {
+      case StmtKind::kAlloc:
+        *out << pad << name(stmt.dst) << " = new " << stmt.type_name << "\n";
+        break;
+      case StmtKind::kAssign:
+        *out << pad << name(stmt.dst) << " = " << name(stmt.src) << "\n";
+        break;
+      case StmtKind::kLoad:
+        *out << pad << name(stmt.dst) << " = " << name(stmt.base) << "." << stmt.field << "\n";
+        break;
+      case StmtKind::kStore:
+        *out << pad << name(stmt.base) << "." << stmt.field << " = " << name(stmt.src) << "\n";
+        break;
+      case StmtKind::kConstInt:
+        *out << pad << name(stmt.dst) << " = " << stmt.const_value << "\n";
+        break;
+      case StmtKind::kBinOp:
+        *out << pad << name(stmt.dst) << " = " << OperandToString(method, stmt.lhs) << " "
+             << IrBinOpName(stmt.bin_op) << " " << OperandToString(method, stmt.rhs) << "\n";
+        break;
+      case StmtKind::kHavoc:
+        *out << pad << name(stmt.dst) << " = ?\n";
+        break;
+      case StmtKind::kCall: {
+        *out << pad;
+        if (stmt.dst != kNoLocal) {
+          *out << name(stmt.dst) << " = ";
+        }
+        *out << "call " << stmt.callee << "(";
+        for (size_t i = 0; i < stmt.args.size(); ++i) {
+          if (i > 0) {
+            *out << ", ";
+          }
+          *out << name(stmt.args[i]);
+        }
+        *out << ")\n";
+        break;
+      }
+      case StmtKind::kReturn:
+        *out << pad << "return";
+        if (stmt.src != kNoLocal) {
+          *out << " " << name(stmt.src);
+        }
+        *out << "\n";
+        break;
+      case StmtKind::kEvent:
+        *out << pad << "event " << name(stmt.src) << " " << stmt.event << "\n";
+        break;
+      case StmtKind::kIf:
+        *out << pad << "if (" << CondToString(method, stmt.cond) << ") {\n";
+        PrintBlock(method, stmt.then_block, indent + 1, out);
+        if (!stmt.else_block.empty()) {
+          *out << pad << "} else {\n";
+          PrintBlock(method, stmt.else_block, indent + 1, out);
+        }
+        *out << pad << "}\n";
+        break;
+      case StmtKind::kWhile:
+        *out << pad << "while (" << CondToString(method, stmt.cond) << ") {\n";
+        PrintBlock(method, stmt.then_block, indent + 1, out);
+        *out << pad << "}\n";
+        break;
+      case StmtKind::kNop:
+        *out << pad << "nop\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* StmtKindName(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kAlloc:
+      return "alloc";
+    case StmtKind::kAssign:
+      return "assign";
+    case StmtKind::kLoad:
+      return "load";
+    case StmtKind::kStore:
+      return "store";
+    case StmtKind::kConstInt:
+      return "const";
+    case StmtKind::kBinOp:
+      return "binop";
+    case StmtKind::kHavoc:
+      return "havoc";
+    case StmtKind::kCall:
+      return "call";
+    case StmtKind::kReturn:
+      return "return";
+    case StmtKind::kEvent:
+      return "event";
+    case StmtKind::kIf:
+      return "if";
+    case StmtKind::kWhile:
+      return "while";
+    case StmtKind::kNop:
+      return "nop";
+  }
+  return "?";
+}
+
+const char* IrBinOpName(IrBinOp op) {
+  switch (op) {
+    case IrBinOp::kAdd:
+      return "+";
+    case IrBinOp::kSub:
+      return "-";
+    case IrBinOp::kMul:
+      return "*";
+  }
+  return "?";
+}
+
+const char* IrCmpOpName(IrCmpOp op) {
+  switch (op) {
+    case IrCmpOp::kEq:
+      return "==";
+    case IrCmpOp::kNe:
+      return "!=";
+    case IrCmpOp::kLt:
+      return "<";
+    case IrCmpOp::kLe:
+      return "<=";
+    case IrCmpOp::kGt:
+      return ">";
+    case IrCmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::optional<LocalId> Method::FindLocal(const std::string& local_name) const {
+  for (size_t i = 0; i < locals.size(); ++i) {
+    if (locals[i].name == local_name) {
+      return static_cast<LocalId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+MethodId Program::AddMethod(Method method) {
+  GRAPPLE_CHECK(by_name_.find(method.name) == by_name_.end())
+      << "duplicate method name: " << method.name;
+  MethodId id = static_cast<MethodId>(methods_.size());
+  by_name_.emplace(method.name, id);
+  methods_.push_back(std::move(method));
+  return id;
+}
+
+std::optional<MethodId> Program::FindMethod(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t Program::TotalStatements() const {
+  size_t total = 0;
+  for (const auto& method : methods_) {
+    total += CountStatements(method.body);
+  }
+  return total;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream out;
+  for (const auto& method : methods_) {
+    out << "method " << method.name << "(";
+    for (size_t i = 0; i < method.num_params; ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      const auto& local = method.locals[i];
+      out << (local.is_object ? "obj " : "int ") << local.name;
+      if (local.is_object) {
+        out << " : " << local.type;
+      }
+    }
+    out << ")";
+    if (method.returns_object) {
+      out << " : obj " << method.return_type;
+    }
+    out << " {\n";
+    for (size_t i = method.num_params; i < method.locals.size(); ++i) {
+      const auto& local = method.locals[i];
+      if (local.is_object) {
+        out << "  obj " << local.name << " : " << local.type << "\n";
+      } else {
+        out << "  int " << local.name << "\n";
+      }
+    }
+    PrintBlock(method, method.body, 1, &out);
+    out << "}\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace grapple

@@ -1,0 +1,174 @@
+// Grapple's program intermediate representation.
+//
+// The paper's frontend consumes Java bytecode via Soot; this reproduction
+// ships a compact structured IR with exactly the statement forms the
+// analyses care about (Figure 4 of the paper, plus integer arithmetic and
+// branches for path sensitivity, plus FSM events):
+//
+//   dst = new T            object allocation        (kAlloc)
+//   dst = src              object/int copy          (kAssign)
+//   dst = src.field        heap load                (kLoad)
+//   dst.field = src        heap store               (kStore)
+//   dst = c                integer constant         (kConstInt)
+//   dst = a op b           integer arithmetic       (kBinOp)
+//   dst = ?                unknown integer input    (kHavoc)
+//   [dst =] callee(args)   call                     (kCall)
+//   return [src]           return                   (kReturn)
+//   recv.event()           FSM event, e.g. close()  (kEvent)
+//   if (cond) {..} else {..}                        (kIf)
+//   while (cond) {..}      bounded-unrolled later   (kWhile)
+//
+// Control flow is structured (blocks nest), which keeps CFET construction in
+// src/symexec a simple tree walk. Exceptional flow is modeled explicitly by
+// frontends/generators as opaque-condition branches (see DESIGN.md).
+#ifndef GRAPPLE_SRC_IR_IR_H_
+#define GRAPPLE_SRC_IR_IR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grapple {
+
+using MethodId = uint32_t;
+using LocalId = uint32_t;
+
+inline constexpr LocalId kNoLocal = 0xFFFFFFFFu;
+inline constexpr MethodId kNoMethod = 0xFFFFFFFFu;
+
+enum class StmtKind {
+  kAlloc,
+  kAssign,
+  kLoad,
+  kStore,
+  kConstInt,
+  kBinOp,
+  kHavoc,
+  kCall,
+  kReturn,
+  kEvent,
+  kIf,
+  kWhile,
+  kNop,
+};
+
+const char* StmtKindName(StmtKind kind);
+
+enum class IrBinOp { kAdd, kSub, kMul };
+enum class IrCmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* IrBinOpName(IrBinOp op);
+const char* IrCmpOpName(IrCmpOp op);
+
+// An integer operand: either a constant or a local variable.
+struct Operand {
+  bool is_const = true;
+  int64_t value = 0;
+  LocalId local = kNoLocal;
+
+  static Operand Const(int64_t v) {
+    Operand o;
+    o.is_const = true;
+    o.value = v;
+    return o;
+  }
+  static Operand Local(LocalId l) {
+    Operand o;
+    o.is_const = false;
+    o.local = l;
+    return o;
+  }
+};
+
+// A branch condition: a comparison of two integer operands, or an opaque
+// condition the analysis must treat as either-way-feasible (used to model
+// exceptional control flow, I/O results, etc.).
+struct CondExpr {
+  enum class Kind { kCompare, kOpaque };
+  Kind kind = Kind::kOpaque;
+  IrCmpOp op = IrCmpOp::kEq;
+  Operand lhs;
+  Operand rhs;
+
+  static CondExpr Compare(Operand lhs, IrCmpOp op, Operand rhs) {
+    CondExpr c;
+    c.kind = Kind::kCompare;
+    c.op = op;
+    c.lhs = lhs;
+    c.rhs = rhs;
+    return c;
+  }
+  static CondExpr Opaque() { return CondExpr(); }
+};
+
+// One IR statement. A plain struct-of-all-fields keeps the IR trivially
+// copyable-by-value and easy to serialize; memory is not a concern at IR
+// scale (the blow-up happens later, in the cloned program graph).
+struct Stmt {
+  StmtKind kind = StmtKind::kNop;
+
+  LocalId dst = kNoLocal;       // alloc/assign/load/const/binop/havoc/call result
+  LocalId src = kNoLocal;       // assign src, store value, return value, event receiver
+  LocalId base = kNoLocal;      // load/store base object
+  std::string type_name;        // alloc: allocated type
+  std::string field;            // load/store field name
+  std::string event;            // event name, e.g. "close"
+  int64_t const_value = 0;      // constint
+  IrBinOp bin_op = IrBinOp::kAdd;
+  Operand lhs;                  // binop operands
+  Operand rhs;
+  std::string callee;           // call target (by name; resolved via Program)
+  std::vector<LocalId> args;    // call arguments
+  CondExpr cond;                // if/while condition
+  std::vector<Stmt> then_block; // if-then, or while body
+  std::vector<Stmt> else_block; // if-else
+  int32_t source_line = -1;     // for bug reports
+};
+
+// A local variable slot. Parameters occupy the first `Method::num_params`
+// slots.
+struct Local {
+  std::string name;
+  bool is_object = false;
+  std::string type;  // object type name; empty for ints
+};
+
+struct Method {
+  std::string name;
+  std::vector<Local> locals;
+  size_t num_params = 0;
+  std::vector<Stmt> body;
+  // True for object-returning methods (drives value-return edges).
+  bool returns_object = false;
+  std::string return_type;
+
+  std::optional<LocalId> FindLocal(const std::string& local_name) const;
+  const Local& LocalAt(LocalId id) const { return locals[id]; }
+};
+
+class Program {
+ public:
+  MethodId AddMethod(Method method);
+  const Method& MethodAt(MethodId id) const { return methods_[id]; }
+  Method& MutableMethod(MethodId id) { return methods_[id]; }
+  size_t NumMethods() const { return methods_.size(); }
+  std::optional<MethodId> FindMethod(const std::string& name) const;
+
+  const std::vector<Method>& methods() const { return methods_; }
+
+  // Statement count over all methods (recursing into blocks); the
+  // reproduction's analog of "lines of code".
+  size_t TotalStatements() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Method> methods_;
+  std::unordered_map<std::string, MethodId> by_name_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_IR_IR_H_

@@ -1,0 +1,178 @@
+#include "src/ir/validate.h"
+
+#include <sstream>
+
+namespace grapple {
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Program& program) : program_(program) {}
+
+  std::vector<ValidationIssue> Run() {
+    for (const auto& method : program_.methods()) {
+      method_ = &method;
+      CheckBlock(method.body);
+    }
+    return std::move(issues_);
+  }
+
+ private:
+  void Report(const Stmt& stmt, const std::string& message) {
+    issues_.push_back({method_->name, stmt.source_line, message});
+  }
+
+  bool ValidLocal(LocalId id) const { return id != kNoLocal && id < method_->locals.size(); }
+
+  bool IsObject(LocalId id) const { return ValidLocal(id) && method_->locals[id].is_object; }
+  bool IsInt(LocalId id) const { return ValidLocal(id) && !method_->locals[id].is_object; }
+
+  void CheckOperand(const Stmt& stmt, const Operand& op, const char* role) {
+    if (!op.is_const && !IsInt(op.local)) {
+      Report(stmt, std::string(role) + " operand must be an integer local");
+    }
+  }
+
+  void CheckCond(const Stmt& stmt, const CondExpr& cond) {
+    if (cond.kind == CondExpr::Kind::kCompare) {
+      CheckOperand(stmt, cond.lhs, "condition lhs");
+      CheckOperand(stmt, cond.rhs, "condition rhs");
+    }
+  }
+
+  void CheckBlock(const std::vector<Stmt>& block) {
+    for (const auto& stmt : block) {
+      CheckStmt(stmt);
+      CheckBlock(stmt.then_block);
+      CheckBlock(stmt.else_block);
+    }
+  }
+
+  void CheckStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kAlloc:
+        if (!IsObject(stmt.dst)) {
+          Report(stmt, "alloc destination must be an object local");
+        }
+        if (stmt.type_name.empty()) {
+          Report(stmt, "alloc requires a type name");
+        }
+        break;
+      case StmtKind::kAssign:
+        if (!ValidLocal(stmt.dst) || !ValidLocal(stmt.src)) {
+          Report(stmt, "assign references an invalid local");
+        } else if (method_->locals[stmt.dst].is_object != method_->locals[stmt.src].is_object) {
+          Report(stmt, "assign mixes object and integer locals");
+        }
+        break;
+      case StmtKind::kLoad:
+        if (!IsObject(stmt.base)) {
+          Report(stmt, "load base must be an object local");
+        }
+        if (!ValidLocal(stmt.dst)) {
+          Report(stmt, "load destination invalid");
+        }
+        break;
+      case StmtKind::kStore:
+        if (!IsObject(stmt.base)) {
+          Report(stmt, "store base must be an object local");
+        }
+        if (!IsObject(stmt.src)) {
+          Report(stmt, "store value must be an object local");
+        }
+        break;
+      case StmtKind::kConstInt:
+      case StmtKind::kHavoc:
+        if (!IsInt(stmt.dst)) {
+          Report(stmt, "integer statement writes a non-integer local");
+        }
+        break;
+      case StmtKind::kBinOp:
+        if (!IsInt(stmt.dst)) {
+          Report(stmt, "binop destination must be an integer local");
+        }
+        CheckOperand(stmt, stmt.lhs, "binop lhs");
+        CheckOperand(stmt, stmt.rhs, "binop rhs");
+        break;
+      case StmtKind::kEvent:
+        if (!IsObject(stmt.src)) {
+          Report(stmt, "event receiver must be an object local");
+        }
+        if (stmt.event.empty()) {
+          Report(stmt, "event requires a name");
+        }
+        break;
+      case StmtKind::kReturn:
+        if (stmt.src != kNoLocal) {
+          if (!ValidLocal(stmt.src)) {
+            Report(stmt, "return references an invalid local");
+          } else if (method_->returns_object && !IsObject(stmt.src)) {
+            Report(stmt, "method declared object-returning but returns an integer");
+          }
+        }
+        break;
+      case StmtKind::kCall: {
+        for (LocalId arg : stmt.args) {
+          if (!ValidLocal(arg)) {
+            Report(stmt, "call argument invalid");
+          }
+        }
+        auto callee_id = program_.FindMethod(stmt.callee);
+        if (!callee_id.has_value()) {
+          break;  // external API
+        }
+        const Method& callee = program_.MethodAt(*callee_id);
+        if (stmt.args.size() != callee.num_params) {
+          Report(stmt, "call to " + stmt.callee + " passes " +
+                           std::to_string(stmt.args.size()) + " args, expected " +
+                           std::to_string(callee.num_params));
+          break;
+        }
+        for (size_t p = 0; p < stmt.args.size(); ++p) {
+          if (ValidLocal(stmt.args[p]) &&
+              method_->locals[stmt.args[p]].is_object != callee.locals[p].is_object) {
+            Report(stmt, "call to " + stmt.callee + ": argument " + std::to_string(p) +
+                             " kind mismatch");
+          }
+        }
+        if (stmt.dst != kNoLocal && ValidLocal(stmt.dst)) {
+          bool dst_is_object = method_->locals[stmt.dst].is_object;
+          if (dst_is_object && !callee.returns_object) {
+            Report(stmt, "object result from non-object-returning " + stmt.callee);
+          }
+        }
+        break;
+      }
+      case StmtKind::kIf:
+      case StmtKind::kWhile:
+        CheckCond(stmt, stmt.cond);
+        break;
+      case StmtKind::kNop:
+        break;
+    }
+  }
+
+  const Program& program_;
+  const Method* method_ = nullptr;
+  std::vector<ValidationIssue> issues_;
+};
+
+}  // namespace
+
+std::string ValidationIssue::ToString() const {
+  std::ostringstream out;
+  out << method;
+  if (line >= 0) {
+    out << ":" << line;
+  }
+  out << ": " << message;
+  return out.str();
+}
+
+std::vector<ValidationIssue> ValidateProgram(const Program& program) {
+  Validator validator(program);
+  return validator.Run();
+}
+
+}  // namespace grapple

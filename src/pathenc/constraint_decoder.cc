@@ -1,0 +1,206 @@
+#include "src/pathenc/constraint_decoder.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+using FrameId = uint32_t;
+inline constexpr FrameId kNoFrame = 0xFFFFFFFFu;
+
+// One activation of a method: maps the method's template variables to
+// decode-global fresh variables.
+struct Frame {
+  MethodId method = kNoMethod;
+  std::unordered_map<VarId, VarId> rename;
+};
+
+class DecodeContext {
+ public:
+  explicit DecodeContext(const Icfet* icfet) : icfet_(icfet) {}
+
+  Constraint Run(const PathEncoding& encoding, DecodeStats* stats) {
+    for (const auto& item : encoding.items()) {
+      switch (item.kind) {
+        case PathItemKind::kInterval:
+          DecodeInterval(item, stats);
+          break;
+        case PathItemKind::kCall:
+          DecodeCall(item.site);
+          break;
+        case PathItemKind::kRet:
+          DecodeRet(item.site);
+          break;
+        case PathItemKind::kOpaque:
+          // Dropped fragments: no constraint contribution. The frame state
+          // is also unknown past this point; reset the current frame so the
+          // next fragment starts its own activation.
+          current_ = kNoFrame;
+          last_interval_valid_ = false;
+          break;
+      }
+    }
+    stats->atoms += constraint_.size();
+    return std::move(constraint_);
+  }
+
+ private:
+  FrameId NewFrame(MethodId method) {
+    frames_.push_back(Frame{method, {}});
+    return static_cast<FrameId>(frames_.size() - 1);
+  }
+
+  // The frame an item of `method` should evaluate in: the current frame if
+  // it already belongs to that method, else the most recent frame for the
+  // method, else a fresh activation.
+  FrameId FrameFor(MethodId method) {
+    if (current_ != kNoFrame && frames_[current_].method == method) {
+      return current_;
+    }
+    auto it = latest_.find(method);
+    if (it != latest_.end()) {
+      return it->second;
+    }
+    FrameId frame = NewFrame(method);
+    latest_[method] = frame;
+    return frame;
+  }
+
+  VarId GlobalOf(FrameId frame, VarId template_var) {
+    auto& rename = frames_[frame].rename;
+    auto it = rename.find(template_var);
+    if (it != rename.end()) {
+      return it->second;
+    }
+    VarId fresh = pool_.Fresh();
+    rename.emplace(template_var, fresh);
+    return fresh;
+  }
+
+  LinearExpr Reframe(FrameId frame, const LinearExpr& expr) {
+    return expr.RenameVars([&](VarId v) { return GlobalOf(frame, v); });
+  }
+
+  Atom Reframe(FrameId frame, const Atom& atom) {
+    Atom result = atom;
+    if (!atom.opaque) {
+      result.expr = Reframe(frame, atom.expr);
+    }
+    return result;
+  }
+
+  void DecodeInterval(const PathItem& item, DecodeStats* stats) {
+    if (item.method >= icfet_->NumMethods()) {
+      ++stats->invalid_intervals;
+      constraint_.And(Atom::Opaque());
+      return;
+    }
+    const MethodCfet& cfet = icfet_->OfMethod(item.method);
+    FrameId frame = FrameFor(item.method);
+    current_ = frame;
+    latest_[item.method] = frame;
+    // Backward walk (Algorithm 1): from `end` to `start`, conjoining each
+    // parent's branch condition with the polarity of the child taken.
+    CfetNodeId cur = item.end;
+    bool valid = true;
+    while (cur != item.start) {
+      if (cur == kCfetRoot) {
+        valid = false;
+        break;
+      }
+      CfetNodeId parent = MethodCfet::ParentOf(cur);
+      const CfetNode* parent_node = cfet.FindNode(parent);
+      if (parent_node == nullptr || !parent_node->has_children) {
+        valid = false;
+        break;
+      }
+      Atom atom = MethodCfet::IsTrueChild(cur) ? parent_node->cond : parent_node->cond.Negated();
+      constraint_.And(Reframe(frame, atom));
+      cur = parent;
+    }
+    if (!valid) {
+      // Inconsistent interval (should not happen for encodings produced by
+      // this system); weaken to `true` rather than mis-prune.
+      ++stats->invalid_intervals;
+      constraint_.And(Atom::Opaque());
+    }
+    last_interval_valid_ = true;
+    last_interval_method_ = item.method;
+    last_interval_end_ = item.end;
+  }
+
+  void DecodeCall(CallSiteId site_id) {
+    if (site_id >= icfet_->NumCallSites()) {
+      current_ = kNoFrame;
+      return;
+    }
+    const CallSite& site = icfet_->CallSiteAt(site_id);
+    FrameId caller = FrameFor(site.caller);
+    FrameId callee = NewFrame(site.callee);
+    latest_[site.callee] = callee;
+    // Parameter passing: callee param (fresh activation) == caller expr.
+    for (const auto& [param_var, caller_expr] : site.param_eqs) {
+      LinearExpr lhs = LinearExpr::Var(GlobalOf(callee, param_var));
+      constraint_.And(Atom::Compare(lhs, Cmp::kEq, Reframe(caller, caller_expr)));
+    }
+    call_stack_.push_back(caller);
+    current_ = callee;
+    last_interval_valid_ = false;
+  }
+
+  void DecodeRet(CallSiteId site_id) {
+    if (site_id >= icfet_->NumCallSites()) {
+      current_ = kNoFrame;
+      return;
+    }
+    const CallSite& site = icfet_->CallSiteAt(site_id);
+    FrameId callee = FrameFor(site.callee);
+    FrameId caller;
+    if (!call_stack_.empty() && frames_[call_stack_.back()].method == site.caller) {
+      caller = call_stack_.back();
+      call_stack_.pop_back();
+    } else {
+      // Return without a matching call in this encoding (the flow started
+      // inside the callee): open a fresh caller activation.
+      caller = NewFrame(site.caller);
+    }
+    latest_[site.caller] = caller;
+    // Bind the caller's call-result variable to the callee's symbolic return
+    // value at the leaf the preceding interval ended at.
+    if (site.result_var != kInvalidVar && last_interval_valid_ &&
+        last_interval_method_ == site.callee) {
+      const CfetNode* leaf = icfet_->OfMethod(site.callee).FindNode(last_interval_end_);
+      if (leaf != nullptr && leaf->return_int.has_value()) {
+        LinearExpr lhs = LinearExpr::Var(GlobalOf(caller, site.result_var));
+        constraint_.And(Atom::Compare(lhs, Cmp::kEq, Reframe(callee, *leaf->return_int)));
+      }
+    }
+    current_ = caller;
+    last_interval_valid_ = false;
+  }
+
+  const Icfet* icfet_;
+  Constraint constraint_;
+  VarPool pool_;
+  std::vector<Frame> frames_;
+  std::unordered_map<MethodId, FrameId> latest_;
+  std::vector<FrameId> call_stack_;
+  FrameId current_ = kNoFrame;
+  bool last_interval_valid_ = false;
+  MethodId last_interval_method_ = kNoMethod;
+  CfetNodeId last_interval_end_ = kCfetRoot;
+};
+
+}  // namespace
+
+Constraint PathDecoder::Decode(const PathEncoding& encoding) {
+  ++stats_.decodes;
+  DecodeContext context(icfet_);
+  return context.Run(encoding, &stats_);
+}
+
+}  // namespace grapple

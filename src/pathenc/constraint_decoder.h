@@ -1,0 +1,56 @@
+// Path decoding: interval encoding -> path constraint (§3.1 Algorithm 1,
+// extended interprocedurally per §3.2).
+//
+// Decoding an interval [start, end] walks parent links from `end` back to
+// `start`; each step contributes the parent's branch condition, with
+// polarity recovered from the child's parity (true child IDs are even).
+// Crossing a call edge opens a *fresh variable frame* for the callee so two
+// sequential calls to the same method do not alias symbolic variables, and
+// conjoins the call site's parameter-passing equations; crossing a return
+// edge restores the caller frame and binds the call-result variable to the
+// callee's symbolic return value.
+#ifndef GRAPPLE_SRC_PATHENC_CONSTRAINT_DECODER_H_
+#define GRAPPLE_SRC_PATHENC_CONSTRAINT_DECODER_H_
+
+#include <cstdint>
+
+#include "src/pathenc/path_encoding.h"
+#include "src/smt/constraint.h"
+#include "src/symexec/cfet.h"
+
+namespace grapple {
+
+struct DecodeStats {
+  uint64_t decodes = 0;
+  uint64_t atoms = 0;
+  uint64_t invalid_intervals = 0;
+
+  void Merge(const DecodeStats& other) {
+    decodes += other.decodes;
+    atoms += other.atoms;
+    invalid_intervals += other.invalid_intervals;
+  }
+};
+
+// Thread-compatible: create one decoder per worker thread. The Icfet must
+// outlive the decoder.
+class PathDecoder {
+ public:
+  explicit PathDecoder(const Icfet* icfet) : icfet_(icfet) {}
+
+  // Decodes the encoding into its path constraint. Fresh (frame-scoped)
+  // variables are minted per call; variable IDs are only meaningful within
+  // the returned constraint.
+  Constraint Decode(const PathEncoding& encoding);
+
+  const DecodeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DecodeStats(); }
+
+ private:
+  const Icfet* icfet_;
+  DecodeStats stats_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_PATHENC_CONSTRAINT_DECODER_H_

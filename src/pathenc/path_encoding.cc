@@ -1,0 +1,231 @@
+#include "src/pathenc/path_encoding.h"
+
+#include <sstream>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+// One fusion pass: merges adjacent contiguous intervals of the same method.
+// Returns true when anything changed.
+bool FusePass(std::vector<PathItem>* items) {
+  bool changed = false;
+  std::vector<PathItem> out;
+  out.reserve(items->size());
+  for (const auto& item : *items) {
+    if (!out.empty() && item.kind == PathItemKind::kInterval &&
+        out.back().kind == PathItemKind::kInterval && out.back().method == item.method &&
+        out.back().end == item.start) {
+      out.back().end = item.end;
+      changed = true;
+      continue;
+    }
+    // Collapse runs of opaque markers.
+    if (!out.empty() && item.kind == PathItemKind::kOpaque &&
+        out.back().kind == PathItemKind::kOpaque) {
+      changed = true;
+      continue;
+    }
+    out.push_back(item);
+  }
+  *items = std::move(out);
+  return changed;
+}
+
+// One cancellation pass: removes matched (call_i, [callee-root interval],
+// ret_i) groups — the callee part is "completed" (§4.2 case 3).
+bool CancelPass(std::vector<PathItem>* items) {
+  for (size_t i = 0; i + 1 < items->size(); ++i) {
+    const PathItem& call = (*items)[i];
+    if (call.kind != PathItemKind::kCall) {
+      continue;
+    }
+    // call immediately followed by matching ret
+    if ((*items)[i + 1].kind == PathItemKind::kRet && (*items)[i + 1].site == call.site) {
+      items->erase(items->begin() + static_cast<ptrdiff_t>(i),
+                   items->begin() + static_cast<ptrdiff_t>(i) + 2);
+      return true;
+    }
+    // call, root-anchored interval, matching ret
+    if (i + 2 < items->size() && (*items)[i + 1].kind == PathItemKind::kInterval &&
+        (*items)[i + 1].start == kCfetRoot && (*items)[i + 2].kind == PathItemKind::kRet &&
+        (*items)[i + 2].site == call.site) {
+      items->erase(items->begin() + static_cast<ptrdiff_t>(i),
+                   items->begin() + static_cast<ptrdiff_t>(i) + 3);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PathEncoding PathEncoding::Interval(MethodId method, CfetNodeId start, CfetNodeId end) {
+  PathEncoding enc;
+  PathItem item;
+  item.kind = PathItemKind::kInterval;
+  item.method = method;
+  item.start = start;
+  item.end = end;
+  enc.items_.push_back(item);
+  return enc;
+}
+
+PathEncoding PathEncoding::CallEdge(CallSiteId site) {
+  PathEncoding enc;
+  PathItem item;
+  item.kind = PathItemKind::kCall;
+  item.site = site;
+  enc.items_.push_back(item);
+  return enc;
+}
+
+PathEncoding PathEncoding::RetEdge(CallSiteId site) {
+  PathEncoding enc;
+  PathItem item;
+  item.kind = PathItemKind::kRet;
+  item.site = site;
+  enc.items_.push_back(item);
+  return enc;
+}
+
+PathEncoding PathEncoding::Opaque() {
+  PathEncoding enc;
+  PathItem item;
+  item.kind = PathItemKind::kOpaque;
+  enc.items_.push_back(item);
+  return enc;
+}
+
+PathEncoding PathEncoding::Append(const PathEncoding& a, const PathEncoding& b,
+                                  size_t max_items) {
+  PathEncoding result;
+  result.items_.reserve(a.items_.size() + b.items_.size());
+  result.items_.insert(result.items_.end(), a.items_.begin(), a.items_.end());
+  result.items_.insert(result.items_.end(), b.items_.begin(), b.items_.end());
+  FusePass(&result.items_);
+  if (result.items_.size() > max_items) {
+    // Keep a prefix and suffix; stand in for the dropped middle with an
+    // opaque marker.
+    size_t keep = max_items / 2;
+    std::vector<PathItem> capped(result.items_.begin(),
+                                 result.items_.begin() + static_cast<ptrdiff_t>(keep));
+    PathItem opaque;
+    opaque.kind = PathItemKind::kOpaque;
+    capped.push_back(opaque);
+    capped.insert(capped.end(), result.items_.end() - static_cast<ptrdiff_t>(keep),
+                  result.items_.end());
+    result.items_ = std::move(capped);
+  }
+  return result;
+}
+
+PathEncoding PathEncoding::Compact() const {
+  PathEncoding result = *this;
+  // Fixed point of fuse + cancel. Each pass strictly shrinks or stops, so
+  // this terminates in O(n) passes.
+  for (;;) {
+    bool fused = FusePass(&result.items_);
+    bool cancelled = CancelPass(&result.items_);
+    if (!fused && !cancelled) {
+      break;
+    }
+  }
+  return result;
+}
+
+PathEncoding PathEncoding::Merge(const PathEncoding& a, const PathEncoding& b,
+                                 size_t max_items) {
+  return Append(a, b, max_items).Compact();
+}
+
+void PathEncoding::Serialize(std::vector<uint8_t>* out) const {
+  PutVarint64(out, items_.size());
+  for (const auto& item : items_) {
+    out->push_back(static_cast<uint8_t>(item.kind));
+    switch (item.kind) {
+      case PathItemKind::kInterval:
+        PutVarint64(out, item.method);
+        PutVarint64(out, item.start);
+        PutVarint64(out, item.end);
+        break;
+      case PathItemKind::kCall:
+      case PathItemKind::kRet:
+        PutVarint64(out, item.site);
+        break;
+      case PathItemKind::kOpaque:
+        break;
+    }
+  }
+}
+
+PathEncoding PathEncoding::Deserialize(ByteReader* reader) {
+  PathEncoding enc;
+  uint64_t count = reader->GetVarint64();
+  for (uint64_t i = 0; i < count && reader->ok(); ++i) {
+    PathItem item;
+    uint8_t tag = 0;
+    if (!reader->GetRaw(&tag, 1)) {
+      break;
+    }
+    item.kind = static_cast<PathItemKind>(tag);
+    switch (item.kind) {
+      case PathItemKind::kInterval:
+        item.method = static_cast<MethodId>(reader->GetVarint64());
+        item.start = reader->GetVarint64();
+        item.end = reader->GetVarint64();
+        break;
+      case PathItemKind::kCall:
+      case PathItemKind::kRet:
+        item.site = static_cast<CallSiteId>(reader->GetVarint64());
+        break;
+      case PathItemKind::kOpaque:
+        break;
+    }
+    enc.items_.push_back(item);
+  }
+  return enc;
+}
+
+size_t PathEncoding::HashValue() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const auto& item : items_) {
+    h = (h ^ static_cast<size_t>(item.kind)) * 0x100000001b3ULL;
+    h = (h ^ item.method) * 0x100000001b3ULL;
+    h = (h ^ item.start) * 0x100000001b3ULL;
+    h = (h ^ item.end) * 0x100000001b3ULL;
+    h = (h ^ item.site) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string PathEncoding::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    const auto& item = items_[i];
+    switch (item.kind) {
+      case PathItemKind::kInterval:
+        out << "m" << item.method << "[" << item.start << "," << item.end << "]";
+        break;
+      case PathItemKind::kCall:
+        out << "(c" << item.site;
+        break;
+      case PathItemKind::kRet:
+        out << ")c" << item.site;
+        break;
+      case PathItemKind::kOpaque:
+        out << "...";
+        break;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace grapple

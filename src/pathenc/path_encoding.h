@@ -1,0 +1,105 @@
+// Interval-based path-constraint encoding (§3, §4.2).
+//
+// Instead of attaching a boolean formula to every program-graph edge,
+// Grapple attaches a compact *encoding* of the control-flow path the edge
+// summarizes: a sequence of CFET intervals connected by ICFET call/return
+// edge IDs. The encoding is lossless — the decoder (constraint_decoder.h)
+// walks the in-memory ICFET to recover the path's constraint on demand.
+//
+// Merging two encodings when a transitive edge is induced follows the
+// paper's four cases:
+//   1. {[a,b]} + {[b,c]}                 -> {[a,c]}             (fusion)
+//   2. {[a,b]} + {c_i}                   -> {[a,b], c_i, [0,0]}
+//   3. {[a,b], c_i, [0,0]} + {[0,d], r_i, [b,c]} -> {[a,c]}    (cancellation)
+//   4. unmatched calls simply extend the sequence.
+// Non-contiguous juxtapositions (e.g. the two flows joined by an `alias`
+// edge) stay as separate fragments whose constraints are conjoined at
+// decode time.
+#ifndef GRAPPLE_SRC_PATHENC_PATH_ENCODING_H_
+#define GRAPPLE_SRC_PATHENC_PATH_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/byte_io.h"
+#include "src/symexec/cfet.h"
+
+namespace grapple {
+
+enum class PathItemKind : uint8_t {
+  kInterval = 0,  // [start, end] within one method's CFET
+  kCall = 1,      // ICFET call edge (call-site ID)
+  kRet = 2,       // ICFET return edge (call-site ID)
+  kOpaque = 3,    // dropped fragments (encoding-length cap); decodes to true
+};
+
+struct PathItem {
+  PathItemKind kind = PathItemKind::kOpaque;
+  MethodId method = kNoMethod;  // kInterval
+  CfetNodeId start = 0;         // kInterval
+  CfetNodeId end = 0;           // kInterval
+  CallSiteId site = kNoCallSite;  // kCall / kRet
+
+  bool operator==(const PathItem& other) const {
+    return kind == other.kind && method == other.method && start == other.start &&
+           end == other.end && site == other.site;
+  }
+};
+
+class PathEncoding {
+ public:
+  PathEncoding() = default;
+
+  // The trivially-true encoding (used for e.g. context-insensitive SCC
+  // parameter edges).
+  static PathEncoding Empty() { return PathEncoding(); }
+  static PathEncoding Interval(MethodId method, CfetNodeId start, CfetNodeId end);
+  static PathEncoding CallEdge(CallSiteId site);
+  static PathEncoding RetEdge(CallSiteId site);
+  static PathEncoding Opaque();
+
+  const std::vector<PathItem>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+  // Concatenates a then b, fusing contiguous intervals — the *full* path,
+  // whose decoded constraint is what feasibility is checked against (the
+  // paper's "compute combined constraints", §4.2). `max_items` caps the
+  // result length: overlong encodings drop middle fragments behind a
+  // kOpaque marker (constraints weaken toward `true`, which
+  // over-approximates feasibility).
+  static PathEncoding Append(const PathEncoding& a, const PathEncoding& b,
+                             size_t max_items = 64);
+
+  // The paper's "compute a new encoding" step: cancels matched
+  // (call_i, [root-anchored interval], ret_i) groups — completed callees —
+  // and re-fuses. This is what gets *stored* on the induced edge; the
+  // cancelled callee constraints were already checked when this edge was
+  // induced, and dropping them bounds encoding growth by call depth.
+  PathEncoding Compact() const;
+
+  // Append followed by Compact (the end-to-end merge of §4.2's four cases).
+  static PathEncoding Merge(const PathEncoding& a, const PathEncoding& b,
+                            size_t max_items = 64);
+
+  // Wire format: varint item count, then per-item tag + varint payload.
+  void Serialize(std::vector<uint8_t>* out) const;
+  static PathEncoding Deserialize(ByteReader* reader);
+
+  bool operator==(const PathEncoding& other) const { return items_ == other.items_; }
+  size_t HashValue() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PathItem> items_;
+};
+
+struct PathEncodingHash {
+  size_t operator()(const PathEncoding& enc) const { return enc.HashValue(); }
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_PATHENC_PATH_ENCODING_H_

@@ -1,0 +1,141 @@
+#include "src/smt/constraint.h"
+
+#include <sstream>
+
+namespace grapple {
+
+const char* CmpName(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq:
+      return "==";
+    case Cmp::kNe:
+      return "!=";
+    case Cmp::kLe:
+      return "<=";
+    case Cmp::kLt:
+      return "<";
+    case Cmp::kGe:
+      return ">=";
+    case Cmp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+Cmp NegateCmp(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq:
+      return Cmp::kNe;
+    case Cmp::kNe:
+      return Cmp::kEq;
+    case Cmp::kLe:
+      return Cmp::kGt;
+    case Cmp::kLt:
+      return Cmp::kGe;
+    case Cmp::kGe:
+      return Cmp::kLt;
+    case Cmp::kGt:
+      return Cmp::kLe;
+  }
+  return Cmp::kEq;
+}
+
+Atom Atom::Compare(const LinearExpr& lhs, Cmp cmp, const LinearExpr& rhs) {
+  Atom atom;
+  atom.expr = lhs.Sub(rhs);
+  atom.cmp = cmp;
+  return atom;
+}
+
+Atom Atom::True() {
+  Atom atom;
+  atom.expr = LinearExpr::Constant(0);
+  atom.cmp = Cmp::kEq;
+  return atom;
+}
+
+Atom Atom::Opaque() {
+  Atom atom;
+  atom.opaque = true;
+  return atom;
+}
+
+Atom Atom::Negated() const {
+  Atom result = *this;
+  if (!opaque) {
+    result.cmp = NegateCmp(cmp);
+  }
+  return result;
+}
+
+std::optional<bool> Atom::TrivialValue() const {
+  if (opaque) {
+    return std::nullopt;
+  }
+  if (!expr.IsConstant()) {
+    return std::nullopt;
+  }
+  int64_t value = expr.constant();
+  switch (cmp) {
+    case Cmp::kEq:
+      return value == 0;
+    case Cmp::kNe:
+      return value != 0;
+    case Cmp::kLe:
+      return value <= 0;
+    case Cmp::kLt:
+      return value < 0;
+    case Cmp::kGe:
+      return value >= 0;
+    case Cmp::kGt:
+      return value > 0;
+  }
+  return std::nullopt;
+}
+
+std::string Atom::ToString(const std::function<std::string(VarId)>& name_of) const {
+  if (opaque) {
+    return "<opaque>";
+  }
+  return expr.ToString(name_of) + " " + CmpName(cmp) + " 0";
+}
+
+void Constraint::And(Atom atom) {
+  auto trivial = atom.TrivialValue();
+  if (trivial.has_value() && *trivial) {
+    return;  // drop tautologies so constraint keys stay small
+  }
+  atoms_.push_back(std::move(atom));
+}
+
+void Constraint::And(const Constraint& other) {
+  for (const auto& atom : other.atoms_) {
+    And(atom);
+  }
+}
+
+Constraint Constraint::RenameVars(const std::function<VarId(VarId)>& f) const {
+  Constraint result;
+  for (const auto& atom : atoms_) {
+    Atom renamed = atom;
+    renamed.expr = atom.expr.RenameVars(f);
+    result.atoms_.push_back(std::move(renamed));
+  }
+  return result;
+}
+
+std::string Constraint::ToString(const std::function<std::string(VarId)>& name_of) const {
+  if (atoms_.empty()) {
+    return "true";
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) {
+      out << " & ";
+    }
+    out << atoms_[i].ToString(name_of);
+  }
+  return out.str();
+}
+
+}  // namespace grapple

@@ -1,0 +1,80 @@
+// Atoms and conjunctive constraints.
+//
+// A decoded Grapple path constraint is a conjunction of atoms: linear
+// comparisons from branch conditions (with polarity) plus linear equalities
+// modeling parameter passing (§3.2). Opaque atoms stand in for conditions the
+// frontend could not express linearly; the solver treats them as satisfiable,
+// which over-approximates feasibility (a warning is never suppressed by an
+// unsound "unsat").
+#ifndef GRAPPLE_SRC_SMT_CONSTRAINT_H_
+#define GRAPPLE_SRC_SMT_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/smt/linear_expr.h"
+
+namespace grapple {
+
+enum class Cmp {
+  kEq,  // expr == 0
+  kNe,  // expr != 0
+  kLe,  // expr <= 0
+  kLt,  // expr <  0
+  kGe,  // expr >= 0
+  kGt,  // expr >  0
+};
+
+const char* CmpName(Cmp cmp);
+Cmp NegateCmp(Cmp cmp);
+
+// One atomic condition `expr cmp 0`.
+struct Atom {
+  LinearExpr expr;
+  Cmp cmp = Cmp::kEq;
+  bool opaque = false;  // non-linear / unknown condition: assumed satisfiable
+
+  // Builds the atom `lhs cmp rhs`.
+  static Atom Compare(const LinearExpr& lhs, Cmp cmp, const LinearExpr& rhs);
+  static Atom True();
+  static Atom Opaque();
+
+  Atom Negated() const;
+
+  // Trivially true / false under constant folding; nullopt when undecided.
+  // Opaque atoms are never trivially false.
+  std::optional<bool> TrivialValue() const;
+
+  bool operator==(const Atom& other) const {
+    return cmp == other.cmp && opaque == other.opaque && expr == other.expr;
+  }
+
+  std::string ToString(const std::function<std::string(VarId)>& name_of = nullptr) const;
+};
+
+// A conjunction of atoms.
+class Constraint {
+ public:
+  Constraint() = default;
+
+  static Constraint True() { return Constraint(); }
+
+  void And(Atom atom);
+  void And(const Constraint& other);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  bool IsTriviallyTrue() const { return atoms_.empty(); }
+  size_t size() const { return atoms_.size(); }
+
+  // Applies a variable renaming to every atom.
+  Constraint RenameVars(const std::function<VarId(VarId)>& f) const;
+
+  std::string ToString(const std::function<std::string(VarId)>& name_of = nullptr) const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SMT_CONSTRAINT_H_

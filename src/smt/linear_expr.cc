@@ -1,0 +1,199 @@
+#include "src/smt/linear_expr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+LinearExpr LinearExpr::Constant(int64_t value) {
+  LinearExpr e;
+  e.constant_ = value;
+  return e;
+}
+
+LinearExpr LinearExpr::Var(VarId var) { return Term(var, 1); }
+
+LinearExpr LinearExpr::Term(VarId var, int64_t coeff) {
+  LinearExpr e;
+  if (coeff != 0) {
+    e.terms_.emplace_back(var, coeff);
+  }
+  return e;
+}
+
+int64_t LinearExpr::CoefficientOf(VarId var) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), var,
+                             [](const auto& term, VarId v) { return term.first < v; });
+  if (it != terms_.end() && it->first == var) {
+    return it->second;
+  }
+  return 0;
+}
+
+LinearExpr LinearExpr::Add(const LinearExpr& other) const {
+  LinearExpr result;
+  result.constant_ = constant_ + other.constant_;
+  result.terms_.reserve(terms_.size() + other.terms_.size());
+  auto a = terms_.begin();
+  auto b = other.terms_.begin();
+  while (a != terms_.end() || b != other.terms_.end()) {
+    if (b == other.terms_.end() || (a != terms_.end() && a->first < b->first)) {
+      result.terms_.push_back(*a++);
+    } else if (a == terms_.end() || b->first < a->first) {
+      result.terms_.push_back(*b++);
+    } else {
+      int64_t coeff = a->second + b->second;
+      if (coeff != 0) {
+        result.terms_.emplace_back(a->first, coeff);
+      }
+      ++a;
+      ++b;
+    }
+  }
+  return result;
+}
+
+LinearExpr LinearExpr::Sub(const LinearExpr& other) const { return Add(other.Negate()); }
+
+LinearExpr LinearExpr::Scale(int64_t factor) const {
+  LinearExpr result;
+  if (factor == 0) {
+    return result;
+  }
+  result.constant_ = constant_ * factor;
+  result.terms_.reserve(terms_.size());
+  for (const auto& [var, coeff] : terms_) {
+    result.terms_.emplace_back(var, coeff * factor);
+  }
+  return result;
+}
+
+LinearExpr LinearExpr::AddConstant(int64_t value) const {
+  LinearExpr result = *this;
+  result.constant_ += value;
+  return result;
+}
+
+LinearExpr LinearExpr::Substitute(VarId var, const LinearExpr& replacement) const {
+  int64_t coeff = CoefficientOf(var);
+  if (coeff == 0) {
+    return *this;
+  }
+  LinearExpr without = *this;
+  auto it = std::lower_bound(without.terms_.begin(), without.terms_.end(), var,
+                             [](const auto& term, VarId v) { return term.first < v; });
+  without.terms_.erase(it);
+  return without.Add(replacement.Scale(coeff));
+}
+
+LinearExpr LinearExpr::RenameVars(const std::function<VarId(VarId)>& f) const {
+  LinearExpr result;
+  result.constant_ = constant_;
+  result.terms_.reserve(terms_.size());
+  for (const auto& [var, coeff] : terms_) {
+    result.terms_.emplace_back(f(var), coeff);
+  }
+  result.Canonicalize();
+  return result;
+}
+
+std::optional<int64_t> LinearExpr::Evaluate(
+    const std::function<std::optional<int64_t>(VarId)>& value_of) const {
+  int64_t total = constant_;
+  for (const auto& [var, coeff] : terms_) {
+    auto value = value_of(var);
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    total += coeff * *value;
+  }
+  return total;
+}
+
+int64_t LinearExpr::TermGcd() const {
+  int64_t g = 0;
+  for (const auto& [var, coeff] : terms_) {
+    g = std::gcd(g, coeff < 0 ? -coeff : coeff);
+  }
+  return g;
+}
+
+std::string LinearExpr::ToString(const std::function<std::string(VarId)>& name_of) const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [var, coeff] : terms_) {
+    std::string name = name_of ? name_of(var) : ("v" + std::to_string(var));
+    if (first) {
+      if (coeff == 1) {
+        out << name;
+      } else if (coeff == -1) {
+        out << "-" << name;
+      } else {
+        out << coeff << "*" << name;
+      }
+      first = false;
+    } else {
+      int64_t abs = coeff < 0 ? -coeff : coeff;
+      out << (coeff < 0 ? " - " : " + ");
+      if (abs == 1) {
+        out << name;
+      } else {
+        out << abs << "*" << name;
+      }
+    }
+  }
+  if (first) {
+    out << constant_;
+  } else if (constant_ > 0) {
+    out << " + " << constant_;
+  } else if (constant_ < 0) {
+    out << " - " << -constant_;
+  }
+  return out.str();
+}
+
+size_t LinearExpr::HashValue() const {
+  size_t h = std::hash<int64_t>{}(constant_);
+  for (const auto& [var, coeff] : terms_) {
+    h = h * 1000003u + std::hash<uint64_t>{}((static_cast<uint64_t>(var) << 32) ^
+                                             static_cast<uint64_t>(coeff));
+  }
+  return h;
+}
+
+void LinearExpr::Canonicalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<VarId, int64_t>> merged;
+  merged.reserve(terms_.size());
+  for (const auto& [var, coeff] : terms_) {
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coeff;
+    } else {
+      merged.emplace_back(var, coeff);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& term) { return term.second == 0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+VarId VarPool::Fresh(std::string name) {
+  VarId id = static_cast<VarId>(names_.size());
+  if (name.empty()) {
+    name = "v" + std::to_string(id);
+  }
+  names_.push_back(std::move(name));
+  return id;
+}
+
+const std::string& VarPool::NameOf(VarId var) const {
+  GRAPPLE_CHECK_LT(var, names_.size());
+  return names_[var];
+}
+
+}  // namespace grapple

@@ -1,0 +1,92 @@
+// Linear integer expressions: c0 + sum(ci * vi).
+//
+// This is the term language of Grapple's constraint solver. Branch
+// conditions produced by symbolic execution, and the parameter-passing
+// equations attached to ICFET call/return edges, are all comparisons between
+// linear expressions over symbolic variables; anything non-linear is modeled
+// by a fresh opaque variable (see SymStore in src/symexec).
+#ifndef GRAPPLE_SRC_SMT_LINEAR_EXPR_H_
+#define GRAPPLE_SRC_SMT_LINEAR_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grapple {
+
+// Identifies a symbolic integer variable. IDs are minted by VarPool.
+using VarId = uint32_t;
+
+inline constexpr VarId kInvalidVar = 0xFFFFFFFFu;
+
+// Immutable-ish linear expression. Terms are kept sorted by VarId with no
+// zero coefficients, so equal expressions have equal representations (which
+// makes hashing/memoization exact).
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+
+  static LinearExpr Constant(int64_t value);
+  static LinearExpr Var(VarId var);
+  static LinearExpr Term(VarId var, int64_t coeff);
+
+  int64_t constant() const { return constant_; }
+  const std::vector<std::pair<VarId, int64_t>>& terms() const { return terms_; }
+
+  bool IsConstant() const { return terms_.empty(); }
+  // The coefficient of `var` (0 when absent).
+  int64_t CoefficientOf(VarId var) const;
+
+  LinearExpr Add(const LinearExpr& other) const;
+  LinearExpr Sub(const LinearExpr& other) const;
+  LinearExpr Scale(int64_t factor) const;
+  LinearExpr Negate() const { return Scale(-1); }
+  LinearExpr AddConstant(int64_t value) const;
+
+  // Replaces `var` with `replacement` throughout.
+  LinearExpr Substitute(VarId var, const LinearExpr& replacement) const;
+
+  // Applies `f` to every variable ID (used to re-frame callee variables per
+  // call occurrence during path decoding).
+  LinearExpr RenameVars(const std::function<VarId(VarId)>& f) const;
+
+  // Evaluates under a total assignment; nullopt if any variable is missing.
+  std::optional<int64_t> Evaluate(const std::function<std::optional<int64_t>(VarId)>& value_of) const;
+
+  bool operator==(const LinearExpr& other) const {
+    return constant_ == other.constant_ && terms_ == other.terms_;
+  }
+  bool operator!=(const LinearExpr& other) const { return !(*this == other); }
+
+  // GCD of all term coefficients (0 when there are no terms).
+  int64_t TermGcd() const;
+
+  std::string ToString(const std::function<std::string(VarId)>& name_of = nullptr) const;
+
+  size_t HashValue() const;
+
+ private:
+  void Canonicalize();
+
+  int64_t constant_ = 0;
+  std::vector<std::pair<VarId, int64_t>> terms_;
+};
+
+// Mints fresh variable IDs, optionally with debug names. Thread-compatible
+// (callers serialize; the decoder owns a private pool per decode).
+class VarPool {
+ public:
+  VarId Fresh(std::string name = "");
+  size_t size() const { return names_.size(); }
+  const std::string& NameOf(VarId var) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SMT_LINEAR_EXPR_H_

@@ -1,0 +1,83 @@
+// Grapple's built-in constraint solver.
+//
+// The paper uses Z3; this reproduction ships a self-contained decision
+// procedure for the fragment Grapple actually emits: conjunctions of linear
+// integer comparisons (branch conditions and their negations) plus linear
+// equalities (parameter passing). The procedure is:
+//
+//   1. equality elimination: substitute away variables with unit
+//      coefficients; gcd-check remaining equalities,
+//   2. disequality case-splitting: x != y becomes (x < y) or (x > y),
+//      capped to avoid exponential blow-up,
+//   3. Fourier-Motzkin elimination with integer tightening
+//      (divide each inequality by the gcd of its coefficients and floor the
+//      constant) for the remaining <= system.
+//
+// UNSAT answers are exact for this fragment up to FM's integer
+// incompleteness (rational-feasible but integer-infeasible systems are
+// answered kSat); blow-up caps and opaque (non-linear) atoms yield kUnknown.
+// The graph engine keeps a path unless the solver proves it infeasible, so
+// both approximations only ever keep warnings, never suppress them.
+#ifndef GRAPPLE_SRC_SMT_SOLVER_H_
+#define GRAPPLE_SRC_SMT_SOLVER_H_
+
+#include <cstdint>
+
+#include "src/smt/constraint.h"
+
+namespace grapple {
+
+enum class SolveResult {
+  kSat,
+  kUnsat,
+  kUnknown,  // resource cap or opaque-only uncertainty; callers treat as sat
+};
+
+const char* SolveResultName(SolveResult result);
+
+struct SolverLimits {
+  // Maximum number of disequality case-splits explored per solve.
+  size_t max_ne_splits = 12;
+  // Maximum number of live inequalities during Fourier-Motzkin.
+  size_t max_inequalities = 4096;
+  // Maximum distinct variables considered before giving up.
+  size_t max_variables = 512;
+};
+
+struct SolverStats {
+  uint64_t solves = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  uint64_t fm_eliminations = 0;
+  uint64_t ne_splits = 0;
+
+  void Merge(const SolverStats& other) {
+    solves += other.solves;
+    sat += other.sat;
+    unsat += other.unsat;
+    unknown += other.unknown;
+    fm_eliminations += other.fm_eliminations;
+    ne_splits += other.ne_splits;
+  }
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverLimits limits = SolverLimits()) : limits_(limits) {}
+
+  // Decides satisfiability of the conjunction. Thread-compatible: use one
+  // Solver per worker thread.
+  SolveResult Solve(const Constraint& constraint);
+
+  const SolverStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SolverStats(); }
+
+ private:
+  SolverLimits limits_;
+  SolverStats stats_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SMT_SOLVER_H_

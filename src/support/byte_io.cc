@@ -1,0 +1,184 @@
+#include "src/support/byte_io.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+void PutVarint64(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+void PutVarintSigned64(std::vector<uint8_t>* out, int64_t value) {
+  uint64_t zigzag = (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(out, zigzag);
+}
+
+void PutFixed32(std::vector<uint8_t>* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void PutFixed64(std::vector<uint8_t>* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+uint64_t ByteReader::GetVarint64() {
+  uint64_t result = 0;
+  int shift = 0;
+  while (ok_) {
+    if (pos_ >= size_ || shift > 63) {
+      ok_ = false;
+      return 0;
+    }
+    uint8_t byte = data_[pos_++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return result;
+    }
+    shift += 7;
+  }
+  return 0;
+}
+
+int64_t ByteReader::GetVarintSigned64() {
+  uint64_t zigzag = GetVarint64();
+  return static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+uint32_t ByteReader::GetFixed32() {
+  if (!ok_ || pos_ + 4 > size_) {
+    ok_ = false;
+    return 0;
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+uint64_t ByteReader::GetFixed64() {
+  if (!ok_ || pos_ + 8 > size_) {
+    ok_ = false;
+    return 0;
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+bool ByteReader::GetRaw(uint8_t* out, size_t n) {
+  if (!ok_ || pos_ + n > size_) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (!ok_ || pos_ + n > size_) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool AppendFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return false;
+  }
+  std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  bytes->resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes->data()), size);
+  }
+  return static_cast<bool>(in);
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+int64_t FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? -1 : static_cast<int64_t>(size);
+}
+
+bool RemoveFile(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::remove(path, ec);
+}
+
+TempDir::TempDir(const std::string& tag) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = counter.fetch_add(1);
+  std::error_code ec;
+  auto base = std::filesystem::temp_directory_path(ec);
+  GRAPPLE_CHECK(!ec) << "no temp directory available";
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::string name = tag + "-" + std::to_string(::getpid()) + "-" + std::to_string(id) + "-" +
+                       std::to_string(attempt);
+    auto candidate = base / name;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = candidate.string();
+      return;
+    }
+  }
+  GRAPPLE_LOG(FATAL) << "failed to create temp dir for tag " << tag;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+}  // namespace grapple

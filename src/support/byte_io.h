@@ -1,0 +1,84 @@
+// Binary serialization helpers used by the on-disk partition format.
+//
+// Edge records are variable-length (the interval-sequence path encoding is
+// inlined into the record per §4.3 of the paper), so everything here is
+// byte-vector oriented: append to a std::vector<uint8_t>, read back with a
+// cursor. Varints keep small CFET node IDs at 1-2 bytes.
+#ifndef GRAPPLE_SRC_SUPPORT_BYTE_IO_H_
+#define GRAPPLE_SRC_SUPPORT_BYTE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grapple {
+
+// Appends an unsigned LEB128 varint.
+void PutVarint64(std::vector<uint8_t>* out, uint64_t value);
+
+// Appends a zigzag-encoded signed varint.
+void PutVarintSigned64(std::vector<uint8_t>* out, int64_t value);
+
+// Appends a fixed-width little-endian u32/u64.
+void PutFixed32(std::vector<uint8_t>* out, uint32_t value);
+void PutFixed64(std::vector<uint8_t>* out, uint64_t value);
+
+// Sequential reader over a byte span. All Get* methods check bounds and
+// report failure via ok(); after a failed read the cursor is poisoned.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  uint64_t GetVarint64();
+  int64_t GetVarintSigned64();
+  uint32_t GetFixed32();
+  uint64_t GetFixed64();
+  // Copies `n` raw bytes; returns false (and poisons) on underrun.
+  bool GetRaw(uint8_t* out, size_t n);
+  // Advances without copying.
+  bool Skip(size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Whole-file helpers (binary). Return false on I/O errors.
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
+bool AppendFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes);
+bool FileExists(const std::string& path);
+int64_t FileSizeBytes(const std::string& path);
+bool RemoveFile(const std::string& path);
+
+// Creates a unique scratch directory under the system temp dir and removes it
+// (recursively) on destruction. Used for partition spill files in tests and
+// benchmarks.
+class TempDir {
+ public:
+  // `tag` becomes part of the directory name for debuggability.
+  explicit TempDir(const std::string& tag = "grapple");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_BYTE_IO_H_

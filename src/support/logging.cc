@@ -1,0 +1,66 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+namespace grapple {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& OutputMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() { return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed)); }
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << LevelName(level) << " [" << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::cerr << stream_.str();
+    std::cerr.flush();
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace grapple

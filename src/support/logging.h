@@ -1,0 +1,83 @@
+// Minimal leveled logging for Grapple.
+//
+// Usage:
+//   GRAPPLE_LOG(INFO) << "loaded " << n << " edges";
+//   GRAPPLE_CHECK(x > 0) << "x must be positive, got " << x;
+//
+// Log output goes to stderr. The minimum level is process-global and can be
+// raised to silence benchmarks / tests.
+#ifndef GRAPPLE_SRC_SUPPORT_LOGGING_H_
+#define GRAPPLE_SRC_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace grapple {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns/sets the process-wide minimum level that is actually emitted.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+// One in-flight log statement. Flushes (and aborts for kFatal) in the
+// destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is below the threshold.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace grapple
+
+#define GRAPPLE_LOG_DEBUG ::grapple::LogLevel::kDebug
+#define GRAPPLE_LOG_INFO ::grapple::LogLevel::kInfo
+#define GRAPPLE_LOG_WARNING ::grapple::LogLevel::kWarning
+#define GRAPPLE_LOG_ERROR ::grapple::LogLevel::kError
+#define GRAPPLE_LOG_FATAL ::grapple::LogLevel::kFatal
+
+#define GRAPPLE_LOG(severity)                                              \
+  (GRAPPLE_LOG_##severity < ::grapple::GetMinLogLevel())                    \
+      ? (void)0                                                             \
+      : ::grapple::LogMessageVoidify() &                                    \
+            ::grapple::LogMessage(GRAPPLE_LOG_##severity, __FILE__, __LINE__) \
+                .stream()
+
+#define GRAPPLE_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                           \
+         : ::grapple::LogMessageVoidify() &                                  \
+               ::grapple::LogMessage(::grapple::LogLevel::kFatal, __FILE__,  \
+                                     __LINE__)                               \
+                   .stream()                                                 \
+               << "Check failed: " #cond " "
+
+#define GRAPPLE_CHECK_EQ(a, b) GRAPPLE_CHECK((a) == (b))
+#define GRAPPLE_CHECK_NE(a, b) GRAPPLE_CHECK((a) != (b))
+#define GRAPPLE_CHECK_LT(a, b) GRAPPLE_CHECK((a) < (b))
+#define GRAPPLE_CHECK_LE(a, b) GRAPPLE_CHECK((a) <= (b))
+#define GRAPPLE_CHECK_GT(a, b) GRAPPLE_CHECK((a) > (b))
+#define GRAPPLE_CHECK_GE(a, b) GRAPPLE_CHECK((a) >= (b))
+
+#endif  // GRAPPLE_SRC_SUPPORT_LOGGING_H_

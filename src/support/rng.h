@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generator (splitmix64).
+//
+// The workload generator must be reproducible across runs and platforms so
+// that bug ground truth stays stable; std::mt19937 distributions are not
+// guaranteed identical across standard libraries, so we roll our own
+// primitives.
+#ifndef GRAPPLE_SRC_SUPPORT_RNG_H_
+#define GRAPPLE_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace grapple {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value (splitmix64).
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    if (hi <= lo) {
+      return lo;
+    }
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  // A derived generator with an independent stream.
+  Rng Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_RNG_H_

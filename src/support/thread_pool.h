@@ -1,0 +1,54 @@
+// Fixed-size worker pool used by the edge-induction loop.
+//
+// The engine hands the pool shards of an in-memory edge scan; ParallelFor
+// blocks until every shard is processed, which matches the per-iteration
+// barrier of the edge-pair-centric model (§4.3).
+#ifndef GRAPPLE_SRC_SUPPORT_THREAD_POOL_H_
+#define GRAPPLE_SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace grapple {
+
+class ThreadPool {
+ public:
+  // `num_threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues one task; does not block.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has completed.
+  void Wait();
+
+  // Runs fn(shard_index, begin, end) over [0, n) split into num_threads()
+  // contiguous shards, then waits. `fn` must be safe to call concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_THREAD_POOL_H_

@@ -1,0 +1,82 @@
+#include "src/support/timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace grapple {
+
+void PhaseProfiler::Add(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seconds_[phase] += seconds;
+}
+
+double PhaseProfiler::Seconds(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seconds_.find(phase);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> PhaseProfiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seconds_;
+}
+
+double PhaseProfiler::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& [name, secs] : seconds_) {
+    total += secs;
+  }
+  return total;
+}
+
+double PhaseProfiler::Fraction(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  double wanted = 0.0;
+  for (const auto& [name, secs] : seconds_) {
+    total += secs;
+    if (name == phase) {
+      wanted = secs;
+    }
+  }
+  return total <= 0.0 ? 0.0 : wanted / total;
+}
+
+void PhaseProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  seconds_.clear();
+}
+
+void PhaseProfiler::Merge(const PhaseProfiler& other) {
+  auto snapshot = other.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, secs] : snapshot) {
+    seconds_[name] += secs;
+  }
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 0.0) {
+    seconds = 0.0;
+  }
+  int64_t total = static_cast<int64_t>(std::llround(seconds));
+  int64_t hours = total / 3600;
+  int64_t minutes = (total % 3600) / 60;
+  int64_t secs = total % 60;
+  char buf[64];
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%02ldh%02ldm%02lds", static_cast<long>(hours),
+                  static_cast<long>(minutes), static_cast<long>(secs));
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%ldm%02lds", static_cast<long>(minutes),
+                  static_cast<long>(secs));
+  } else if (total >= 1) {
+    std::snprintf(buf, sizeof(buf), "%lds", static_cast<long>(secs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace grapple

@@ -1,0 +1,96 @@
+// Wall-clock timing utilities and a named phase profiler.
+//
+// The phase profiler is how Grapple produces the Figure-9 style cost
+// breakdowns: worker threads accumulate time into named buckets ("io",
+// "decode", "solve", "join") and the engine reports per-bucket totals.
+#ifndef GRAPPLE_SRC_SUPPORT_TIMER_H_
+#define GRAPPLE_SRC_SUPPORT_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace grapple {
+
+// A simple monotonic stopwatch measuring elapsed wall time.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates wall time into named buckets. Thread-safe; the per-call cost is
+// one mutex acquisition, so callers should batch (time a whole partition scan,
+// not a single edge).
+class PhaseProfiler {
+ public:
+  void Add(const std::string& phase, double seconds);
+  void AddMicros(const std::string& phase, int64_t micros) {
+    Add(phase, static_cast<double>(micros) * 1e-6);
+  }
+
+  // Total accumulated seconds for one phase (0.0 if never recorded).
+  double Seconds(const std::string& phase) const;
+
+  // All phases with their totals, sorted by name.
+  std::map<std::string, double> Snapshot() const;
+
+  // Sum over all phases.
+  double TotalSeconds() const;
+
+  // Fraction (0..1) of the total attributed to `phase`; 0 when empty.
+  double Fraction(const std::string& phase) const;
+
+  void Reset();
+
+  // Merges another profiler's buckets into this one.
+  void Merge(const PhaseProfiler& other);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> seconds_;
+};
+
+// RAII helper: adds the scope's elapsed time to a profiler bucket.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, std::string phase)
+      : profiler_(profiler), phase_(std::move(phase)) {}
+  ~ScopedPhase() {
+    if (profiler_ != nullptr) {
+      profiler_->Add(phase_, timer_.ElapsedSeconds());
+    }
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+// Formats seconds as e.g. "01h06m15s", "51m49s", or "47s" to match the
+// paper's table formatting.
+std::string FormatDuration(double seconds);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_TIMER_H_

@@ -1,0 +1,84 @@
+#include "src/symexec/cfet.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+uint32_t MethodCfet::DepthOf(CfetNodeId id) {
+  uint32_t depth = 0;
+  while (id != kCfetRoot) {
+    id = ParentOf(id);
+    ++depth;
+  }
+  return depth;
+}
+
+const CfetNode* MethodCfet::FindNode(CfetNodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const CfetNode& MethodCfet::NodeAt(CfetNodeId id) const {
+  const CfetNode* node = FindNode(id);
+  GRAPPLE_CHECK(node != nullptr) << "missing CFET node " << id << " in method " << method_id_;
+  return *node;
+}
+
+bool MethodCfet::IsAncestorOrSelf(CfetNodeId ancestor, CfetNodeId node) const {
+  CfetNodeId cur = node;
+  for (;;) {
+    if (cur == ancestor) {
+      return true;
+    }
+    if (cur == kCfetRoot) {
+      return false;
+    }
+    cur = ParentOf(cur);
+  }
+}
+
+size_t Icfet::TotalNodes() const {
+  size_t total = 0;
+  for (const auto& cfet : per_method_) {
+    total += cfet.NumNodes();
+  }
+  return total;
+}
+
+std::string Icfet::DebugString(const Program& program) const {
+  std::ostringstream out;
+  for (const auto& cfet : per_method_) {
+    const Method& method = program.MethodAt(cfet.method_id());
+    out << "cfet " << method.name << " (" << cfet.NumNodes() << " nodes)\n";
+    // Stable order for debuggability.
+    std::vector<CfetNodeId> ids;
+    ids.reserve(cfet.nodes().size());
+    for (const auto& [id, node] : cfet.nodes()) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (CfetNodeId id : ids) {
+      const CfetNode& node = cfet.NodeAt(id);
+      out << "  node " << id << ": " << node.stmts.size() << " stmts";
+      if (node.has_children) {
+        out << ", cond " << node.cond.ToString([&](VarId v) { return cfet.vars().NameOf(v); });
+      }
+      if (node.is_exit) {
+        out << ", exit";
+        if (node.return_int.has_value()) {
+          out << " ret=" << node.return_int->ToString([&](VarId v) {
+            return cfet.vars().NameOf(v);
+          });
+        }
+      }
+      out << "\n";
+    }
+  }
+  out << call_sites_.size() << " call sites\n";
+  return out.str();
+}
+
+}  // namespace grapple

@@ -1,0 +1,139 @@
+// The (interprocedural) control-flow execution tree — ICFET (§3).
+//
+// One CFET per method: a binary tree of "extended basic blocks" produced by
+// symbolic execution. Each non-leaf node ends at a branch conditional whose
+// symbolic condition (in terms of the method's template variables) is stored
+// at the node; its two children are the false/true continuations. Node IDs
+// follow Eytzinger numbering — root 0, false child 2n+1, true child 2n+2 —
+// so the parent is (id-1)>>1 and the branch polarity is recoverable from the
+// child's parity. An intraprocedural path is then the interval
+// [id_start, id_end]; interprocedural paths add call/return edge IDs.
+//
+// The ICFET is *not* cloned for context sensitivity (unlike the program
+// graph): it is an in-memory index, kept small, and calls/returns are
+// matched during path decoding instead (§3.3).
+//
+// Lifetime: CFET nodes hold `const Stmt*` pointers into the Program, so the
+// Program must outlive the Icfet and must not be mutated after construction
+// (run loop unrolling first).
+#ifndef GRAPPLE_SRC_SYMEXEC_CFET_H_
+#define GRAPPLE_SRC_SYMEXEC_CFET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/smt/constraint.h"
+#include "src/smt/linear_expr.h"
+
+namespace grapple {
+
+using CfetNodeId = uint64_t;
+using CallSiteId = uint32_t;
+
+inline constexpr CfetNodeId kCfetRoot = 0;
+inline constexpr CallSiteId kNoCallSite = 0xFFFFFFFFu;
+
+// A graph-relevant statement placed in a CFET node, in execution order.
+// For kCall statements, `call_site` identifies the CallSite record.
+struct CfetStmtRef {
+  const Stmt* stmt = nullptr;
+  CallSiteId call_site = kNoCallSite;
+};
+
+struct CfetNode {
+  CfetNodeId id = kCfetRoot;
+  // Statements executed in this extended basic block.
+  std::vector<CfetStmtRef> stmts;
+  // Non-leaf: the branch conditional terminating the block, expressed over
+  // the method's template variables (Atom::opaque for unmodelable
+  // conditions). The false child is 2*id+1, the true child 2*id+2.
+  bool has_children = false;
+  Atom cond;
+  // Leaf: execution reaches the procedure exit here.
+  bool is_exit = false;
+  // Symbolic integer return value at this exit (nullopt for void/object).
+  std::optional<LinearExpr> return_int;
+  // Returned object local (kNoLocal when none).
+  LocalId return_obj = kNoLocal;
+};
+
+// One call site: the ICFET's call edge (caller node -> callee root) and the
+// matching return edges (callee leaves -> caller node) share this record.
+struct CallSite {
+  CallSiteId id = kNoCallSite;
+  MethodId caller = kNoMethod;
+  MethodId callee = kNoMethod;
+  CfetNodeId caller_node = kCfetRoot;
+  const Stmt* stmt = nullptr;
+  // Parameter passing: callee template variable == caller-side expression
+  // (over the caller's template variables).
+  std::vector<std::pair<VarId, LinearExpr>> param_eqs;
+  // Caller template variable bound to the callee's integer return value
+  // (kInvalidVar when the result is unused or not an integer).
+  VarId result_var = kInvalidVar;
+  // True when the call is part of a call-graph SCC and is treated context
+  // insensitively (no cloning in the program graph).
+  bool context_insensitive = false;
+};
+
+class MethodCfet {
+ public:
+  static CfetNodeId FalseChild(CfetNodeId id) { return 2 * id + 1; }
+  static CfetNodeId TrueChild(CfetNodeId id) { return 2 * id + 2; }
+  static CfetNodeId ParentOf(CfetNodeId id) { return (id - 1) >> 1; }
+  // True children have even IDs (2n+2).
+  static bool IsTrueChild(CfetNodeId id) { return id != kCfetRoot && (id & 1) == 0; }
+  static uint32_t DepthOf(CfetNodeId id);
+
+  MethodId method_id() const { return method_id_; }
+  const CfetNode* FindNode(CfetNodeId id) const;
+  const CfetNode& NodeAt(CfetNodeId id) const;
+  size_t NumNodes() const { return nodes_.size(); }
+  const std::vector<CfetNodeId>& leaves() const { return leaves_; }
+  const std::unordered_map<CfetNodeId, CfetNode>& nodes() const { return nodes_; }
+
+  // Template variables of this method (params, havocs, call results, ...).
+  const VarPool& vars() const { return vars_; }
+  // Template variable of integer parameter `index` (kInvalidVar for object
+  // parameters).
+  VarId ParamVar(size_t index) const { return param_vars_[index]; }
+
+  // True when `ancestor` lies on the root path of `node`.
+  bool IsAncestorOrSelf(CfetNodeId ancestor, CfetNodeId node) const;
+
+ private:
+  friend class IcfetBuilder;
+
+  MethodId method_id_ = kNoMethod;
+  std::unordered_map<CfetNodeId, CfetNode> nodes_;
+  std::vector<CfetNodeId> leaves_;
+  VarPool vars_;
+  std::vector<VarId> param_vars_;
+};
+
+class Icfet {
+ public:
+  const MethodCfet& OfMethod(MethodId method) const { return per_method_[method]; }
+  size_t NumMethods() const { return per_method_.size(); }
+  const CallSite& CallSiteAt(CallSiteId id) const { return call_sites_[id]; }
+  size_t NumCallSites() const { return call_sites_.size(); }
+
+  // Total node count across methods (the in-memory index size driver).
+  size_t TotalNodes() const;
+
+  std::string DebugString(const Program& program) const;
+
+ private:
+  friend class IcfetBuilder;
+
+  std::vector<MethodCfet> per_method_;
+  std::vector<CallSite> call_sites_;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SYMEXEC_CFET_H_

@@ -1,0 +1,320 @@
+#include "src/symexec/cfet_builder.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/cfg/loop_unroll.h"
+#include "src/support/logging.h"
+
+namespace grapple {
+
+namespace {
+
+Cmp MapCmp(IrCmpOp op) {
+  switch (op) {
+    case IrCmpOp::kEq:
+      return Cmp::kEq;
+    case IrCmpOp::kNe:
+      return Cmp::kNe;
+    case IrCmpOp::kLt:
+      return Cmp::kLt;
+    case IrCmpOp::kLe:
+      return Cmp::kLe;
+    case IrCmpOp::kGt:
+      return Cmp::kGt;
+    case IrCmpOp::kGe:
+      return Cmp::kGe;
+  }
+  return Cmp::kEq;
+}
+
+// Symbolic integer store for one method execution path.
+class SymStore {
+ public:
+  explicit SymStore(size_t num_locals) : values_(num_locals) {}
+
+  // Reads a local; uninitialized reads mint a fresh "unknown" variable so
+  // that later reads of the same local agree.
+  const LinearExpr& Read(LocalId local, const Method& method, VarPool* vars) {
+    auto& slot = values_[local];
+    if (!slot.has_value()) {
+      VarId fresh = vars->Fresh(method.name + "::" + method.locals[local].name + "#u");
+      slot = LinearExpr::Var(fresh);
+    }
+    return *slot;
+  }
+
+  void Write(LocalId local, LinearExpr value) { values_[local] = std::move(value); }
+
+ private:
+  std::vector<std::optional<LinearExpr>> values_;
+};
+
+// A continuation: the statement streams still to execute, innermost last.
+struct ContFrame {
+  const std::vector<Stmt>* block;
+  size_t index;
+};
+using Continuation = std::vector<ContFrame>;
+
+}  // namespace
+
+class IcfetBuilder {
+ public:
+  IcfetBuilder(const Program& program, const CallGraph& call_graph, const IcfetOptions& options)
+      : program_(program), call_graph_(call_graph), options_(options) {}
+
+  Icfet Build() {
+    icfet_.per_method_.resize(program_.NumMethods());
+    // Pre-pass: mint parameter template variables for every method so that
+    // call sites in any method can reference callee parameter variables.
+    for (MethodId m = 0; m < program_.NumMethods(); ++m) {
+      const Method& method = program_.MethodAt(m);
+      GRAPPLE_CHECK(!HasLoops(method)) << "unroll loops before BuildIcfet: " << method.name;
+      MethodCfet& cfet = icfet_.per_method_[m];
+      cfet.method_id_ = m;
+      cfet.param_vars_.assign(method.locals.size(), kInvalidVar);
+      for (size_t p = 0; p < method.num_params; ++p) {
+        if (!method.locals[p].is_object) {
+          cfet.param_vars_[p] = cfet.vars_.Fresh(method.name + "::" + method.locals[p].name);
+        }
+      }
+    }
+    for (MethodId m = 0; m < program_.NumMethods(); ++m) {
+      BuildMethod(m);
+    }
+    return std::move(icfet_);
+  }
+
+ private:
+  void BuildMethod(MethodId m) {
+    const Method& method = program_.MethodAt(m);
+    cur_method_ = m;
+    cur_cfet_ = &icfet_.per_method_[m];
+    capped_warned_ = false;
+    SymStore store(method.locals.size());
+    for (size_t p = 0; p < method.num_params; ++p) {
+      if (cur_cfet_->param_vars_[p] != kInvalidVar) {
+        store.Write(static_cast<LocalId>(p), LinearExpr::Var(cur_cfet_->param_vars_[p]));
+      }
+    }
+    Continuation cont;
+    cont.push_back(ContFrame{&method.body, 0});
+    Exec(kCfetRoot, std::move(store), std::move(cont));
+  }
+
+  CfetNode& GetOrCreateNode(CfetNodeId id) {
+    auto [it, inserted] = cur_cfet_->nodes_.try_emplace(id);
+    if (inserted) {
+      it->second.id = id;
+    }
+    return it->second;
+  }
+
+  LinearExpr EvalOperand(const Operand& op, SymStore* store) {
+    if (op.is_const) {
+      return LinearExpr::Constant(op.value);
+    }
+    return store->Read(op.local, program_.MethodAt(cur_method_), &cur_cfet_->vars_);
+  }
+
+  Atom EvalCond(const CondExpr& cond, SymStore* store) {
+    if (cond.kind == CondExpr::Kind::kOpaque) {
+      return Atom::Opaque();
+    }
+    return Atom::Compare(EvalOperand(cond.lhs, store), MapCmp(cond.op),
+                         EvalOperand(cond.rhs, store));
+  }
+
+  // Pops the next statement off the continuation; nullptr when exhausted.
+  static const Stmt* NextStmt(Continuation* cont) {
+    while (!cont->empty()) {
+      ContFrame& frame = cont->back();
+      if (frame.index < frame.block->size()) {
+        return &(*frame.block)[frame.index++];
+      }
+      cont->pop_back();
+    }
+    return nullptr;
+  }
+
+  void MarkExit(CfetNode* node, const Stmt* return_stmt, SymStore* store) {
+    node->is_exit = true;
+    const Method& method = program_.MethodAt(cur_method_);
+    if (return_stmt != nullptr && return_stmt->src != kNoLocal) {
+      if (method.locals[return_stmt->src].is_object) {
+        node->return_obj = return_stmt->src;
+      } else {
+        node->return_int =
+            store->Read(return_stmt->src, method, &cur_cfet_->vars_);
+      }
+    }
+    cur_cfet_->leaves_.push_back(node->id);
+  }
+
+  void Exec(CfetNodeId node_id, SymStore store, Continuation cont) {
+    CfetNode& node = GetOrCreateNode(node_id);
+    const Method& method = program_.MethodAt(cur_method_);
+    for (;;) {
+      const Stmt* stmt = NextStmt(&cont);
+      if (stmt == nullptr) {
+        MarkExit(&node, nullptr, &store);
+        return;
+      }
+      switch (stmt->kind) {
+        case StmtKind::kWhile:
+          GRAPPLE_LOG(FATAL) << "kWhile reached symbolic execution; run UnrollLoops first";
+          return;
+        case StmtKind::kIf: {
+          bool can_split = MethodCfet::DepthOf(node_id) < options_.max_depth &&
+                           cur_cfet_->nodes_.size() + 2 <= options_.max_nodes_per_method;
+          if (!can_split) {
+            if (!capped_warned_) {
+              capped_warned_ = true;
+              GRAPPLE_LOG(WARNING) << "CFET cap hit in method " << method.name
+                                   << "; exploring true branches only";
+            }
+            // Saturate: follow the then-branch only, condition dropped.
+            cont.push_back(ContFrame{&stmt->then_block, 0});
+            continue;
+          }
+          node.has_children = true;
+          node.cond = EvalCond(stmt->cond, &store);
+          {
+            Continuation true_cont = cont;
+            true_cont.push_back(ContFrame{&stmt->then_block, 0});
+            Exec(MethodCfet::TrueChild(node_id), store, std::move(true_cont));
+          }
+          {
+            Continuation false_cont = std::move(cont);
+            if (!stmt->else_block.empty()) {
+              false_cont.push_back(ContFrame{&stmt->else_block, 0});
+            }
+            Exec(MethodCfet::FalseChild(node_id), std::move(store), std::move(false_cont));
+          }
+          return;
+        }
+        case StmtKind::kReturn: {
+          // Re-fetch the node reference: the recursive Exec calls above may
+          // have rehashed the node map, but control never reaches here after
+          // a split, so `node` is still valid. Defensive refetch anyway.
+          CfetNode& n = GetOrCreateNode(node_id);
+          MarkExit(&n, stmt, &store);
+          return;
+        }
+        case StmtKind::kConstInt:
+          store.Write(stmt->dst, LinearExpr::Constant(stmt->const_value));
+          break;
+        case StmtKind::kHavoc: {
+          VarId fresh =
+              cur_cfet_->vars_.Fresh(method.name + "::" + method.locals[stmt->dst].name + "#h");
+          store.Write(stmt->dst, LinearExpr::Var(fresh));
+          break;
+        }
+        case StmtKind::kBinOp: {
+          LinearExpr lhs = EvalOperand(stmt->lhs, &store);
+          LinearExpr rhs = EvalOperand(stmt->rhs, &store);
+          LinearExpr result;
+          switch (stmt->bin_op) {
+            case IrBinOp::kAdd:
+              result = lhs.Add(rhs);
+              break;
+            case IrBinOp::kSub:
+              result = lhs.Sub(rhs);
+              break;
+            case IrBinOp::kMul:
+              if (lhs.IsConstant()) {
+                result = rhs.Scale(lhs.constant());
+              } else if (rhs.IsConstant()) {
+                result = lhs.Scale(rhs.constant());
+              } else {
+                VarId fresh = cur_cfet_->vars_.Fresh(
+                    method.name + "::" + method.locals[stmt->dst].name + "#m");
+                result = LinearExpr::Var(fresh);
+              }
+              break;
+          }
+          store.Write(stmt->dst, std::move(result));
+          break;
+        }
+        case StmtKind::kAssign:
+          // Object copy (graph-relevant). Integer copies are kBinOp(+0) by
+          // construction, but tolerate int kAssign from hand-built IR.
+          if (!method.locals[stmt->dst].is_object) {
+            LinearExpr value =
+                store.Read(stmt->src, method, &cur_cfet_->vars_);
+            store.Write(stmt->dst, std::move(value));
+            break;
+          }
+          node.stmts.push_back(CfetStmtRef{stmt, kNoCallSite});
+          break;
+        case StmtKind::kAlloc:
+        case StmtKind::kLoad:
+        case StmtKind::kStore:
+        case StmtKind::kEvent:
+          node.stmts.push_back(CfetStmtRef{stmt, kNoCallSite});
+          break;
+        case StmtKind::kCall: {
+          auto callee = program_.FindMethod(stmt->callee);
+          if (!callee.has_value()) {
+            // External API: havoc the integer result; object results keep
+            // whatever the local previously referenced (conservative no-op).
+            if (stmt->dst != kNoLocal && !method.locals[stmt->dst].is_object) {
+              VarId fresh = cur_cfet_->vars_.Fresh(
+                  method.name + "::" + method.locals[stmt->dst].name + "#x");
+              store.Write(stmt->dst, LinearExpr::Var(fresh));
+            }
+            break;
+          }
+          CallSite site;
+          site.id = static_cast<CallSiteId>(icfet_.call_sites_.size());
+          site.caller = cur_method_;
+          site.callee = *callee;
+          site.caller_node = node_id;
+          site.stmt = stmt;
+          site.context_insensitive = call_graph_.IsRecursive(*callee);
+          const Method& callee_method = program_.MethodAt(*callee);
+          const MethodCfet& callee_cfet = icfet_.per_method_[*callee];
+          for (size_t p = 0; p < callee_method.num_params && p < stmt->args.size(); ++p) {
+            VarId param_var = callee_cfet.param_vars_[p];
+            if (param_var == kInvalidVar) {
+              continue;  // object parameter: handled by the program graph
+            }
+            LinearExpr arg =
+                store.Read(stmt->args[p], method, &cur_cfet_->vars_);
+            site.param_eqs.emplace_back(param_var, std::move(arg));
+          }
+          if (stmt->dst != kNoLocal && !method.locals[stmt->dst].is_object) {
+            VarId result = cur_cfet_->vars_.Fresh(
+                method.name + "::" + method.locals[stmt->dst].name + "#r" +
+                std::to_string(site.id));
+            site.result_var = result;
+            store.Write(stmt->dst, LinearExpr::Var(result));
+          }
+          node.stmts.push_back(CfetStmtRef{stmt, site.id});
+          icfet_.call_sites_.push_back(std::move(site));
+          break;
+        }
+        case StmtKind::kNop:
+          break;
+      }
+    }
+  }
+
+  const Program& program_;
+  const CallGraph& call_graph_;
+  IcfetOptions options_;
+  Icfet icfet_;
+  MethodId cur_method_ = kNoMethod;
+  MethodCfet* cur_cfet_ = nullptr;
+  bool capped_warned_ = false;
+};
+
+Icfet BuildIcfet(const Program& program, const CallGraph& call_graph,
+                 const IcfetOptions& options) {
+  IcfetBuilder builder(program, call_graph, options);
+  return builder.Build();
+}
+
+}  // namespace grapple

@@ -1,0 +1,33 @@
+// ICFET construction via symbolic execution (§3.3).
+//
+// For each method we symbolically execute the (loop-unrolled, structured)
+// body using the method's formal parameters as symbolic variables: straight
+// line integer code updates a symbolic store, and every branch conditional
+// splits the current extended basic block into false/true children carrying
+// the symbolic condition. Call sites record the symbolic parameter-passing
+// equations that ICFET call/return edges are annotated with.
+#ifndef GRAPPLE_SRC_SYMEXEC_CFET_BUILDER_H_
+#define GRAPPLE_SRC_SYMEXEC_CFET_BUILDER_H_
+
+#include "src/cfg/call_graph.h"
+#include "src/ir/ir.h"
+#include "src/symexec/cfet.h"
+
+namespace grapple {
+
+struct IcfetOptions {
+  // Hard cap on nodes per method CFET; beyond it branches stop splitting
+  // (the true branch is followed, a warning is logged once per method).
+  size_t max_nodes_per_method = size_t{1} << 16;
+  // Hard cap on tree depth so Eytzinger IDs fit in 64 bits.
+  uint32_t max_depth = 58;
+};
+
+// Requires: loops already unrolled (HasLoops(m) is false for every method).
+// The returned Icfet holds pointers into `program`.
+Icfet BuildIcfet(const Program& program, const CallGraph& call_graph,
+                 const IcfetOptions& options = IcfetOptions());
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SYMEXEC_CFET_BUILDER_H_

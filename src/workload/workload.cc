@@ -1,0 +1,584 @@
+#include "src/workload/workload.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "src/ir/builder.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+
+namespace grapple {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const WorkloadConfig& config) : cfg_(config), rng_(config.seed) {}
+
+  Workload Run() {
+    // Pattern schedule: round-robin the injections over modules.
+    struct Injection {
+      const char* checker;
+      bool real;
+      bool fp_trap;
+    };
+    std::vector<Injection> schedule;
+    auto add = [&](const char* checker, const BugProfile& profile) {
+      for (size_t i = 0; i < profile.real; ++i) {
+        schedule.push_back({checker, true, false});
+      }
+      for (size_t i = 0; i < profile.fp_traps; ++i) {
+        schedule.push_back({checker, false, true});
+      }
+      for (size_t i = 0; i < profile.clean; ++i) {
+        schedule.push_back({checker, false, false});
+      }
+    };
+    add("io", cfg_.io);
+    add("lock", cfg_.lock);
+    add("except", cfg_.except);
+    add("socket", cfg_.socket);
+
+    size_t modules = cfg_.modules == 0 ? 1 : cfg_.modules;
+    std::vector<std::vector<std::string>> module_methods(modules);
+
+    // Emit pattern methods.
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      const Injection& inj = schedule[i];
+      std::string name;
+      if (std::string(inj.checker) == "io") {
+        name = EmitIoPattern(inj.real, inj.fp_trap);
+      } else if (std::string(inj.checker) == "lock") {
+        name = EmitLockPattern(inj.real, inj.fp_trap);
+      } else if (std::string(inj.checker) == "except") {
+        name = EmitExceptPattern(inj.real, inj.fp_trap);
+      } else {
+        name = EmitSocketPattern(inj.real, inj.fp_trap);
+      }
+      module_methods[i % modules].push_back(name);
+    }
+
+    // Filler code until the statement target is reached.
+    size_t module_cursor = 0;
+    std::vector<std::vector<std::string>> module_fillers(modules);
+    while (program_.TotalStatements() < cfg_.filler_statements) {
+      size_t m = module_cursor % modules;
+      std::string callee;
+      if (!module_fillers[m].empty() && rng_.Chance(cfg_.helper_call_prob)) {
+        callee = module_fillers[m].back();
+      }
+      module_fillers[m].push_back(EmitFillerMethod(callee));
+      if (module_fillers[m].size() >= cfg_.methods_per_module) {
+        module_methods[m].push_back(module_fillers[m].back());
+        module_fillers[m].clear();
+      }
+      ++module_cursor;
+    }
+    for (size_t m = 0; m < modules; ++m) {
+      if (!module_fillers[m].empty()) {
+        module_methods[m].push_back(module_fillers[m].back());
+      }
+    }
+
+    // Entry methods.
+    for (size_t m = 0; m < modules; ++m) {
+      MethodBuilder mb("mod" + std::to_string(m) + "_main");
+      LocalId x = mb.Int("x");
+      mb.Havoc(x);
+      for (const auto& callee : module_methods[m]) {
+        // Pattern methods take no arguments; filler methods take one int.
+        auto callee_id = program_.FindMethod(callee);
+        if (callee_id.has_value() && program_.MethodAt(*callee_id).num_params == 1) {
+          mb.CallVoid(callee, {x});
+        } else {
+          mb.CallVoid(callee, {});
+        }
+      }
+      mb.Ret();
+      program_.AddMethod(std::move(mb).Build());
+    }
+
+    Workload workload;
+    workload.config = cfg_;
+    workload.total_statements = program_.TotalStatements();
+    workload.program = std::move(program_);
+    workload.patterns = std::move(patterns_);
+    return workload;
+  }
+
+ private:
+  int32_t NextLine() { return next_line_++; }
+
+  std::string FreshName(const std::string& prefix) {
+    return prefix + "_" + std::to_string(method_counter_++);
+  }
+
+  void Register(const char* checker, int32_t line, bool real, bool expected,
+                const std::string& kind) {
+    InjectedPattern pattern;
+    pattern.checker = checker;
+    pattern.alloc_line = line;
+    pattern.is_real_bug = real;
+    pattern.report_expected = expected;
+    pattern.kind = kind;
+    patterns_.push_back(std::move(pattern));
+  }
+
+  // --- I/O patterns -------------------------------------------------------
+
+  std::string EmitIoPattern(bool real, bool fp_trap) {
+    std::string name = FreshName("io_pat");
+    int32_t line = NextLine();
+    MethodBuilder mb(name);
+    LocalId f = mb.Obj("f", "FileWriter");
+    LocalId x = mb.Int("x");
+    mb.Havoc(x);
+    if (real) {
+      switch (rng_.Below(4)) {
+        case 0: {  // branch leak: closed only when x > 5
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGt, OpConst(5)),
+                [&](MethodBuilder& b) { b.Event(f, "close"); });
+          Register("io", line, true, true, "leak");
+          break;
+        }
+        case 1: {  // double close on a feasible path
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.Event(f, "close");
+          mb.If(CondExpr::Opaque(), [&](MethodBuilder& b) { b.Event(f, "close"); });
+          Register("io", line, true, true, "double_close");
+          break;
+        }
+        case 2: {  // interprocedural leak through a helper
+          std::string helper = EmitMaybeCloseHelper("FileWriter");
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.Call(kNoLocal, helper, {f, x});
+          Register("io", line, true, true, "leak_interproc");
+          break;
+        }
+        default: {  // write after close
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.Event(f, "close");
+          mb.If(CondExpr::Opaque(), [&](MethodBuilder& b) { b.Event(f, "write"); });
+          Register("io", line, true, true, "use_after_close");
+          break;
+        }
+      }
+    } else if (fp_trap) {
+      // Ownership escapes through an external API that closes the stream
+      // later (the paper's try-with-resources / collection FPs). The
+      // checker cannot see the external close: a leak report here is a
+      // false positive by ground truth.
+      mb.Alloc(f, "FileWriter");
+      mb.SetLine(line);
+      mb.Event(f, "open");
+      mb.CallVoid("external_register_stream", {f});
+      Register("io", line, false, true, "fp_external_close");
+    } else {
+      switch (rng_.Below(4)) {
+        case 0: {  // straightforward correct usage
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGt, OpConst(0)),
+                [&](MethodBuilder& b) { b.Event(f, "write"); });
+          mb.Event(f, "close");
+          break;
+        }
+        case 1: {  // infeasible-leak decoy: both guarded by x >= 0
+          mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGe, OpConst(0)),
+                [&](MethodBuilder& b) {
+                  b.Alloc(f, "FileWriter");
+                  b.SetLine(line);
+                  b.Event(f, "open");
+                });
+          mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGe, OpConst(0)),
+                [&](MethodBuilder& b) { b.Event(f, "close"); });
+          break;
+        }
+        case 2: {  // correct close through a heap alias
+          LocalId holder = mb.Obj("holder", "Holder");
+          LocalId g = mb.Obj("g", "FileWriter");
+          mb.Alloc(holder, "Holder");
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.Store(holder, "stream", f);
+          mb.Load(g, holder, "stream");
+          mb.Event(g, "write");
+          mb.Event(g, "close");
+          break;
+        }
+        default: {  // correct close in a callee
+          std::string helper = EmitAlwaysCloseHelper("FileWriter");
+          mb.Alloc(f, "FileWriter");
+          mb.SetLine(line);
+          mb.Event(f, "open");
+          mb.Call(kNoLocal, helper, {f});
+          break;
+        }
+      }
+      Register("io", line, false, false, "clean");
+    }
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  // Helper that closes its parameter only when c > 0.
+  std::string EmitMaybeCloseHelper(const std::string& type) {
+    std::string name = FreshName("maybe_close");
+    MethodBuilder mb(name);
+    LocalId g = mb.ObjParam("g", type);
+    LocalId c = mb.IntParam("c");
+    mb.If(CondExpr::Compare(OpLocal(c), IrCmpOp::kGt, OpConst(0)),
+          [&](MethodBuilder& b) { b.Event(g, "close"); });
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  std::string EmitAlwaysCloseHelper(const std::string& type) {
+    std::string name = FreshName("do_close");
+    MethodBuilder mb(name);
+    LocalId g = mb.ObjParam("g", type);
+    mb.Event(g, "write");
+    mb.Event(g, "close");
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  // --- lock patterns ------------------------------------------------------
+
+  std::string EmitLockPattern(bool real, bool fp_trap) {
+    std::string name = FreshName("lock_pat");
+    int32_t line = NextLine();
+    MethodBuilder mb(name);
+    LocalId l = mb.Obj("l", "Lock");
+    LocalId x = mb.Int("x");
+    mb.Havoc(x);
+    mb.Alloc(l, "Lock");
+    mb.SetLine(line);
+    if (real) {
+      if (rng_.Below(2) == 0) {
+        // Mis-ordered: unlock before lock (the HDFS bug of §5.1).
+        mb.Event(l, "unlock");
+        mb.Event(l, "lock");
+        Register("lock", line, true, true, "unlock_order");
+      } else {
+        // Lock not released on an early-return-like path.
+        mb.Event(l, "lock");
+        mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kLe, OpConst(100)),
+              [&](MethodBuilder& b) { b.Event(l, "unlock"); });
+        Register("lock", line, true, true, "lock_leak");
+      }
+    } else if (fp_trap) {
+      mb.Event(l, "lock");
+      mb.CallVoid("external_unlock_later", {l});
+      Register("lock", line, false, true, "fp_external_unlock");
+    } else {
+      mb.Event(l, "lock");
+      mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGt, OpConst(0)),
+            [&](MethodBuilder& b) { b.Bin(x, OpLocal(x), IrBinOp::kSub, OpConst(1)); });
+      mb.Event(l, "unlock");
+      Register("lock", line, false, false, "clean");
+    }
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  // --- exception patterns -------------------------------------------------
+
+  std::string EmitExceptPattern(bool real, bool fp_trap) {
+    std::string name = FreshName("exc_pat");
+    int32_t line = NextLine();
+    MethodBuilder mb(name);
+    LocalId e = mb.Obj("e", "Exception");
+    LocalId x = mb.Int("x");
+    mb.Havoc(x);
+    if (real) {
+      // Explicitly thrown exception with no handler on a feasible path
+      // (Figure 8b flavor: the interrupt is swallowed).
+      mb.If(CondExpr::Opaque(), [&](MethodBuilder& b) {
+        b.Alloc(e, "Exception");
+        b.SetLine(line);
+        b.Event(e, "throw");
+      });
+      Register("except", line, true, true, "unhandled");
+    } else if (fp_trap) {
+      // Handled by an external global handler the analysis cannot see.
+      mb.Alloc(e, "Exception");
+      mb.SetLine(line);
+      mb.Event(e, "throw");
+      mb.CallVoid("external_global_handler", {e});
+      Register("except", line, false, true, "fp_external_handler");
+    } else {
+      if (rng_.Below(2) == 0) {
+        // Thrown and locally handled.
+        mb.Alloc(e, "Exception");
+        mb.SetLine(line);
+        mb.If(CondExpr::Opaque(), [&](MethodBuilder& b) {
+          b.Event(e, "throw");
+          b.Event(e, "handle");
+        });
+      } else {
+        // Throw guarded by an infeasible condition: x > 10 && x < 5.
+        mb.Alloc(e, "Exception");
+        mb.SetLine(line);
+        mb.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kGt, OpConst(10)),
+              [&](MethodBuilder& b) {
+                b.If(CondExpr::Compare(OpLocal(x), IrCmpOp::kLt, OpConst(5)),
+                     [&](MethodBuilder& c) { c.Event(e, "throw"); });
+              });
+      }
+      Register("except", line, false, false, "clean");
+    }
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  // --- socket patterns ----------------------------------------------------
+
+  std::string EmitSocketPattern(bool real, bool fp_trap) {
+    std::string name = FreshName("sock_pat");
+    int32_t line = NextLine();
+    MethodBuilder mb(name);
+    LocalId s = mb.Obj("s", "ServerSocketChannel");
+    LocalId x = mb.Int("x");
+    mb.Havoc(x);
+    mb.Alloc(s, "ServerSocketChannel");
+    mb.SetLine(line);
+    mb.Event(s, "open");
+    if (real) {
+      // The Figure 1 reconfigure leak: an exception between open and close
+      // leaves the old channel open forever.
+      mb.Event(s, "bind");
+      mb.Event(s, "configure");
+      mb.If(
+          CondExpr::Opaque(), [&](MethodBuilder& b) { b.Bin(x, OpLocal(x), IrBinOp::kAdd, OpConst(1)); },
+          [&](MethodBuilder& b) { b.Event(s, "close"); });
+      Register("socket", line, true, true, "reconfigure_leak");
+    } else if (fp_trap) {
+      // Stored in an external pool that closes it on shutdown.
+      mb.Event(s, "bind");
+      mb.CallVoid("external_pool_add", {s});
+      Register("socket", line, false, true, "fp_pool");
+    } else {
+      mb.Event(s, "bind");
+      mb.Event(s, "configure");
+      mb.Event(s, "accept");
+      mb.Event(s, "close");
+      Register("socket", line, false, false, "clean");
+    }
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  // --- filler -------------------------------------------------------------
+
+  std::string EmitFillerMethod(const std::string& callee) {
+    std::string name = FreshName("filler");
+    MethodBuilder mb(name);
+    LocalId a = mb.IntParam("a");
+    LocalId x = mb.Int("x");
+    LocalId y = mb.Int("y");
+    LocalId buf = mb.Obj("buf", "Buffer");
+    LocalId holder = mb.Obj("holder", "Holder");
+    LocalId tmp = mb.Obj("tmp", "Buffer");
+    mb.Havoc(x);
+    mb.AssignInt(y, OpLocal(a));
+    mb.Alloc(buf, "Buffer");
+    mb.Alloc(holder, "Holder");
+    mb.Store(holder, "data", buf);
+    // Same-block object fan-out: `buf` becomes a high-degree hub whose
+    // in-edge x out-edge pairs are enumerated by the join loop every round
+    // but mostly fail the grammar check — the cheap consecutive-edge-pair
+    // flood that makes edge computation dominate on Hadoop-shaped code.
+    for (size_t c = 0; c < cfg_.object_chain_len; ++c) {
+      LocalId link = mb.Obj("chain" + std::to_string(c), "Buffer");
+      mb.Assign(link, buf);
+    }
+    EmitFillerBlock(mb, cfg_.branch_depth, x, y, a, buf, holder, tmp, callee);
+    mb.Ret();
+    program_.AddMethod(std::move(mb).Build());
+    return name;
+  }
+
+  void EmitFillerBlock(MethodBuilder& mb, size_t depth, LocalId x, LocalId y, LocalId a,
+                       LocalId buf, LocalId holder, LocalId tmp, const std::string& callee) {
+    for (size_t i = 0; i < cfg_.straightline_run; ++i) {
+      switch (rng_.Below(5)) {
+        case 0:
+          mb.Bin(y, OpLocal(y), IrBinOp::kAdd, OpConst(rng_.Range(1, 7)));
+          break;
+        case 1:
+          mb.Bin(x, OpLocal(x), IrBinOp::kSub, OpConst(rng_.Range(1, 3)));
+          break;
+        case 2:
+          mb.Bin(y, OpLocal(x), IrBinOp::kMul, OpConst(2));
+          break;
+        case 3:
+          mb.Load(tmp, holder, "data");
+          break;
+        default:
+          mb.Assign(tmp, buf);
+          break;
+      }
+    }
+    if (!callee.empty() && rng_.Chance(cfg_.helper_call_prob)) {
+      mb.Call(kNoLocal, callee, {x});
+    }
+    if (rng_.Chance(cfg_.loop_prob)) {
+      mb.While(CondExpr::Compare(OpLocal(x), IrCmpOp::kGt, OpConst(0)), [&](MethodBuilder& b) {
+        b.Bin(x, OpLocal(x), IrBinOp::kSub, OpConst(1));
+        b.Bin(y, OpLocal(y), IrBinOp::kAdd, OpConst(1));
+      });
+    }
+    if (depth > 0) {
+      IrCmpOp op = rng_.Below(2) == 0 ? IrCmpOp::kGt : IrCmpOp::kLe;
+      mb.If(CondExpr::Compare(OpLocal(y), op, OpConst(rng_.Range(-5, 20))),
+            [&](MethodBuilder& b) {
+              EmitFillerBlock(b, depth - 1, x, y, a, buf, holder, tmp, callee);
+            },
+            [&](MethodBuilder& b) {
+              b.Bin(y, OpLocal(y), IrBinOp::kAdd, OpConst(1));
+            });
+    }
+  }
+
+  WorkloadConfig cfg_;
+  Rng rng_;
+  Program program_;
+  std::vector<InjectedPattern> patterns_;
+  int32_t next_line_ = 1000;
+  size_t method_counter_ = 0;
+};
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadConfig& config) {
+  Generator generator(config);
+  return generator.Run();
+}
+
+WorkloadConfig ZooKeeperPreset(double scale) {
+  WorkloadConfig cfg;
+  cfg.name = "zookeeper";
+  cfg.seed = 101;
+  cfg.filler_statements = static_cast<size_t>(1200 * scale);
+  cfg.modules = 4;
+  cfg.branch_depth = 3;
+  cfg.straightline_run = 5;
+  cfg.io = {2, 0, 4};
+  cfg.lock = {0, 0, 3};
+  cfg.except = {59, 0, 12};
+  cfg.socket = {4, 0, 3};
+  return cfg;
+}
+
+WorkloadConfig HadoopPreset(double scale) {
+  WorkloadConfig cfg;
+  cfg.name = "hadoop";
+  cfg.seed = 202;
+  cfg.filler_statements = static_cast<size_t>(3200 * scale);
+  cfg.modules = 6;
+  // Shallow branching, long straight-line blocks, and wide object fan-out:
+  // few distinct path constraints but many consecutive same-block edge
+  // pairs, so edge computation dominates (Figure 9's Hadoop bar).
+  cfg.branch_depth = 1;
+  cfg.straightline_run = 20;
+  cfg.object_chain_len = 96;
+  cfg.loop_prob = 0.05;
+  cfg.io = {0, 0, 4};
+  cfg.lock = {0, 0, 3};
+  cfg.except = {54, 2, 12};
+  cfg.socket = {0, 0, 2};
+  return cfg;
+}
+
+WorkloadConfig HdfsPreset(double scale) {
+  WorkloadConfig cfg;
+  cfg.name = "hdfs";
+  cfg.seed = 303;
+  cfg.filler_statements = static_cast<size_t>(3000 * scale);
+  cfg.modules = 6;
+  cfg.branch_depth = 3;
+  cfg.straightline_run = 6;
+  cfg.io = {1, 1, 4};
+  cfg.lock = {1, 0, 3};
+  cfg.except = {43, 3, 10};
+  cfg.socket = {4, 1, 3};
+  return cfg;
+}
+
+WorkloadConfig HBasePreset(double scale) {
+  WorkloadConfig cfg;
+  cfg.name = "hbase";
+  cfg.seed = 404;
+  cfg.filler_statements = static_cast<size_t>(7500 * scale);
+  cfg.modules = 10;
+  cfg.branch_depth = 3;
+  cfg.straightline_run = 6;
+  cfg.io = {15, 2, 6};
+  cfg.lock = {0, 0, 4};
+  cfg.except = {176, 8, 20};
+  cfg.socket = {0, 0, 3};
+  return cfg;
+}
+
+std::vector<WorkloadConfig> AllPresets(double scale) {
+  return {ZooKeeperPreset(scale), HadoopPreset(scale), HdfsPreset(scale), HBasePreset(scale)};
+}
+
+Classification ClassifyReports(const Workload& workload, const std::string& checker,
+                               const std::vector<BugReport>& reports) {
+  std::unordered_map<int32_t, const InjectedPattern*> by_line;
+  for (const auto& pattern : workload.patterns) {
+    if (pattern.checker == checker) {
+      by_line[pattern.alloc_line] = &pattern;
+    }
+  }
+  std::set<int32_t> reported_lines;
+  Classification result;
+  for (const auto& report : reports) {
+    if (!reported_lines.insert(report.alloc_line).second) {
+      continue;  // one verdict per allocation
+    }
+    auto it = by_line.find(report.alloc_line);
+    if (it == by_line.end()) {
+      ++result.false_positives;
+      result.unmatched_reports.push_back(report.ToString());
+      continue;
+    }
+    if (it->second->is_real_bug) {
+      ++result.true_positives;
+    } else {
+      ++result.false_positives;
+      if (!it->second->report_expected) {
+        result.unmatched_reports.push_back("unexpected (path-sensitivity regression?): " +
+                                           report.ToString());
+      }
+    }
+  }
+  for (const auto& pattern : workload.patterns) {
+    if (pattern.checker == checker && pattern.is_real_bug &&
+        reported_lines.find(pattern.alloc_line) == reported_lines.end()) {
+      ++result.false_negatives;
+    }
+  }
+  return result;
+}
+
+}  // namespace grapple

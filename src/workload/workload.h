@@ -1,0 +1,108 @@
+// Synthetic subject-program generator.
+//
+// The paper evaluates on ZooKeeper, Hadoop, HDFS and HBase. Those Java
+// codebases (and the Soot frontend) are out of scope here, so this module
+// generates deterministic subjects *shaped* like them: modules of methods
+// with integer branching, bounded loops, helper-call chains, heap plumbing
+// through holder objects — and, crucially, injected resource-usage patterns
+// with known ground truth for the four checkers. Preset configurations
+// (ZooKeeperPreset() etc.) scale statement counts to roughly 1/100 of the
+// paper's LoC and reuse the paper's per-checker bug counts (Table 2), so
+// the reproduction's Table 2/3 keep the original shape at tractable cost.
+//
+// Ground truth: every injected pattern gets a unique synthetic source line
+// on its allocation statement; GroundTruth::Classify matches reports back
+// to patterns mechanically.
+#ifndef GRAPPLE_SRC_WORKLOAD_WORKLOAD_H_
+#define GRAPPLE_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/checker/checker.h"
+#include "src/ir/ir.h"
+
+namespace grapple {
+
+// One injected resource-usage pattern and its ground truth.
+struct InjectedPattern {
+  std::string checker;  // "io", "lock", "except", "socket"
+  // The unique synthetic source line of the pattern's allocation.
+  int32_t alloc_line = -1;
+  // True when a report on this allocation is a true bug; false when the
+  // pattern is benign (a report on it is a false positive).
+  bool is_real_bug = false;
+  // Whether a report is expected at all. Real bugs: expected. Benign
+  // "fp-trap" patterns (e.g. ownership escaping through an external API,
+  // the paper's collection/try-with-resources FPs): expected but false.
+  // Benign clean/infeasible patterns: not expected.
+  bool report_expected = false;
+  std::string kind;  // "leak", "double_close", "unlock_order", ...
+};
+
+// Per-checker injection counts.
+struct BugProfile {
+  size_t real = 0;      // true bugs to inject
+  size_t fp_traps = 0;  // benign patterns the checker is expected to flag
+  size_t clean = 0;     // correct usages (incl. infeasible-path decoys)
+};
+
+struct WorkloadConfig {
+  std::string name = "custom";
+  uint64_t seed = 1;
+  // Rough target for Program::TotalStatements() via filler code.
+  size_t filler_statements = 1000;
+  // Filler shape knobs.
+  size_t methods_per_module = 8;
+  size_t branch_depth = 3;        // nesting of if's in filler methods
+  size_t straightline_run = 6;    // consecutive simple stmts per block
+  // Length of the same-block object-copy relay chain in filler methods.
+  // Long chains create quadratically many consecutive same-block edge pairs
+  // with identical (trivial) constraints — the Hadoop-shaped workload that
+  // makes edge computation dominate (Figure 9).
+  size_t object_chain_len = 3;
+  double loop_prob = 0.15;
+  double helper_call_prob = 0.5;
+  size_t modules = 4;
+  BugProfile io;
+  BugProfile lock;
+  BugProfile except;
+  BugProfile socket;
+};
+
+struct Workload {
+  WorkloadConfig config;
+  Program program;
+  std::vector<InjectedPattern> patterns;
+  // Analog of the paper's LoC column.
+  size_t total_statements = 0;
+};
+
+Workload GenerateWorkload(const WorkloadConfig& config);
+
+// The four paper subjects, scaled. `scale` multiplies filler statement
+// counts (1.0 = default reproduction scale).
+WorkloadConfig ZooKeeperPreset(double scale = 1.0);
+WorkloadConfig HadoopPreset(double scale = 1.0);
+WorkloadConfig HdfsPreset(double scale = 1.0);
+WorkloadConfig HBasePreset(double scale = 1.0);
+std::vector<WorkloadConfig> AllPresets(double scale = 1.0);
+
+// Classification of one checker run against the ground truth.
+struct Classification {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  // Real bugs with no report (missed).
+  size_t false_negatives = 0;
+  std::vector<std::string> unmatched_reports;  // reports on non-pattern lines
+};
+
+// Matches reports (by alloc_line) against the injected patterns of one
+// checker.
+Classification ClassifyReports(const Workload& workload, const std::string& checker,
+                               const std::vector<BugReport>& reports);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/typestate_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/checker/builtin_checkers.h"
+#include "src/symexec/cfet_builder.h"
+#include "src/checker/checker.h"
+#include "src/ir/parser.h"
+
+namespace grapple {
+namespace {
+
+// Builds phase 1 + the typestate graph (into a collecting sink so the base
+// edges can be inspected without running the second engine).
+struct TsRun {
+  Program program;
+  std::unique_ptr<CallGraph> call_graph;
+  Icfet icfet;
+  Grammar pt_grammar;
+  PointsToLabels pt_labels;
+  std::unique_ptr<TempDir> dir;
+  std::unique_ptr<IntervalOracle> oracle;
+  std::unique_ptr<GraphEngine> engine;
+  std::unique_ptr<AliasGraph> alias_graph;
+  std::unique_ptr<AliasIndex> alias_index;
+  Fsm fsm{"unset"};
+  Grammar ts_grammar;
+  TypestateLabels ts_labels;
+  CollectingSink sink;
+  std::unique_ptr<TypestateGraph> ts;
+};
+
+std::unique_ptr<TsRun> BuildTs(const std::string& text) {
+  auto run = std::make_unique<TsRun>();
+  ParseResult parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  run->program = std::move(parsed.program);
+  UnrollLoops(&run->program, 2);
+  run->call_graph = std::make_unique<CallGraph>(run->program);
+  run->icfet = BuildIcfet(run->program, *run->call_graph);
+  run->pt_labels = BuildPointsToGrammar(&run->pt_grammar, {});
+  run->dir = std::make_unique<TempDir>("ts-test");
+  run->oracle = std::make_unique<IntervalOracle>(&run->icfet);
+  EngineOptions options;
+  options.work_dir = run->dir->path();
+  run->engine = std::make_unique<GraphEngine>(&run->pt_grammar, run->oracle.get(), options);
+  run->alias_graph = std::make_unique<AliasGraph>(run->program, *run->call_graph, run->icfet,
+                                                  run->pt_labels, run->engine.get());
+  run->engine->Finalize(run->alias_graph->num_vertices());
+  run->engine->Run();
+  std::unordered_set<VertexId> receivers;
+  for (const auto& clone : run->alias_graph->clones()) {
+    for (const auto& occ : clone.events) {
+      receivers.insert(occ.receiver_vertex);
+    }
+  }
+  run->alias_index = std::make_unique<AliasIndex>(run->engine.get(), run->pt_labels.flows_to,
+                                                  receivers);
+  run->fsm = CompleteFsm(MakeIoCheckerSpec().fsm);
+  run->ts_labels = BuildTypestateGrammar(&run->ts_grammar, run->fsm);
+  std::vector<uint32_t> tracked;
+  for (uint32_t i = 0; i < run->alias_graph->objects().size(); ++i) {
+    if (run->alias_graph->objects()[i].type == "FileWriter") {
+      tracked.push_back(i);
+    }
+  }
+  run->ts = std::make_unique<TypestateGraph>(*run->alias_graph, *run->alias_index, run->fsm,
+                                             run->ts_labels, tracked, &run->sink);
+  return run;
+}
+
+size_t CountKind(const TsRun& run, TsVertexInfo::Kind kind) {
+  size_t count = 0;
+  for (const auto& info : run.ts->vertex_info()) {
+    if (info.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(TypestateGraphTest, StraightLineStructure) {
+  auto run = BuildTs(R"(
+    method main() {
+      obj f : FileWriter
+      f = new FileWriter
+      event f open
+      event f write
+      event f close
+      return
+    }
+  )");
+  EXPECT_EQ(run->ts->tracked().size(), 1u);
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kSeed), 1u);
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kAllocOut), 1u);
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kEventIn), 3u);
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kEventOut), 3u);
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kExit), 1u);
+  // seed edge + 3 event edges + 3 flow-into-event edges + 1 exit flow.
+  EXPECT_EQ(run->ts->num_base_edges(), 8u);
+  // Seed edge carries the initial state label.
+  bool seed_edge = false;
+  for (const auto& edge : run->sink.edges()) {
+    if (edge.src == run->ts->SeedOf(0) &&
+        edge.label == run->ts_labels.state[run->fsm.initial()]) {
+      seed_edge = true;
+    }
+  }
+  EXPECT_TRUE(seed_edge);
+}
+
+TEST(TypestateGraphTest, BranchDuplicatesEventPoints) {
+  auto run = BuildTs(R"(
+    method main() {
+      obj f : FileWriter
+      int x
+      x = ?
+      f = new FileWriter
+      event f open
+      if (x > 0) {
+        event f close
+      }
+      return
+    }
+  )");
+  // The close appears once (one occurrence), but there are two exits (one
+  // per branch side).
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kEventIn), 2u);  // open + close
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kExit), 2u);
+}
+
+TEST(TypestateGraphTest, EventsOnUntrackedObjectsIgnored) {
+  auto run = BuildTs(R"(
+    method main() {
+      obj f : FileWriter
+      obj s : Socket
+      f = new FileWriter
+      s = new Socket
+      event f open
+      event s open
+      event f close
+      event s close
+      return
+    }
+  )");
+  // Only FileWriter events materialize (Socket is untracked by this FSM
+  // binding).
+  EXPECT_EQ(run->ts->tracked().size(), 1u);
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kEventIn), 2u);
+}
+
+TEST(TypestateGraphTest, UnknownEventNamesIgnored) {
+  auto run = BuildTs(R"(
+    method main() {
+      obj f : FileWriter
+      f = new FileWriter
+      event f open
+      event f flushNonFsm
+      event f close
+      return
+    }
+  )");
+  EXPECT_EQ(CountKind(*run, TsVertexInfo::Kind::kEventIn), 2u);
+}
+
+TEST(TypestateGraphTest, CalleeWithoutEventsSkipped) {
+  auto run = BuildTs(R"(
+    method noise(int n) {
+      int z
+      if (n > 0) {
+        z = 1
+      }
+      return
+    }
+    method main() {
+      obj f : FileWriter
+      int x
+      x = ?
+      f = new FileWriter
+      event f open
+      call noise(x)
+      event f close
+      return
+    }
+  )");
+  // The walk must not create vertices inside `noise` (no relevant events).
+  for (const auto& info : run->ts->vertex_info()) {
+    EXPECT_EQ(run->alias_graph->clones()[info.clone].method,
+              *run->program.FindMethod("main"));
+  }
+}
+
+TEST(TypestateGraphTest, EventsInsideCalleeReached) {
+  auto run = BuildTs(R"(
+    method closer(obj g : FileWriter) {
+      event g close
+      return
+    }
+    method main() {
+      obj f : FileWriter
+      f = new FileWriter
+      event f open
+      call closer(f)
+      return
+    }
+  )");
+  // The close event point lives in the callee clone.
+  bool saw_callee_event = false;
+  for (const auto& info : run->ts->vertex_info()) {
+    if (info.kind == TsVertexInfo::Kind::kEventIn &&
+        run->alias_graph->clones()[info.clone].method == *run->program.FindMethod("closer")) {
+      saw_callee_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_callee_event);
+}
+
+TEST(TypestateGraphTest, PerObjectVertexSpacesAreDisjoint) {
+  auto run = BuildTs(R"(
+    method main() {
+      obj f : FileWriter
+      obj g : FileWriter
+      f = new FileWriter
+      g = new FileWriter
+      event f open
+      event g open
+      event f close
+      event g close
+      return
+    }
+  )");
+  ASSERT_EQ(run->ts->tracked().size(), 2u);
+  // Each vertex belongs to exactly one object.
+  EXPECT_NE(run->ts->SeedOf(0), run->ts->SeedOf(1));
+  // f's events: open+close relevant to f only => 2 event-ins per object.
+  size_t per_object[2] = {0, 0};
+  for (const auto& info : run->ts->vertex_info()) {
+    if (info.kind == TsVertexInfo::Kind::kEventIn) {
+      ++per_object[info.object];
+    }
+  }
+  EXPECT_EQ(per_object[0], 2u);
+  EXPECT_EQ(per_object[1], 2u);
+}
+
+}  // namespace
+}  // namespace grapple

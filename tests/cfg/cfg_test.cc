@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/cfg/call_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/ir/builder.h"
+#include "src/ir/parser.h"
+
+namespace grapple {
+namespace {
+
+Program MustParse(const std::string& text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok) << result.error;
+  return std::move(result.program);
+}
+
+TEST(LoopUnrollTest, SingleLoopBecomesNestedIfs) {
+  Program program = MustParse(R"(
+    method m(int n) {
+      int i
+      i = n
+      while (i > 0) {
+        i = i - 1
+      }
+      return
+    }
+  )");
+  Method& m = program.MutableMethod(0);
+  EXPECT_TRUE(HasLoops(m));
+  UnrollLoops(&m, 3);
+  EXPECT_FALSE(HasLoops(m));
+  // The while became an if.
+  const Stmt& level1 = m.body[1];
+  ASSERT_EQ(level1.kind, StmtKind::kIf);
+  ASSERT_EQ(level1.then_block.size(), 2u);  // body stmt + next level
+  const Stmt& level2 = level1.then_block[1];
+  ASSERT_EQ(level2.kind, StmtKind::kIf);
+  const Stmt& level3 = level2.then_block[1];
+  ASSERT_EQ(level3.kind, StmtKind::kIf);
+  // Depth 3: innermost has only the body statement.
+  EXPECT_EQ(level3.then_block.size(), 1u);
+}
+
+TEST(LoopUnrollTest, NestedLoops) {
+  Program program = MustParse(R"(
+    method m(int n) {
+      int i
+      int j
+      i = n
+      while (i > 0) {
+        j = i
+        while (j > 0) {
+          j = j - 1
+        }
+        i = i - 1
+      }
+      return
+    }
+  )");
+  UnrollLoops(&program, 2);
+  EXPECT_FALSE(HasLoops(program.MethodAt(0)));
+  // Statement count grows but stays finite: outer 2 copies, each with inner
+  // 2 copies.
+  EXPECT_GT(program.TotalStatements(), 10u);
+}
+
+TEST(LoopUnrollTest, LoopInsideBranch) {
+  Program program = MustParse(R"(
+    method m(int n) {
+      int i
+      i = n
+      if (n > 0) {
+        while (i > 0) {
+          i = i - 1
+        }
+      }
+      return
+    }
+  )");
+  UnrollLoops(&program, 2);
+  EXPECT_FALSE(HasLoops(program.MethodAt(0)));
+}
+
+constexpr char kCallChain[] = R"(
+  method leaf() { return }
+  method mid() { call leaf() return }
+  method top() { call mid() call leaf() return }
+)";
+
+TEST(CallGraphTest, CalleesCallersEntries) {
+  Program program = MustParse(kCallChain);
+  CallGraph cg(program);
+  MethodId leaf = *program.FindMethod("leaf");
+  MethodId mid = *program.FindMethod("mid");
+  MethodId top = *program.FindMethod("top");
+  EXPECT_EQ(cg.CalleesOf(top).size(), 2u);
+  EXPECT_EQ(cg.CallersOf(leaf).size(), 2u);
+  EXPECT_EQ(cg.EntryMethods(), std::vector<MethodId>{top});
+  EXPECT_FALSE(cg.IsRecursive(leaf));
+  EXPECT_FALSE(cg.IsRecursive(mid));
+  EXPECT_FALSE(cg.IsRecursive(top));
+}
+
+TEST(CallGraphTest, BottomUpOrderPutsCalleesFirst) {
+  Program program = MustParse(kCallChain);
+  CallGraph cg(program);
+  MethodId leaf = *program.FindMethod("leaf");
+  MethodId mid = *program.FindMethod("mid");
+  MethodId top = *program.FindMethod("top");
+  const auto& order = cg.BottomUpOrder();
+  auto pos = [&](MethodId m) {
+    return std::find(order.begin(), order.end(), m) - order.begin();
+  };
+  EXPECT_LT(pos(leaf), pos(mid));
+  EXPECT_LT(pos(mid), pos(top));
+}
+
+TEST(CallGraphTest, DirectRecursion) {
+  Program program = MustParse(R"(
+    method rec(int n) { call rec(n) return }
+    method main() { int x
+      x = 1
+      call rec(x) return }
+  )");
+  CallGraph cg(program);
+  EXPECT_TRUE(cg.IsRecursive(*program.FindMethod("rec")));
+  EXPECT_FALSE(cg.IsRecursive(*program.FindMethod("main")));
+}
+
+TEST(CallGraphTest, MutualRecursionSharesScc) {
+  Program program = MustParse(R"(
+    method a() { call b() return }
+    method b() { call a() return }
+    method main() { call a() return }
+  )");
+  CallGraph cg(program);
+  MethodId a = *program.FindMethod("a");
+  MethodId b = *program.FindMethod("b");
+  MethodId main = *program.FindMethod("main");
+  EXPECT_EQ(cg.SccOf(a), cg.SccOf(b));
+  EXPECT_NE(cg.SccOf(a), cg.SccOf(main));
+  EXPECT_TRUE(cg.IsRecursive(a));
+  EXPECT_TRUE(cg.IsRecursive(b));
+  EXPECT_FALSE(cg.IsRecursive(main));
+  // Reverse-topological SCC ids: the SCC of {a,b} precedes main's.
+  EXPECT_LT(cg.SccOf(a), cg.SccOf(main));
+}
+
+TEST(CallGraphTest, ExternalCallsIgnored) {
+  Program program = MustParse(R"(
+    method main() { call externalApi() return }
+  )");
+  CallGraph cg(program);
+  EXPECT_TRUE(cg.CalleesOf(0).empty());
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "src/checker/builtin_checkers.h"
+#include "src/checker/checker.h"
+#include "src/checker/fsm.h"
+#include "src/core/grapple.h"
+#include "src/ir/parser.h"
+
+namespace grapple {
+namespace {
+
+TEST(FsmTest, TransitionsAndAccepting) {
+  Fsm fsm = MakeIoCheckerSpec().fsm;
+  FsmEventId open = *fsm.FindEvent("open");
+  FsmEventId write = *fsm.FindEvent("write");
+  FsmEventId close = *fsm.FindEvent("close");
+  FsmStateId init = fsm.initial();
+  EXPECT_TRUE(fsm.IsAccepting(init));
+  auto opened = fsm.Next(init, open);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_FALSE(fsm.IsAccepting(*opened));
+  EXPECT_EQ(fsm.Next(*opened, write), opened);
+  auto closed = fsm.Next(*opened, close);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_TRUE(fsm.IsAccepting(*closed));
+  // Undefined transitions are absent before completion.
+  EXPECT_FALSE(fsm.Next(init, close).has_value());
+  EXPECT_FALSE(fsm.Next(*closed, write).has_value());
+}
+
+TEST(FsmTest, CompleteFsmAddsAbsorbinglessErrorSink) {
+  Fsm fsm = CompleteFsm(MakeIoCheckerSpec().fsm);
+  FsmStateId error = fsm.error_state();
+  ASSERT_NE(error, kNoFsmState);
+  EXPECT_TRUE(fsm.IsError(error));
+  EXPECT_FALSE(fsm.IsAccepting(error));
+  // Every (state, event) pair is now defined for non-error states.
+  for (FsmStateId q = 0; q < fsm.NumStates(); ++q) {
+    if (fsm.IsError(q)) {
+      continue;
+    }
+    for (FsmEventId e = 0; e < fsm.NumEvents(); ++e) {
+      EXPECT_TRUE(fsm.Next(q, e).has_value());
+    }
+  }
+  // The error sink itself has no outgoing transitions.
+  for (FsmEventId e = 0; e < fsm.NumEvents(); ++e) {
+    EXPECT_FALSE(fsm.Next(error, e).has_value());
+  }
+  // Previously-defined transitions are preserved.
+  EXPECT_NE(fsm.Next(fsm.initial(), *fsm.FindEvent("open")), error);
+  EXPECT_EQ(fsm.Next(fsm.initial(), *fsm.FindEvent("close")), error);
+}
+
+TEST(BuiltinCheckersTest, AllFourSpecsWellFormed) {
+  auto specs = AllBuiltinCheckers();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].fsm.name(), "io");
+  EXPECT_EQ(specs[1].fsm.name(), "lock");
+  EXPECT_EQ(specs[2].fsm.name(), "except");
+  EXPECT_EQ(specs[3].fsm.name(), "socket");
+  for (const auto& spec : specs) {
+    EXPECT_GT(spec.fsm.NumStates(), 1u);
+    EXPECT_GT(spec.fsm.NumEvents(), 0u);
+    EXPECT_FALSE(spec.tracked_types.empty());
+    EXPECT_TRUE(spec.fsm.IsAccepting(spec.fsm.initial())) << spec.fsm.name();
+  }
+}
+
+TEST(BuiltinCheckersTest, SocketFsmMatchesFigure2) {
+  Fsm fsm = MakeSocketCheckerSpec().fsm;
+  FsmStateId init = fsm.initial();
+  auto open = fsm.Next(init, *fsm.FindEvent("open"));
+  ASSERT_TRUE(open.has_value());
+  auto bound = fsm.Next(*open, *fsm.FindEvent("bind"));
+  ASSERT_TRUE(bound.has_value());
+  // configure and accept keep the channel Bound.
+  EXPECT_EQ(fsm.Next(*bound, *fsm.FindEvent("configure")), bound);
+  EXPECT_EQ(fsm.Next(*bound, *fsm.FindEvent("accept")), bound);
+  // close is legal from Open and Bound.
+  EXPECT_TRUE(fsm.Next(*open, *fsm.FindEvent("close")).has_value());
+  EXPECT_TRUE(fsm.Next(*bound, *fsm.FindEvent("close")).has_value());
+  // bind before open is undefined (erroneous).
+  EXPECT_FALSE(fsm.Next(init, *fsm.FindEvent("bind")).has_value());
+}
+
+Program MustParse(const std::string& text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok) << result.error;
+  return std::move(result.program);
+}
+
+TEST(CheckerPipelineTest, LockMisorderIsErroneousEvent) {
+  Grapple grapple(MustParse(R"(
+    method main() {
+      obj l : Lock
+      l = new Lock
+      event l unlock
+      event l lock
+      return
+    }
+  )"));
+  GrappleResult result = grapple.Check({MakeLockCheckerSpec()});
+  // unlock-in-Unlocked is the erroneous event. Tracking stops there (the
+  // error sink neither flows nor transitions), so no secondary leak report
+  // is produced for the same object.
+  ASSERT_EQ(result.checkers[0].reports.size(), 1u);
+  const BugReport& report = result.checkers[0].reports[0];
+  EXPECT_EQ(report.kind, BugReport::Kind::kErroneousEvent);
+  EXPECT_EQ(report.event, "unlock");
+  EXPECT_EQ(report.state, "Unlocked");
+}
+
+TEST(CheckerPipelineTest, UnhandledExceptionDetected) {
+  Grapple grapple(MustParse(R"(
+    method main() {
+      obj e : Exception
+      e = new Exception
+      if (?) {
+        event e throw
+      }
+      return
+    }
+  )"));
+  GrappleResult result = grapple.Check({MakeExceptionCheckerSpec()});
+  ASSERT_EQ(result.checkers[0].reports.size(), 1u);
+  EXPECT_EQ(result.checkers[0].reports[0].kind, BugReport::Kind::kBadExitState);
+  EXPECT_EQ(result.checkers[0].reports[0].state, "Thrown");
+}
+
+TEST(CheckerPipelineTest, HandledExceptionClean) {
+  Grapple grapple(MustParse(R"(
+    method main() {
+      obj e : Exception
+      e = new Exception
+      if (?) {
+        event e throw
+        event e handle
+      }
+      return
+    }
+  )"));
+  GrappleResult result = grapple.Check({MakeExceptionCheckerSpec()});
+  EXPECT_TRUE(result.checkers[0].reports.empty());
+}
+
+TEST(CheckerPipelineTest, ReportToStringMentionsEverything) {
+  Grapple grapple(MustParse(R"(
+    method main() {
+      obj f : FileWriter
+      int x
+      x = ?
+      f = new FileWriter
+      event f open
+      if (x > 3) {
+        event f close
+      }
+      return
+    }
+  )"));
+  GrappleResult result = grapple.Check({MakeIoCheckerSpec()});
+  ASSERT_EQ(result.checkers[0].reports.size(), 1u);
+  std::string text = result.checkers[0].reports[0].ToString();
+  EXPECT_NE(text.find("[io]"), std::string::npos);
+  EXPECT_NE(text.find("Open"), std::string::npos);
+  EXPECT_NE(text.find("main::new FileWriter"), std::string::npos);
+  // The witness constraint mentions the branch condition's negation.
+  EXPECT_NE(text.find("path:"), std::string::npos) << text;
+}
+
+TEST(CheckerPipelineTest, MultipleCheckersIndependent) {
+  Grapple grapple(MustParse(R"(
+    method main() {
+      obj f : FileWriter
+      obj l : Lock
+      f = new FileWriter
+      l = new Lock
+      event f open
+      event l lock
+      return
+    }
+  )"));
+  GrappleResult result = grapple.Check(AllBuiltinCheckers());
+  ASSERT_EQ(result.checkers.size(), 4u);
+  EXPECT_EQ(result.checkers[0].reports.size(), 1u);  // io leak
+  EXPECT_EQ(result.checkers[1].reports.size(), 1u);  // lock leak
+  EXPECT_TRUE(result.checkers[2].reports.empty());   // except
+  EXPECT_TRUE(result.checkers[3].reports.empty());   // socket
+  EXPECT_EQ(result.TotalReports(), 2u);
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/checker/report_json.h"
+
+namespace grapple {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+BugReport MakeReport() {
+  BugReport report;
+  report.checker = "io";
+  report.kind = BugReport::Kind::kBadExitState;
+  report.object_desc = "main::new FileWriter@n0#c0";
+  report.type = "FileWriter";
+  report.alloc_line = 42;
+  report.state = "Open";
+  report.constraint = "x - 3 <= 0";
+  report.witness_path = "{m0[0,5]}";
+  return report;
+}
+
+TEST(ReportJsonTest, BadExitStateFields) {
+  std::string json = ReportToJson(MakeReport());
+  EXPECT_NE(json.find("\"checker\":\"io\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"bad_exit_state\""), std::string::npos);
+  EXPECT_NE(json.find("\"alloc_line\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"Open\""), std::string::npos);
+  EXPECT_NE(json.find("\"constraint\":\"x - 3 <= 0\""), std::string::npos);
+  // No event fields for exit-state reports.
+  EXPECT_EQ(json.find("\"event\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, ErroneousEventFields) {
+  BugReport report = MakeReport();
+  report.kind = BugReport::Kind::kErroneousEvent;
+  report.event = "close";
+  report.event_line = 57;
+  std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"kind\":\"erroneous_event\""), std::string::npos);
+  EXPECT_NE(json.find("\"event\":\"close\""), std::string::npos);
+  EXPECT_NE(json.find("\"event_line\":57"), std::string::npos);
+}
+
+TEST(ReportJsonTest, ArrayShape) {
+  EXPECT_EQ(ReportsToJson({}), "[\n]");
+  std::string two = ReportsToJson({MakeReport(), MakeReport()});
+  EXPECT_EQ(two.front(), '[');
+  EXPECT_EQ(two.back(), ']');
+  EXPECT_NE(two.find("},\n"), std::string::npos);
+  // Two objects (the witness path also contains braces, so count a field
+  // key rather than '{').
+  size_t objects = 0;
+  for (size_t pos = two.find("\"checker\""); pos != std::string::npos;
+       pos = two.find("\"checker\"", pos + 1)) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, 2u);
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,129 @@
+// Tests of the Grapple facade: option plumbing, result aggregation, and the
+// public-API contract.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/checker/builtin_checkers.h"
+#include "src/core/grapple.h"
+#include "src/ir/parser.h"
+
+namespace grapple {
+namespace {
+
+Program MustParse(const std::string& text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok) << result.error;
+  return std::move(result.program);
+}
+
+constexpr char kSmall[] = R"(
+  method main() {
+    obj f : FileWriter
+    int x
+    x = ?
+    f = new FileWriter
+    event f open
+    if (x > 0) {
+      event f close
+    }
+    return
+  }
+)";
+
+TEST(GrappleFacadeTest, ExplicitWorkDirIsUsedAndKept) {
+  TempDir dir("facade-workdir");
+  GrappleOptions options;
+  options.work_dir = dir.path();
+  Grapple analyzer(MustParse(kSmall), options);
+  GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
+  EXPECT_EQ(result.checkers[0].reports.size(), 1u);
+  // Phase directories were created under the caller's work dir.
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/alias"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/typestate-io"));
+}
+
+TEST(GrappleFacadeTest, CheckIsSingleUse) {
+  Grapple analyzer(MustParse(kSmall));
+  analyzer.Check({MakeIoCheckerSpec()});
+  EXPECT_DEATH(analyzer.Check({MakeIoCheckerSpec()}), "once per instance");
+}
+
+TEST(GrappleFacadeTest, ResultAggregatesAcrossPhases) {
+  Grapple analyzer(MustParse(kSmall));
+  GrappleResult result = analyzer.Check(AllBuiltinCheckers());
+  ASSERT_EQ(result.checkers.size(), 4u);
+  EXPECT_EQ(result.TotalReports(), 1u);
+  EXPECT_GT(result.alias.num_vertices, 0u);
+  EXPECT_GT(result.alias.edges_before, 0u);
+  EXPECT_GE(result.alias.edges_after, result.alias.edges_before);
+  uint64_t vertex_sum = result.alias.num_vertices;
+  for (const auto& checker : result.checkers) {
+    vertex_sum += checker.typestate.num_vertices;
+  }
+  EXPECT_EQ(result.TotalVerticesAllPhases(), vertex_sum);
+  EXPECT_GE(result.total_seconds, result.alias.seconds);
+  EXPECT_GE(result.PreprocessSeconds(), result.frontend_seconds);
+}
+
+TEST(GrappleFacadeTest, MultiThreadedMatchesSequential) {
+  auto run = [&](size_t threads) {
+    GrappleOptions options;
+    options.num_threads = threads;
+    Grapple analyzer(MustParse(kSmall), options);
+    GrappleResult result = analyzer.Check(AllBuiltinCheckers());
+    std::vector<std::string> reports;
+    for (const auto& checker : result.checkers) {
+      for (const auto& report : checker.reports) {
+        reports.push_back(report.ToString());
+      }
+    }
+    std::sort(reports.begin(), reports.end());
+    return reports;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(GrappleFacadeTest, TinyMemoryBudgetStillCorrect) {
+  GrappleOptions options;
+  options.memory_budget_bytes = 4 << 10;  // pathological: forces max spilling
+  Grapple analyzer(MustParse(kSmall), options);
+  GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
+  ASSERT_EQ(result.checkers[0].reports.size(), 1u);
+  EXPECT_EQ(result.checkers[0].reports[0].state, "Open");
+}
+
+TEST(GrappleFacadeTest, EmptyCheckerListRunsAliasOnly) {
+  Grapple analyzer(MustParse(kSmall));
+  GrappleResult result = analyzer.Check({});
+  EXPECT_TRUE(result.checkers.empty());
+  EXPECT_GT(result.alias_pairs, 0u);
+}
+
+TEST(GrappleFacadeTest, ProgramWithNoTrackedObjects) {
+  Grapple analyzer(MustParse(R"(
+    method main() {
+      obj b : Buffer
+      b = new Buffer
+      return
+    }
+  )"));
+  GrappleResult result = analyzer.Check(AllBuiltinCheckers());
+  EXPECT_EQ(result.TotalReports(), 0u);
+  for (const auto& checker : result.checkers) {
+    EXPECT_EQ(checker.tracked_objects, 0u);
+  }
+}
+
+TEST(GrappleFacadeTest, WitnessFieldsPopulated) {
+  Grapple analyzer(MustParse(kSmall));
+  GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
+  ASSERT_EQ(result.checkers[0].reports.size(), 1u);
+  const BugReport& report = result.checkers[0].reports[0];
+  EXPECT_FALSE(report.constraint.empty());
+  EXPECT_FALSE(report.witness_path.empty());
+  EXPECT_NE(report.witness_path.find("m0["), std::string::npos) << report.witness_path;
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,105 @@
+// Bounded loop unrolling (§3.1) and its effect on checking: bugs that need
+// k loop iterations to manifest are found exactly when the unroll bound
+// reaches k, and loop-independent results are stable across bounds.
+#include <gtest/gtest.h>
+
+#include "src/checker/builtin_checkers.h"
+#include "src/core/grapple.h"
+#include "src/ir/parser.h"
+
+namespace grapple {
+namespace {
+
+Program MustParse(const std::string& text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok) << result.error;
+  return std::move(result.program);
+}
+
+size_t IoReportsAtUnroll(const std::string& text, size_t unroll) {
+  GrappleOptions options;
+  options.loop_unroll = unroll;
+  Grapple analyzer(MustParse(text), options);
+  GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
+  return result.checkers[0].reports.size();
+}
+
+// close() inside a loop body: the second iteration double-closes. One
+// unrolled iteration cannot see the bug; two can.
+constexpr char kLoopDoubleClose[] = R"(
+  method main() {
+    obj f : FileWriter
+    int i
+    i = ?
+    f = new FileWriter
+    event f open
+    while (i > 0) {
+      event f close
+      i = i - 1
+    }
+    return
+  }
+)";
+
+TEST(UnrollTest, LoopCarriedDoubleCloseNeedsTwoIterations) {
+  // Bound 1: only the leak on the zero-iteration path is visible.
+  EXPECT_EQ(IoReportsAtUnroll(kLoopDoubleClose, 1), 1u);
+  // Bound >= 2: the double close (erroneous event) appears as well.
+  EXPECT_EQ(IoReportsAtUnroll(kLoopDoubleClose, 2), 2u);
+  EXPECT_EQ(IoReportsAtUnroll(kLoopDoubleClose, 3), 2u);
+}
+
+// A loop-independent leak: stable across unroll bounds.
+constexpr char kPlainLeak[] = R"(
+  method main() {
+    obj f : FileWriter
+    int i
+    i = ?
+    f = new FileWriter
+    event f open
+    while (i > 0) {
+      event f write
+      i = i - 1
+    }
+    if (i > 100) {
+      event f close
+    }
+    return
+  }
+)";
+
+class UnrollBoundTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UnrollBoundTest, LoopIndependentResultStable) {
+  EXPECT_EQ(IoReportsAtUnroll(kPlainLeak, GetParam()), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UnrollBoundTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+// Loop-guarded close with a bounded counter: with i fixed to 1, the close
+// executes exactly once; unrolling must not invent a double close.
+constexpr char kExactOnce[] = R"(
+  method main() {
+    obj f : FileWriter
+    int i
+    i = 1
+    f = new FileWriter
+    event f open
+    while (i > 0) {
+      event f close
+      i = i - 1
+    }
+    return
+  }
+)";
+
+TEST(UnrollTest, ConstantBoundedLoopDoesNotInventBugs) {
+  // The second unrolled iteration is guarded by i - 1 > 0 with i == 1:
+  // infeasible, so the solver prunes the double-close path. The
+  // zero-iteration path (skip the loop entirely, 1 > 0 false) is also
+  // infeasible, so there is no leak either.
+  EXPECT_EQ(IoReportsAtUnroll(kExactOnce, 3), 0u);
+}
+
+}  // namespace
+}  // namespace grapple

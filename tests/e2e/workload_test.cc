@@ -1,0 +1,65 @@
+// Generated-workload pipeline tests: ground-truth recall and precision on a
+// small synthetic subject.
+#include <gtest/gtest.h>
+
+#include "src/checker/builtin_checkers.h"
+#include "src/core/grapple.h"
+#include "src/workload/workload.h"
+
+namespace grapple {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig cfg;
+  cfg.name = "small";
+  cfg.seed = 7;
+  cfg.filler_statements = 200;
+  cfg.modules = 2;
+  cfg.branch_depth = 2;
+  cfg.straightline_run = 4;
+  cfg.io = {3, 1, 3};
+  cfg.lock = {2, 0, 2};
+  cfg.except = {3, 1, 2};
+  cfg.socket = {2, 0, 2};
+  return cfg;
+}
+
+TEST(WorkloadTest, GenerationIsDeterministic) {
+  Workload a = GenerateWorkload(SmallConfig());
+  Workload b = GenerateWorkload(SmallConfig());
+  EXPECT_EQ(a.program.ToString(), b.program.ToString());
+  EXPECT_EQ(a.patterns.size(), b.patterns.size());
+}
+
+TEST(WorkloadTest, AllInjectedBugsFoundNoUnexpectedReports) {
+  Workload workload = GenerateWorkload(SmallConfig());
+  Grapple grapple(std::move(workload.program));
+  GrappleResult result = grapple.Check(AllBuiltinCheckers());
+  ASSERT_EQ(result.checkers.size(), 4u);
+  for (const auto& checker : result.checkers) {
+    Classification cls = ClassifyReports(workload, checker.checker, checker.reports);
+    EXPECT_EQ(cls.false_negatives, 0u) << checker.checker << ": missed injected bugs";
+    for (const auto& unmatched : cls.unmatched_reports) {
+      ADD_FAILURE() << checker.checker << ": " << unmatched;
+    }
+    // FP traps are expected to be flagged (that's what makes them FPs);
+    // everything else flagged would show up in unmatched_reports above.
+    size_t expected_real = 0;
+    size_t expected_traps = 0;
+    for (const auto& pattern : workload.patterns) {
+      if (pattern.checker != checker.checker) {
+        continue;
+      }
+      if (pattern.is_real_bug) {
+        ++expected_real;
+      } else if (pattern.report_expected) {
+        ++expected_traps;
+      }
+    }
+    EXPECT_EQ(cls.true_positives, expected_real) << checker.checker;
+    EXPECT_EQ(cls.false_positives, expected_traps) << checker.checker;
+  }
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/ir.h"
+
+namespace grapple {
+namespace {
+
+TEST(IrBuilderTest, BuildsFigure3Shape) {
+  MethodBuilder mb("main");
+  LocalId out = mb.Obj("out", "FileWriter");
+  LocalId o = mb.Obj("o", "FileWriter");
+  LocalId x = mb.Int("x");
+  LocalId y = mb.Int("y");
+  mb.Havoc(x);
+  mb.AssignInt(y, OpLocal(x));
+  mb.If(
+      CondExpr::Compare(OpLocal(x), IrCmpOp::kGe, OpConst(0)),
+      [&](MethodBuilder& b) {
+        b.Alloc(out, "FileWriter");
+        b.Event(out, "open");
+        b.Assign(o, out);
+        b.Bin(y, OpLocal(x), IrBinOp::kSub, OpConst(1));
+      },
+      [&](MethodBuilder& b) { b.Bin(y, OpLocal(x), IrBinOp::kAdd, OpConst(1)); });
+  mb.If(CondExpr::Compare(OpLocal(y), IrCmpOp::kGt, OpConst(0)), [&](MethodBuilder& b) {
+    b.Event(out, "write");
+    b.Event(o, "close");
+  });
+  mb.Ret();
+  Method method = std::move(mb).Build();
+
+  EXPECT_EQ(method.name, "main");
+  EXPECT_EQ(method.locals.size(), 4u);
+  EXPECT_EQ(method.num_params, 0u);
+  ASSERT_EQ(method.body.size(), 5u);
+  EXPECT_EQ(method.body[2].kind, StmtKind::kIf);
+  EXPECT_EQ(method.body[2].then_block.size(), 4u);
+  EXPECT_EQ(method.body[2].else_block.size(), 1u);
+  EXPECT_EQ(method.body[3].then_block.size(), 2u);
+  EXPECT_TRUE(method.body[3].else_block.empty());
+}
+
+TEST(IrBuilderTest, ParamsBeforeLocals) {
+  MethodBuilder mb("callee");
+  LocalId p = mb.ObjParam("p", "Lock");
+  LocalId c = mb.IntParam("c");
+  LocalId t = mb.Int("t");
+  mb.AssignInt(t, OpLocal(c));
+  mb.Ret();
+  Method method = std::move(mb).Build();
+  EXPECT_EQ(method.num_params, 2u);
+  EXPECT_EQ(p, 0u);
+  EXPECT_EQ(c, 1u);
+  EXPECT_EQ(t, 2u);
+  EXPECT_TRUE(method.locals[0].is_object);
+  EXPECT_EQ(method.locals[0].type, "Lock");
+}
+
+TEST(IrBuilderTest, SetLineAttachesToLastStatement) {
+  MethodBuilder mb("m");
+  LocalId f = mb.Obj("f", "FileWriter");
+  mb.Alloc(f, "FileWriter");
+  mb.SetLine(1234);
+  mb.Ret();
+  Method method = std::move(mb).Build();
+  EXPECT_EQ(method.body[0].source_line, 1234);
+  EXPECT_EQ(method.body[1].source_line, -1);
+}
+
+TEST(ProgramTest, FindMethodAndStatementCount) {
+  Program program;
+  MethodBuilder a("a");
+  a.Ret();
+  program.AddMethod(std::move(a).Build());
+  MethodBuilder b("b");
+  LocalId x = b.Int("x");
+  b.Havoc(x);
+  b.If(CondExpr::Opaque(), [&](MethodBuilder& mb) { mb.Nop(); });
+  b.Ret();
+  program.AddMethod(std::move(b).Build());
+
+  EXPECT_TRUE(program.FindMethod("a").has_value());
+  EXPECT_TRUE(program.FindMethod("b").has_value());
+  EXPECT_FALSE(program.FindMethod("c").has_value());
+  // a: return. b: havoc, if, nop (nested), return.
+  EXPECT_EQ(program.TotalStatements(), 5u);
+}
+
+TEST(ProgramTest, ToStringContainsStructure) {
+  Program program;
+  MethodBuilder mb("demo");
+  LocalId f = mb.Obj("f", "Socket");
+  LocalId x = mb.Int("x");
+  mb.Havoc(x);
+  mb.Alloc(f, "Socket");
+  mb.Event(f, "open");
+  mb.While(CondExpr::Compare(OpLocal(x), IrCmpOp::kGt, OpConst(0)),
+           [&](MethodBuilder& b) { b.Bin(x, OpLocal(x), IrBinOp::kSub, OpConst(1)); });
+  mb.Ret();
+  program.AddMethod(std::move(mb).Build());
+  std::string text = program.ToString();
+  EXPECT_NE(text.find("method demo()"), std::string::npos);
+  EXPECT_NE(text.find("f = new Socket"), std::string::npos);
+  EXPECT_NE(text.find("event f open"), std::string::npos);
+  EXPECT_NE(text.find("while (x > 0)"), std::string::npos);
+}
+
+TEST(MethodTest, FindLocal) {
+  MethodBuilder mb("m");
+  mb.Int("alpha");
+  mb.Obj("beta", "T");
+  mb.Ret();
+  Method method = std::move(mb).Build();
+  EXPECT_EQ(method.FindLocal("alpha"), std::optional<LocalId>(0u));
+  EXPECT_EQ(method.FindLocal("beta"), std::optional<LocalId>(1u));
+  EXPECT_FALSE(method.FindLocal("gamma").has_value());
+}
+
+}  // namespace
+}  // namespace grapple

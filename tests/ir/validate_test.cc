@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/parser.h"
+#include "src/ir/validate.h"
+#include "src/workload/workload.h"
+
+namespace grapple {
+namespace {
+
+TEST(ValidateTest, ParsedProgramsAreValid) {
+  ParseResult result = ParseProgram(R"(
+    method helper(obj g : T, int c) : obj T {
+      if (c > 0) {
+        event g close
+      }
+      return g
+    }
+    method main() {
+      obj a : T
+      obj b : T
+      int x
+      x = ?
+      a = new T
+      b = helper(a, x)
+      return
+    }
+  )");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(ValidateProgram(result.program).empty());
+}
+
+TEST(ValidateTest, GeneratedWorkloadsAreValid) {
+  for (const auto& cfg : AllPresets(0.15)) {
+    Workload workload = GenerateWorkload(cfg);
+    auto issues = ValidateProgram(workload.program);
+    for (const auto& issue : issues) {
+      ADD_FAILURE() << cfg.name << ": " << issue.ToString();
+    }
+  }
+}
+
+Method BuildBroken(const std::function<void(MethodBuilder&)>& body) {
+  MethodBuilder mb("broken");
+  body(mb);
+  mb.Ret();
+  return std::move(mb).Build();
+}
+
+TEST(ValidateTest, KindMismatchesCaught) {
+  Program program;
+  program.AddMethod(BuildBroken([](MethodBuilder& mb) {
+    LocalId x = mb.Int("x");
+    // alloc into an int local
+    Stmt s;
+    mb.Havoc(x);
+    (void)s;
+  }));
+  // Hand-corrupt: alloc into int local via direct Stmt surgery.
+  Method& method = program.MutableMethod(0);
+  Stmt alloc;
+  alloc.kind = StmtKind::kAlloc;
+  alloc.dst = 0;  // the int local
+  alloc.type_name = "T";
+  method.body.insert(method.body.begin(), alloc);
+  auto issues = ValidateProgram(program);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("alloc destination"), std::string::npos);
+}
+
+TEST(ValidateTest, ArityMismatchCaught) {
+  Program program;
+  {
+    MethodBuilder mb("callee");
+    mb.IntParam("a");
+    mb.IntParam("b");
+    mb.Ret();
+    program.AddMethod(std::move(mb).Build());
+  }
+  {
+    MethodBuilder mb("caller");
+    LocalId x = mb.Int("x");
+    mb.Havoc(x);
+    mb.CallVoid("callee", {x});  // one arg, two expected
+    mb.Ret();
+    program.AddMethod(std::move(mb).Build());
+  }
+  auto issues = ValidateProgram(program);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("expected 2"), std::string::npos);
+  EXPECT_EQ(issues[0].method, "caller");
+}
+
+TEST(ValidateTest, ArgumentKindMismatchCaught) {
+  Program program;
+  {
+    MethodBuilder mb("callee");
+    mb.ObjParam("p", "T");
+    mb.Ret();
+    program.AddMethod(std::move(mb).Build());
+  }
+  {
+    MethodBuilder mb("caller");
+    LocalId x = mb.Int("x");
+    mb.Havoc(x);
+    mb.CallVoid("callee", {x});  // int passed to object param
+    mb.Ret();
+    program.AddMethod(std::move(mb).Build());
+  }
+  auto issues = ValidateProgram(program);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("kind mismatch"), std::string::npos);
+}
+
+TEST(ValidateTest, ExternalCallsAllowed) {
+  Program program;
+  MethodBuilder mb("main");
+  LocalId f = mb.Obj("f", "T");
+  mb.Alloc(f, "T");
+  mb.CallVoid("external_register", {f});
+  mb.Ret();
+  program.AddMethod(std::move(mb).Build());
+  EXPECT_TRUE(ValidateProgram(program).empty());
+}
+
+TEST(ValidateTest, ObjectResultFromIntReturningCallee) {
+  Program program;
+  {
+    MethodBuilder mb("callee");
+    LocalId r = mb.Int("r");
+    mb.ConstInt(r, 1);
+    mb.Ret(r);
+    program.AddMethod(std::move(mb).Build());
+  }
+  {
+    MethodBuilder mb("caller");
+    LocalId o = mb.Obj("o", "T");
+    mb.Call(o, "callee", {});
+    mb.Ret();
+    program.AddMethod(std::move(mb).Build());
+  }
+  auto issues = ValidateProgram(program);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("non-object-returning"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grapple

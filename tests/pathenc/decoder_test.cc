@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/cfg/call_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/ir/parser.h"
+#include "src/pathenc/constraint_decoder.h"
+#include "src/smt/solver.h"
+#include "src/symexec/cfet_builder.h"
+
+namespace grapple {
+namespace {
+
+struct DecoderSetup {
+  Program program;
+  std::unique_ptr<CallGraph> call_graph;
+  Icfet icfet;
+};
+
+DecoderSetup Prepare(const std::string& text) {
+  ParseResult result = ParseProgram(text);
+  EXPECT_TRUE(result.ok) << result.error;
+  DecoderSetup setup{std::move(result.program), nullptr, Icfet()};
+  UnrollLoops(&setup.program, 2);
+  setup.call_graph = std::make_unique<CallGraph>(setup.program);
+  setup.icfet = BuildIcfet(setup.program, *setup.call_graph);
+  return setup;
+}
+
+constexpr char kTwoBranches[] = R"(
+  method m(int x) {
+    int y
+    y = x
+    if (x >= 0) {
+      y = x - 1
+    } else {
+      y = x + 1
+    }
+    if (y > 0) {
+      y = 0
+    }
+    return
+  }
+)";
+
+TEST(DecoderTest, IntervalPolarity) {
+  DecoderSetup setup = Prepare(kTwoBranches);
+  PathDecoder decoder(&setup.icfet);
+  Solver solver;
+  // True-true path [0,6]: x >= 0 && x-1 > 0 -> sat (x=2).
+  EXPECT_EQ(solver.Solve(decoder.Decode(PathEncoding::Interval(0, 0, 6))), SolveResult::kSat);
+  // False-true path [0,4]: x < 0 && x+1 > 0 -> unsat over integers.
+  EXPECT_EQ(solver.Solve(decoder.Decode(PathEncoding::Interval(0, 0, 4))),
+            SolveResult::kUnsat);
+  // False-false path [0,3]: x < 0 && x+1 <= 0 -> sat (x=-1).
+  EXPECT_EQ(solver.Solve(decoder.Decode(PathEncoding::Interval(0, 0, 3))), SolveResult::kSat);
+}
+
+TEST(DecoderTest, SingleNodeIntervalIsTrue) {
+  DecoderSetup setup = Prepare(kTwoBranches);
+  PathDecoder decoder(&setup.icfet);
+  Constraint constraint = decoder.Decode(PathEncoding::Interval(0, 2, 2));
+  EXPECT_TRUE(constraint.IsTriviallyTrue());
+}
+
+TEST(DecoderTest, DisjointFragmentsShareMethodFrame) {
+  DecoderSetup setup = Prepare(kTwoBranches);
+  PathDecoder decoder(&setup.icfet);
+  Solver solver;
+  // Two fragments of the same method activation must share variables:
+  // [0,2] gives x >= 0, [1,3]... node 1 is the false child: x < 0.
+  PathEncoding enc =
+      PathEncoding::Append(PathEncoding::Interval(0, 0, 2), PathEncoding::Interval(0, 0, 1));
+  EXPECT_EQ(solver.Solve(decoder.Decode(enc)), SolveResult::kUnsat);
+}
+
+constexpr char kCallTwice[] = R"(
+  method sign(int a) {
+    int r
+    if (a >= 0) {
+      r = 1
+      return r
+    }
+    r = 0
+    return r
+  }
+  method main() {
+    int p
+    int q
+    int u
+    int v
+    p = 5
+    q = -5
+    u = sign(p)
+    v = sign(q)
+    return
+  }
+)";
+
+TEST(DecoderTest, SequentialCallsGetFreshFrames) {
+  DecoderSetup setup = Prepare(kCallTwice);
+  ASSERT_EQ(setup.icfet.NumCallSites(), 2u);
+  const CallSite& first = setup.icfet.CallSiteAt(0);
+  const CallSite& second = setup.icfet.CallSiteAt(1);
+  MethodId sign = *setup.program.FindMethod("sign");
+  MethodId main = *setup.program.FindMethod("main");
+
+  // main calls sign(5) taking the a>=0 leaf, then sign(-5) taking the a<0
+  // leaf. With per-call frames this is satisfiable; with a single shared
+  // frame it would contradict (a == 5 && a == -5).
+  PathEncoding enc = PathEncoding::Interval(main, 0, 0);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(first.id));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(sign, 0, 2));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(first.id));
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(second.id));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(sign, 0, 1));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(second.id));
+
+  PathDecoder decoder(&setup.icfet);
+  Constraint constraint = decoder.Decode(enc);
+  Solver solver;
+  EXPECT_EQ(solver.Solve(constraint), SolveResult::kSat) << constraint.ToString();
+
+  // Inconsistent leaf choices must be rejected: sign(5) through the a<0
+  // branch.
+  PathEncoding bad = PathEncoding::Interval(main, 0, 0);
+  bad = PathEncoding::Append(bad, PathEncoding::CallEdge(first.id));
+  bad = PathEncoding::Append(bad, PathEncoding::Interval(sign, 0, 1));  // a < 0, but a==5
+  Constraint bad_constraint = decoder.Decode(bad);
+  EXPECT_EQ(solver.Solve(bad_constraint), SolveResult::kUnsat) << bad_constraint.ToString();
+}
+
+TEST(DecoderTest, ReturnValueBinding) {
+  DecoderSetup setup = Prepare(kCallTwice);
+  const CallSite& first = setup.icfet.CallSiteAt(0);
+  MethodId sign = *setup.program.FindMethod("sign");
+  MethodId main = *setup.program.FindMethod("main");
+  ASSERT_NE(first.result_var, kInvalidVar);
+
+  PathEncoding enc = PathEncoding::Interval(main, 0, 0);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(first.id));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(sign, 0, 2));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(first.id));
+
+  PathDecoder decoder(&setup.icfet);
+  Constraint constraint = decoder.Decode(enc);
+  // Atoms: a == 5 (call), a >= 0 (branch), u == 1 (return binding).
+  EXPECT_EQ(constraint.size(), 3u) << constraint.ToString();
+}
+
+TEST(DecoderTest, ReturnWithoutCallOpensCallerFrame) {
+  DecoderSetup setup = Prepare(kCallTwice);
+  const CallSite& first = setup.icfet.CallSiteAt(0);
+  MethodId sign = *setup.program.FindMethod("sign");
+  // A flow that starts inside the callee and returns: no matching call edge
+  // in the encoding.
+  PathEncoding enc = PathEncoding::Interval(sign, 0, 2);
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(first.id));
+  PathDecoder decoder(&setup.icfet);
+  Constraint constraint = decoder.Decode(enc);
+  Solver solver;
+  EXPECT_EQ(solver.Solve(constraint), SolveResult::kSat) << constraint.ToString();
+}
+
+TEST(DecoderTest, OpaqueItemContributesNothingButKeepsSat) {
+  DecoderSetup setup = Prepare(kTwoBranches);
+  PathDecoder decoder(&setup.icfet);
+  PathEncoding enc = PathEncoding::Append(PathEncoding::Interval(0, 0, 2), PathEncoding::Opaque());
+  Constraint constraint = decoder.Decode(enc);
+  Solver solver;
+  EXPECT_NE(solver.Solve(constraint), SolveResult::kUnsat);
+}
+
+TEST(DecoderTest, InvalidIntervalWeakensToOpaque) {
+  DecoderSetup setup = Prepare(kTwoBranches);
+  PathDecoder decoder(&setup.icfet);
+  // start is not an ancestor of end: node 1 and node 6 are in different
+  // subtrees.
+  Constraint constraint = decoder.Decode(PathEncoding::Interval(0, 1, 6));
+  EXPECT_EQ(decoder.stats().invalid_intervals, 1u);
+  Solver solver;
+  EXPECT_NE(solver.Solve(constraint), SolveResult::kUnsat);
+}
+
+TEST(DecoderTest, StatsCountDecodes) {
+  DecoderSetup setup = Prepare(kTwoBranches);
+  PathDecoder decoder(&setup.icfet);
+  decoder.Decode(PathEncoding::Interval(0, 0, 6));
+  decoder.Decode(PathEncoding::Interval(0, 0, 3));
+  EXPECT_EQ(decoder.stats().decodes, 2u);
+  EXPECT_GT(decoder.stats().atoms, 0u);
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,149 @@
+// Properties of the encoding algebra, checked over randomly generated valid
+// path encodings of a fixture program:
+//   * Append is associative on the decoded-constraint level,
+//   * Compact only weakens: it never turns a satisfiable path into an
+//     unsatisfiable one (dropping completed-callee constraints must keep
+//     warnings, not suppress them),
+//   * serialization round-trips.
+#include <gtest/gtest.h>
+
+#include "src/cfg/call_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/ir/parser.h"
+#include "src/pathenc/constraint_decoder.h"
+#include "src/smt/solver.h"
+#include "src/support/rng.h"
+#include "src/symexec/cfet_builder.h"
+
+namespace grapple {
+namespace {
+
+constexpr char kFixture[] = R"(
+  method helper(int a) {
+    int r
+    if (a > 2) {
+      r = a - 2
+      return r
+    }
+    r = a + 2
+    return r
+  }
+  method work(int x, int y) {
+    int t
+    int u
+    t = x + y
+    if (t >= 0) {
+      u = helper(t)
+    }
+    if (x < 5) {
+      t = t + 1
+    }
+    if (y != 0) {
+      t = t - 1
+    }
+    return
+  }
+)";
+
+class MergePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ParseResult parsed = ParseProgram(kFixture);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    program_ = std::move(parsed.program);
+    UnrollLoops(&program_, 2);
+    call_graph_ = std::make_unique<CallGraph>(program_);
+    icfet_ = BuildIcfet(program_, *call_graph_);
+    work_ = *program_.FindMethod("work");
+    helper_ = *program_.FindMethod("helper");
+  }
+
+  // A random root-anchored interval of the given method's CFET.
+  PathEncoding RandomInterval(Rng* rng, MethodId m) {
+    const MethodCfet& cfet = icfet_.OfMethod(m);
+    CfetNodeId node = kCfetRoot;
+    while (cfet.NodeAt(node).has_children && rng->Chance(0.7)) {
+      node = rng->Chance(0.5) ? MethodCfet::TrueChild(node) : MethodCfet::FalseChild(node);
+      if (cfet.FindNode(node) == nullptr) {
+        node = MethodCfet::ParentOf(node);
+        break;
+      }
+    }
+    return PathEncoding::Interval(m, kCfetRoot, node);
+  }
+
+  // A random well-formed fragment: an interval, possibly an interprocedural
+  // excursion through `helper`.
+  PathEncoding RandomFragment(Rng* rng) {
+    PathEncoding enc = RandomInterval(rng, work_);
+    if (rng->Chance(0.5) && icfet_.NumCallSites() > 0) {
+      CallSiteId site = static_cast<CallSiteId>(rng->Below(icfet_.NumCallSites()));
+      enc = PathEncoding::Append(enc, PathEncoding::CallEdge(site));
+      enc = PathEncoding::Append(enc, RandomInterval(rng, icfet_.CallSiteAt(site).callee));
+      if (rng->Chance(0.7)) {
+        enc = PathEncoding::Append(enc, PathEncoding::RetEdge(site));
+      }
+    }
+    return enc;
+  }
+
+  Program program_;
+  std::unique_ptr<CallGraph> call_graph_;
+  Icfet icfet_;
+  MethodId work_ = kNoMethod;
+  MethodId helper_ = kNoMethod;
+};
+
+TEST_P(MergePropertyTest, AppendAssociativeOnVerdicts) {
+  Rng rng(GetParam());
+  PathDecoder decoder(&icfet_);
+  Solver solver;
+  for (int i = 0; i < 25; ++i) {
+    PathEncoding a = RandomFragment(&rng);
+    PathEncoding b = RandomFragment(&rng);
+    PathEncoding c = RandomFragment(&rng);
+    PathEncoding left = PathEncoding::Append(PathEncoding::Append(a, b), c);
+    PathEncoding right = PathEncoding::Append(a, PathEncoding::Append(b, c));
+    EXPECT_EQ(left, right) << left.ToString() << " vs " << right.ToString();
+    SolveResult lv = solver.Solve(decoder.Decode(left));
+    SolveResult rv = solver.Solve(decoder.Decode(right));
+    EXPECT_EQ(lv, rv);
+  }
+}
+
+TEST_P(MergePropertyTest, CompactOnlyWeakens) {
+  Rng rng(GetParam());
+  PathDecoder decoder(&icfet_);
+  Solver solver;
+  for (int i = 0; i < 40; ++i) {
+    PathEncoding full = PathEncoding::Append(RandomFragment(&rng), RandomFragment(&rng));
+    PathEncoding compact = full.Compact();
+    SolveResult full_verdict = solver.Solve(decoder.Decode(full));
+    SolveResult compact_verdict = solver.Solve(decoder.Decode(compact));
+    if (full_verdict == SolveResult::kSat) {
+      EXPECT_NE(compact_verdict, SolveResult::kUnsat)
+          << full.ToString() << " compacted to " << compact.ToString();
+    }
+    // Compaction is idempotent.
+    EXPECT_EQ(compact, compact.Compact());
+  }
+}
+
+TEST_P(MergePropertyTest, SerializationRoundTrips) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    PathEncoding enc = PathEncoding::Append(RandomFragment(&rng), RandomFragment(&rng));
+    std::vector<uint8_t> bytes;
+    enc.Serialize(&bytes);
+    ByteReader reader(bytes);
+    PathEncoding back = PathEncoding::Deserialize(&reader);
+    EXPECT_TRUE(reader.ok());
+    EXPECT_TRUE(reader.AtEnd());
+    EXPECT_EQ(enc, back);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest, ::testing::Values(31u, 32u, 33u, 34u, 35u));
+
+}  // namespace
+}  // namespace grapple

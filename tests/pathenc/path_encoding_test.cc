@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/pathenc/path_encoding.h"
+
+namespace grapple {
+namespace {
+
+TEST(PathEncodingTest, SerializeRoundTrip) {
+  PathEncoding enc = PathEncoding::Interval(3, 1, 6);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(42));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(7, 0, 2));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(42));
+  enc = PathEncoding::Append(enc, PathEncoding::Opaque());
+
+  std::vector<uint8_t> bytes;
+  enc.Serialize(&bytes);
+  ByteReader reader(bytes);
+  PathEncoding back = PathEncoding::Deserialize(&reader);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(enc, back);
+  EXPECT_EQ(enc.HashValue(), back.HashValue());
+}
+
+// Paper §4.2 case 1: {[a,b]} + {[b,c]} -> {[a,c]}.
+TEST(PathEncodingTest, MergeCase1FusesContiguousIntervals) {
+  PathEncoding merged =
+      PathEncoding::Merge(PathEncoding::Interval(0, 0, 2), PathEncoding::Interval(0, 2, 6));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.items()[0].start, 0u);
+  EXPECT_EQ(merged.items()[0].end, 6u);
+}
+
+TEST(PathEncodingTest, NonContiguousIntervalsStaySeparate) {
+  PathEncoding merged =
+      PathEncoding::Merge(PathEncoding::Interval(0, 0, 2), PathEncoding::Interval(0, 5, 11));
+  EXPECT_EQ(merged.size(), 2u);
+  // Different methods never fuse either.
+  merged = PathEncoding::Merge(PathEncoding::Interval(0, 0, 2), PathEncoding::Interval(1, 2, 6));
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+// Paper §4.2 case 2: {[a,b]} + {c_i} -> interval, call.
+TEST(PathEncodingTest, MergeCase2AppendsCallEdge) {
+  PathEncoding merged =
+      PathEncoding::Merge(PathEncoding::Interval(0, 0, 2), PathEncoding::CallEdge(5));
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.items()[1].kind, PathItemKind::kCall);
+  EXPECT_EQ(merged.items()[1].site, 5u);
+}
+
+// Paper §4.2 case 3: {[a,b], c_i, [0,0]} + {[0,d], r_i, [b,c]} -> {[a,c]}.
+TEST(PathEncodingTest, MergeCase3CancelsCompletedCallee) {
+  PathEncoding left = PathEncoding::Interval(0, 0, 2);
+  left = PathEncoding::Merge(left, PathEncoding::CallEdge(9));
+  left = PathEncoding::Merge(left, PathEncoding::Interval(1, 0, 0));
+  PathEncoding right = PathEncoding::Interval(1, 0, 4);
+  right = PathEncoding::Merge(right, PathEncoding::RetEdge(9));
+  right = PathEncoding::Merge(right, PathEncoding::Interval(0, 2, 6));
+  PathEncoding merged = PathEncoding::Merge(left, right);
+  ASSERT_EQ(merged.size(), 1u) << merged.ToString();
+  EXPECT_EQ(merged.items()[0].method, 0u);
+  EXPECT_EQ(merged.items()[0].start, 0u);
+  EXPECT_EQ(merged.items()[0].end, 6u);
+}
+
+// Paper §4.2 case 4: unmatched calls extend the sequence.
+TEST(PathEncodingTest, MergeCase4KeepsUnmatchedCalls) {
+  PathEncoding left = PathEncoding::Interval(0, 0, 2);
+  left = PathEncoding::Merge(left, PathEncoding::CallEdge(1));
+  left = PathEncoding::Merge(left, PathEncoding::Interval(1, 0, 1));
+  PathEncoding right = PathEncoding::CallEdge(2);
+  right = PathEncoding::Merge(right, PathEncoding::Interval(2, 0, 0));
+  PathEncoding merged = PathEncoding::Merge(left, right);
+  // {[m0 0,2], c1, [m1 0,1], c2, [m2 0,0]} — nothing cancels.
+  EXPECT_EQ(merged.size(), 5u) << merged.ToString();
+}
+
+TEST(PathEncodingTest, MismatchedCallRetDoesNotCancel) {
+  PathEncoding enc = PathEncoding::CallEdge(1);
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(1, 0, 2));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(2));  // different site
+  PathEncoding compact = enc.Compact();
+  EXPECT_EQ(compact.size(), 3u) << compact.ToString();
+}
+
+TEST(PathEncodingTest, NonRootIntervalBlocksCancellation) {
+  // The callee fragment must be root-anchored for case 3.
+  PathEncoding enc = PathEncoding::CallEdge(1);
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(1, 2, 6));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(1));
+  PathEncoding compact = enc.Compact();
+  EXPECT_EQ(compact.size(), 3u) << compact.ToString();
+}
+
+TEST(PathEncodingTest, NestedCancellation) {
+  // c1 [m1 0,0] c2 [m2 0,1] r2 [m1 1,3]... inner pair cancels, then the
+  // fused outer callee fragment [m1 0,3]-with-ret cancels too.
+  PathEncoding enc = PathEncoding::Interval(0, 0, 1);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(1));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(1, 0, 0));
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(2));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(2, 0, 1));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(2));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(1, 0, 3));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(1));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(0, 1, 5));
+  PathEncoding compact = enc.Compact();
+  ASSERT_EQ(compact.size(), 1u) << compact.ToString();
+  EXPECT_EQ(compact.items()[0].start, 0u);
+  EXPECT_EQ(compact.items()[0].end, 5u);
+}
+
+TEST(PathEncodingTest, AppendDoesNotCancel) {
+  PathEncoding enc = PathEncoding::CallEdge(1);
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(1, 0, 2));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(1));
+  // Append preserves the completed callee (its constraints still matter for
+  // the feasibility check); only Compact cancels.
+  EXPECT_EQ(enc.size(), 3u);
+  EXPECT_EQ(enc.Compact().size(), 0u);
+}
+
+TEST(PathEncodingTest, LengthCapInsertsOpaqueMarker) {
+  PathEncoding enc;
+  for (uint32_t i = 0; i < 40; ++i) {
+    // Non-contiguous intervals: no fusion.
+    enc = PathEncoding::Append(enc, PathEncoding::Interval(i, 0, 2), /*max_items=*/16);
+  }
+  EXPECT_LE(enc.size(), 17u);
+  bool has_opaque = false;
+  for (const auto& item : enc.items()) {
+    if (item.kind == PathItemKind::kOpaque) {
+      has_opaque = true;
+    }
+  }
+  EXPECT_TRUE(has_opaque);
+}
+
+TEST(PathEncodingTest, EmptyEncodingIsIdentity) {
+  PathEncoding interval = PathEncoding::Interval(0, 0, 2);
+  EXPECT_EQ(PathEncoding::Merge(PathEncoding::Empty(), interval), interval);
+  EXPECT_EQ(PathEncoding::Merge(interval, PathEncoding::Empty()), interval);
+  EXPECT_TRUE(PathEncoding::Empty().empty());
+}
+
+TEST(PathEncodingTest, ToStringIsReadable) {
+  PathEncoding enc = PathEncoding::Interval(0, 0, 2);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(7));
+  EXPECT_EQ(enc.ToString(), "{m0[0,2], (c7}");
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "src/smt/linear_expr.h"
+
+namespace grapple {
+namespace {
+
+TEST(LinearExprTest, ArithmeticCanonicalizes) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  VarId y = pool.Fresh("y");
+  LinearExpr e = LinearExpr::Var(x).Add(LinearExpr::Term(y, 3)).AddConstant(5);
+  EXPECT_EQ(e.CoefficientOf(x), 1);
+  EXPECT_EQ(e.CoefficientOf(y), 3);
+  EXPECT_EQ(e.constant(), 5);
+
+  LinearExpr cancelled = e.Sub(LinearExpr::Var(x));
+  EXPECT_EQ(cancelled.CoefficientOf(x), 0);
+  EXPECT_EQ(cancelled.terms().size(), 1u);
+}
+
+TEST(LinearExprTest, ScaleAndNegate) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  LinearExpr e = LinearExpr::Term(x, 2).AddConstant(-3);
+  LinearExpr scaled = e.Scale(-2);
+  EXPECT_EQ(scaled.CoefficientOf(x), -4);
+  EXPECT_EQ(scaled.constant(), 6);
+  EXPECT_EQ(e.Negate().Add(e).terms().size(), 0u);
+  EXPECT_TRUE(e.Scale(0).IsConstant());
+  EXPECT_EQ(e.Scale(0).constant(), 0);
+}
+
+TEST(LinearExprTest, Substitute) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  VarId y = pool.Fresh("y");
+  // 2x + y + 1 with x := y - 3  ->  3y - 5
+  LinearExpr e = LinearExpr::Term(x, 2).Add(LinearExpr::Var(y)).AddConstant(1);
+  LinearExpr result = e.Substitute(x, LinearExpr::Var(y).AddConstant(-3));
+  EXPECT_EQ(result.CoefficientOf(x), 0);
+  EXPECT_EQ(result.CoefficientOf(y), 3);
+  EXPECT_EQ(result.constant(), -5);
+  // Substituting an absent variable is a no-op.
+  EXPECT_EQ(e.Substitute(pool.Fresh("z"), LinearExpr::Constant(9)), e);
+}
+
+TEST(LinearExprTest, RenameVarsMergesCollisions) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  VarId y = pool.Fresh("y");
+  LinearExpr e = LinearExpr::Term(x, 2).Add(LinearExpr::Term(y, 3));
+  LinearExpr renamed = e.RenameVars([&](VarId) { return x; });
+  EXPECT_EQ(renamed.CoefficientOf(x), 5);
+  EXPECT_EQ(renamed.terms().size(), 1u);
+}
+
+TEST(LinearExprTest, Evaluate) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  LinearExpr e = LinearExpr::Term(x, 4).AddConstant(-2);
+  auto value = e.Evaluate([&](VarId) { return std::optional<int64_t>(3); });
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 10);
+  auto missing = e.Evaluate([&](VarId) { return std::optional<int64_t>(); });
+  EXPECT_FALSE(missing.has_value());
+}
+
+TEST(LinearExprTest, TermGcd) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  VarId y = pool.Fresh("y");
+  LinearExpr e = LinearExpr::Term(x, 6).Add(LinearExpr::Term(y, -9)).AddConstant(7);
+  EXPECT_EQ(e.TermGcd(), 3);
+  EXPECT_EQ(LinearExpr::Constant(5).TermGcd(), 0);
+}
+
+TEST(LinearExprTest, ToStringReadable) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  VarId y = pool.Fresh("y");
+  LinearExpr e = LinearExpr::Term(x, 1).Add(LinearExpr::Term(y, -2)).AddConstant(3);
+  auto name = [&](VarId v) { return pool.NameOf(v); };
+  EXPECT_EQ(e.ToString(name), "x - 2*y + 3");
+  EXPECT_EQ(LinearExpr::Constant(-4).ToString(name), "-4");
+}
+
+TEST(LinearExprTest, HashConsistentWithEquality) {
+  VarPool pool;
+  VarId x = pool.Fresh("x");
+  LinearExpr a = LinearExpr::Term(x, 2).AddConstant(1);
+  LinearExpr b = LinearExpr::Constant(1).Add(LinearExpr::Term(x, 2));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.HashValue(), b.HashValue());
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "src/support/byte_io.h"
+#include "src/support/lru_cache.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+#include "src/support/timer.h"
+
+namespace grapple {
+namespace {
+
+TEST(ByteIoTest, VarintRoundTrip) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 300, 16383, 16384, (uint64_t{1} << 32) + 7,
+                                  UINT64_MAX};
+  std::vector<uint8_t> buffer;
+  for (uint64_t v : values) {
+    PutVarint64(&buffer, v);
+  }
+  ByteReader reader(buffer);
+  for (uint64_t v : values) {
+    EXPECT_EQ(reader.GetVarint64(), v);
+  }
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteIoTest, SignedVarintRoundTrip) {
+  std::vector<int64_t> values = {0, -1, 1, -64, 64, -9999999, INT64_MAX, INT64_MIN};
+  std::vector<uint8_t> buffer;
+  for (int64_t v : values) {
+    PutVarintSigned64(&buffer, v);
+  }
+  ByteReader reader(buffer);
+  for (int64_t v : values) {
+    EXPECT_EQ(reader.GetVarintSigned64(), v);
+  }
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(ByteIoTest, FixedWidthRoundTrip) {
+  std::vector<uint8_t> buffer;
+  PutFixed32(&buffer, 0xDEADBEEF);
+  PutFixed64(&buffer, 0x0123456789ABCDEFULL);
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.GetFixed32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.GetFixed64(), 0x0123456789ABCDEFULL);
+}
+
+TEST(ByteIoTest, ReaderPoisonsOnUnderrun) {
+  std::vector<uint8_t> buffer = {0x80};  // truncated varint
+  ByteReader reader(buffer);
+  reader.GetVarint64();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.GetFixed32(), 0u);  // stays poisoned
+}
+
+TEST(ByteIoTest, FileRoundTripAndAppend) {
+  TempDir dir("byteio-test");
+  std::string path = dir.File("data.bin");
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(WriteFileBytes(path, {1, 2, 3}));
+  EXPECT_TRUE(AppendFileBytes(path, {4, 5}));
+  EXPECT_EQ(FileSizeBytes(path), 5);
+  std::vector<uint8_t> bytes;
+  EXPECT_TRUE(ReadFileBytes(path, &bytes));
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(RemoveFile(path));
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(ByteIoTest, TempDirRemovedOnDestruction) {
+  std::string path;
+  {
+    TempDir dir("byteio-scope");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(path));
+    WriteFileBytes(dir.File("x"), {1});
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Get(1), std::optional<int>(10));  // 1 becomes MRU
+  cache.Put(3, 30);                                 // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.Get(1), std::optional<int>(10));
+  EXPECT_EQ(cache.Get(3), std::optional<int>(30));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, HitRateStats) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(2);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_NEAR(cache.HitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(LruCacheTest, OverwriteKeepsSize) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Put(1, 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1), std::optional<int>(2));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(1000, [&](size_t, size_t begin, size_t end) {
+    int64_t local = 0;
+    for (size_t i = begin; i < end; ++i) {
+      local += static_cast<int64_t>(i);
+    }
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, WaitDrainsScheduledTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(PhaseProfilerTest, AccumulatesAndFractions) {
+  PhaseProfiler profiler;
+  profiler.Add("io", 1.0);
+  profiler.Add("io", 2.0);
+  profiler.Add("solve", 1.0);
+  EXPECT_DOUBLE_EQ(profiler.Seconds("io"), 3.0);
+  EXPECT_DOUBLE_EQ(profiler.TotalSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(profiler.Fraction("io"), 0.75);
+  EXPECT_DOUBLE_EQ(profiler.Fraction("missing"), 0.0);
+  PhaseProfiler other;
+  other.Add("io", 1.0);
+  profiler.Merge(other);
+  EXPECT_DOUBLE_EQ(profiler.Seconds("io"), 4.0);
+}
+
+TEST(TimerTest, FormatDurationMatchesPaperStyle) {
+  EXPECT_EQ(FormatDuration(47), "47s");
+  EXPECT_EQ(FormatDuration(51 * 60 + 49), "51m49s");
+  EXPECT_EQ(FormatDuration(3600 + 6 * 60 + 15), "01h06m15s");
+  EXPECT_EQ(FormatDuration(33 * 3600 + 42 * 60 + 8), "33h42m08s");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+}  // namespace
+}  // namespace grapple

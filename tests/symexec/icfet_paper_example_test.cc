@@ -1,0 +1,142 @@
+// The paper's Figure 6 example: foo calls bar in a branch; the encoded path
+// 1->2->3->7->8->4->6 decodes to
+//   x > 0 & a = 2x & a < 0 & y = a + 1 & !(y < 0)
+// which is unsatisfiable (a = 2x with x > 0 cannot be negative).
+#include <gtest/gtest.h>
+
+#include "src/cfg/call_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/ir/parser.h"
+#include "src/pathenc/constraint_decoder.h"
+#include "src/pathenc/path_encoding.h"
+#include "src/smt/solver.h"
+#include "src/symexec/cfet_builder.h"
+
+namespace grapple {
+namespace {
+
+constexpr char kFigure6[] = R"(
+  method bar(int a) {
+    int r
+    if (a < 0) {
+      r = a + 1
+      return r
+    }
+    r = a - 1
+    return r
+  }
+  method foo(int x) {
+    int y
+    int t
+    y = x + 1
+    if (x > 0) {
+      t = 2 * x
+      y = bar(t)
+    }
+    if (y < 0) {
+      y = 0
+    }
+    return
+  }
+)";
+
+class Figure6Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ParseResult result = ParseProgram(kFigure6);
+    ASSERT_TRUE(result.ok) << result.error;
+    program_ = std::move(result.program);
+    UnrollLoops(&program_, 2);
+    call_graph_ = std::make_unique<CallGraph>(program_);
+    icfet_ = BuildIcfet(program_, *call_graph_);
+    foo_ = *program_.FindMethod("foo");
+    bar_ = *program_.FindMethod("bar");
+  }
+
+  Program program_;
+  std::unique_ptr<CallGraph> call_graph_;
+  Icfet icfet_;
+  MethodId foo_ = kNoMethod;
+  MethodId bar_ = kNoMethod;
+};
+
+TEST_F(Figure6Test, IcfetShapeMatchesFigure) {
+  const MethodCfet& foo_cfet = icfet_.OfMethod(foo_);
+  const MethodCfet& bar_cfet = icfet_.OfMethod(bar_);
+  // foo: root (x>0) with two children, each ending at (y<0): 7 nodes.
+  EXPECT_EQ(foo_cfet.NumNodes(), 7u);
+  // bar: root (a<0) with two leaf children.
+  EXPECT_EQ(bar_cfet.NumNodes(), 3u);
+  // One call site, inside foo's true branch (node 2).
+  ASSERT_EQ(icfet_.NumCallSites(), 1u);
+  const CallSite& site = icfet_.CallSiteAt(0);
+  EXPECT_EQ(site.caller, foo_);
+  EXPECT_EQ(site.callee, bar_);
+  EXPECT_EQ(site.caller_node, MethodCfet::TrueChild(kCfetRoot));
+  // Parameter equation a = 2x.
+  ASSERT_EQ(site.param_eqs.size(), 1u);
+  auto foo_name = [&](VarId v) { return foo_cfet.vars().NameOf(v); };
+  EXPECT_EQ(site.param_eqs[0].second.ToString(foo_name), "2*foo::x");
+  // Return equations exist at both bar leaves.
+  auto bar_name = [&](VarId v) { return bar_cfet.vars().NameOf(v); };
+  ASSERT_TRUE(bar_cfet.NodeAt(2).return_int.has_value());
+  EXPECT_EQ(bar_cfet.NodeAt(2).return_int->ToString(bar_name), "bar::a + 1");
+}
+
+TEST_F(Figure6Test, InterproceduralPathConstraintIsUnsat) {
+  // Path: foo true branch -> bar true branch (a < 0, return a+1) -> foo,
+  // then NOT (y < 0), i.e. foo's node-2 false child (node 5).
+  const CallSite& site = icfet_.CallSiteAt(0);
+  PathEncoding enc = PathEncoding::Interval(foo_, kCfetRoot, site.caller_node);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(site.id));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(bar_, kCfetRoot, 2));  // a < 0 taken
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(site.id));
+  enc = PathEncoding::Append(
+      enc, PathEncoding::Interval(foo_, site.caller_node,
+                                  MethodCfet::FalseChild(site.caller_node)));
+
+  PathDecoder decoder(&icfet_);
+  Constraint constraint = decoder.Decode(enc);
+  // Expect 5 atoms: x>0, a=2x, a<0, y=a+1, !(y<0).
+  EXPECT_EQ(constraint.size(), 5u) << constraint.ToString();
+  Solver solver;
+  EXPECT_EQ(solver.Solve(constraint), SolveResult::kUnsat) << constraint.ToString();
+}
+
+TEST_F(Figure6Test, OtherBarBranchIsSat) {
+  // Same path but through bar's a >= 0 branch (return a-1), then y < 0 must
+  // not hold; satisfiable (e.g. x = 1, a = 2, y = 1).
+  const CallSite& site = icfet_.CallSiteAt(0);
+  PathEncoding enc = PathEncoding::Interval(foo_, kCfetRoot, site.caller_node);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(site.id));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(bar_, kCfetRoot, 1));  // a >= 0
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(site.id));
+  enc = PathEncoding::Append(
+      enc, PathEncoding::Interval(foo_, site.caller_node,
+                                  MethodCfet::FalseChild(site.caller_node)));
+
+  PathDecoder decoder(&icfet_);
+  Constraint constraint = decoder.Decode(enc);
+  Solver solver;
+  EXPECT_EQ(solver.Solve(constraint), SolveResult::kSat) << constraint.ToString();
+}
+
+TEST_F(Figure6Test, CompactCancelsCompletedCallee) {
+  const CallSite& site = icfet_.CallSiteAt(0);
+  PathEncoding enc = PathEncoding::Interval(foo_, kCfetRoot, site.caller_node);
+  enc = PathEncoding::Append(enc, PathEncoding::CallEdge(site.id));
+  enc = PathEncoding::Append(enc, PathEncoding::Interval(bar_, kCfetRoot, 2));
+  enc = PathEncoding::Append(enc, PathEncoding::RetEdge(site.id));
+  enc = PathEncoding::Append(
+      enc, PathEncoding::Interval(foo_, site.caller_node,
+                                  MethodCfet::FalseChild(site.caller_node)));
+  PathEncoding compact = enc.Compact();
+  // {[foo 0,2], (c, [bar 0,2], )c, [foo 2,5]} -> {[foo 0,5]}.
+  ASSERT_EQ(compact.items().size(), 1u) << compact.ToString();
+  EXPECT_EQ(compact.items()[0].kind, PathItemKind::kInterval);
+  EXPECT_EQ(compact.items()[0].start, kCfetRoot);
+  EXPECT_EQ(compact.items()[0].end, MethodCfet::FalseChild(site.caller_node));
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "src/cfg/loop_unroll.h"
+#include "src/workload/workload.h"
+
+namespace grapple {
+namespace {
+
+size_t CountPatterns(const Workload& workload, const std::string& checker, bool real,
+                     bool expected) {
+  size_t count = 0;
+  for (const auto& pattern : workload.patterns) {
+    if (pattern.checker == checker && pattern.is_real_bug == real &&
+        pattern.report_expected == expected) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(WorkloadPresetsTest, PatternCountsMatchProfiles) {
+  for (const auto& cfg : AllPresets(0.2)) {
+    Workload workload = GenerateWorkload(cfg);
+    EXPECT_EQ(CountPatterns(workload, "io", true, true), cfg.io.real) << cfg.name;
+    EXPECT_EQ(CountPatterns(workload, "io", false, true), cfg.io.fp_traps) << cfg.name;
+    EXPECT_EQ(CountPatterns(workload, "lock", true, true), cfg.lock.real) << cfg.name;
+    EXPECT_EQ(CountPatterns(workload, "except", true, true), cfg.except.real) << cfg.name;
+    EXPECT_EQ(CountPatterns(workload, "except", false, true), cfg.except.fp_traps) << cfg.name;
+    EXPECT_EQ(CountPatterns(workload, "socket", true, true), cfg.socket.real) << cfg.name;
+  }
+}
+
+TEST(WorkloadPresetsTest, PaperBugTotals) {
+  // The presets inject the paper's Table-2 totals: 359 real bugs and 17
+  // expected false positives across the four subjects.
+  size_t real = 0;
+  size_t traps = 0;
+  for (const auto& cfg : AllPresets(0.2)) {
+    Workload workload = GenerateWorkload(cfg);
+    for (const auto& pattern : workload.patterns) {
+      if (pattern.is_real_bug) {
+        ++real;
+      } else if (pattern.report_expected) {
+        ++traps;
+      }
+    }
+  }
+  EXPECT_EQ(real, 359u);
+  EXPECT_EQ(traps, 17u);
+}
+
+TEST(WorkloadPresetsTest, UniqueAllocLines) {
+  Workload workload = GenerateWorkload(HdfsPreset(0.2));
+  std::set<int32_t> lines;
+  for (const auto& pattern : workload.patterns) {
+    EXPECT_TRUE(lines.insert(pattern.alloc_line).second)
+        << "duplicate pattern line " << pattern.alloc_line;
+  }
+}
+
+TEST(WorkloadPresetsTest, ScaleGrowsFillerOnly) {
+  Workload small = GenerateWorkload(ZooKeeperPreset(0.2));
+  Workload large = GenerateWorkload(ZooKeeperPreset(0.6));
+  EXPECT_GT(large.total_statements, small.total_statements);
+  EXPECT_EQ(large.patterns.size(), small.patterns.size());
+}
+
+TEST(WorkloadPresetsTest, GeneratedProgramsAreWellFormed) {
+  for (const auto& cfg : AllPresets(0.2)) {
+    Workload workload = GenerateWorkload(cfg);
+    // Every call names an existing method or a deliberate external API.
+    std::function<void(const std::vector<Stmt>&)> scan = [&](const std::vector<Stmt>& block) {
+      for (const auto& stmt : block) {
+        if (stmt.kind == StmtKind::kCall &&
+            stmt.callee.rfind("external_", 0) != 0) {
+          EXPECT_TRUE(workload.program.FindMethod(stmt.callee).has_value())
+              << cfg.name << ": unresolved call " << stmt.callee;
+        }
+        scan(stmt.then_block);
+        scan(stmt.else_block);
+      }
+    };
+    for (const auto& method : workload.program.methods()) {
+      scan(method.body);
+    }
+    // Unrolling succeeds (no structural surprises).
+    Program copy = workload.program;
+    UnrollLoops(&copy, 2);
+    for (const auto& method : copy.methods()) {
+      EXPECT_FALSE(HasLoops(method));
+    }
+  }
+}
+
+TEST(ClassifyReportsTest, CountsCategories) {
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  cfg.filler_statements = 50;
+  cfg.io = {2, 1, 1};
+  Workload workload = GenerateWorkload(cfg);
+
+  auto report_for_line = [](int32_t line) {
+    BugReport report;
+    report.checker = "io";
+    report.alloc_line = line;
+    return report;
+  };
+  std::vector<BugReport> reports;
+  int32_t real_line = -1;
+  int32_t trap_line = -1;
+  for (const auto& pattern : workload.patterns) {
+    if (pattern.checker != "io") {
+      continue;
+    }
+    if (pattern.is_real_bug && real_line < 0) {
+      real_line = pattern.alloc_line;
+    }
+    if (!pattern.is_real_bug && pattern.report_expected) {
+      trap_line = pattern.alloc_line;
+    }
+  }
+  reports.push_back(report_for_line(real_line));
+  reports.push_back(report_for_line(real_line));  // duplicate: counted once
+  reports.push_back(report_for_line(trap_line));
+  reports.push_back(report_for_line(99999));  // unmatched: FP
+
+  Classification cls = ClassifyReports(workload, "io", reports);
+  EXPECT_EQ(cls.true_positives, 1u);
+  EXPECT_EQ(cls.false_positives, 2u);  // trap + unmatched
+  EXPECT_EQ(cls.false_negatives, 1u);  // the second real bug, unreported
+  EXPECT_EQ(cls.unmatched_reports.size(), 1u);
+}
+
+}  // namespace
+}  // namespace grapple
