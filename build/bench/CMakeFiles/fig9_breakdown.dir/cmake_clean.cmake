@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_breakdown.dir/fig9_breakdown.cpp.o"
+  "CMakeFiles/fig9_breakdown.dir/fig9_breakdown.cpp.o.d"
+  "fig9_breakdown"
+  "fig9_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

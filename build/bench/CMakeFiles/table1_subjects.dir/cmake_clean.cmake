@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_subjects.dir/table1_subjects.cpp.o"
+  "CMakeFiles/table1_subjects.dir/table1_subjects.cpp.o.d"
+  "table1_subjects"
+  "table1_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

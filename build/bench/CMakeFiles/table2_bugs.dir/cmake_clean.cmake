@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bugs.dir/table2_bugs.cpp.o"
+  "CMakeFiles/table2_bugs.dir/table2_bugs.cpp.o.d"
+  "table2_bugs"
+  "table2_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_caching.dir/table4_caching.cpp.o"
+  "CMakeFiles/table4_caching.dir/table4_caching.cpp.o.d"
+  "table4_caching"
+  "table4_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_encoding.dir/table5_encoding.cpp.o"
+  "CMakeFiles/table5_encoding.dir/table5_encoding.cpp.o.d"
+  "table5_encoding"
+  "table5_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

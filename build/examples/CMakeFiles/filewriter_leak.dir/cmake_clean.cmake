@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filewriter_leak.dir/filewriter_leak.cpp.o"
+  "CMakeFiles/filewriter_leak.dir/filewriter_leak.cpp.o.d"
+  "filewriter_leak"
+  "filewriter_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filewriter_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

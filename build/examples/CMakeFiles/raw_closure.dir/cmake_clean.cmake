@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_closure.dir/raw_closure.cpp.o"
+  "CMakeFiles/raw_closure.dir/raw_closure.cpp.o.d"
+  "raw_closure"
+  "raw_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_reconfigure.dir/socket_reconfigure.cpp.o"
+  "CMakeFiles/socket_reconfigure.dir/socket_reconfigure.cpp.o.d"
+  "socket_reconfigure"
+  "socket_reconfigure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_reconfigure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

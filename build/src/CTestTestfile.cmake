@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("smt")
+subdirs("ir")
+subdirs("cfg")
+subdirs("symexec")
+subdirs("pathenc")
+subdirs("grammar")
+subdirs("graph")
+subdirs("analysis")
+subdirs("checker")
+subdirs("workload")
+subdirs("baseline")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_analysis.dir/alias_graph.cc.o"
+  "CMakeFiles/grapple_analysis.dir/alias_graph.cc.o.d"
+  "CMakeFiles/grapple_analysis.dir/alias_index.cc.o"
+  "CMakeFiles/grapple_analysis.dir/alias_index.cc.o.d"
+  "CMakeFiles/grapple_analysis.dir/alias_query.cc.o"
+  "CMakeFiles/grapple_analysis.dir/alias_query.cc.o.d"
+  "CMakeFiles/grapple_analysis.dir/typestate_graph.cc.o"
+  "CMakeFiles/grapple_analysis.dir/typestate_graph.cc.o.d"
+  "libgrapple_analysis.a"
+  "libgrapple_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_baseline.dir/explicit_oracle.cc.o"
+  "CMakeFiles/grapple_baseline.dir/explicit_oracle.cc.o.d"
+  "CMakeFiles/grapple_baseline.dir/traditional.cc.o"
+  "CMakeFiles/grapple_baseline.dir/traditional.cc.o.d"
+  "libgrapple_baseline.a"
+  "libgrapple_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/call_graph.cc" "src/cfg/CMakeFiles/grapple_cfg.dir/call_graph.cc.o" "gcc" "src/cfg/CMakeFiles/grapple_cfg.dir/call_graph.cc.o.d"
+  "/root/repo/src/cfg/loop_unroll.cc" "src/cfg/CMakeFiles/grapple_cfg.dir/loop_unroll.cc.o" "gcc" "src/cfg/CMakeFiles/grapple_cfg.dir/loop_unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/grapple_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grapple_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_cfg.dir/call_graph.cc.o"
+  "CMakeFiles/grapple_cfg.dir/call_graph.cc.o.d"
+  "CMakeFiles/grapple_cfg.dir/loop_unroll.cc.o"
+  "CMakeFiles/grapple_cfg.dir/loop_unroll.cc.o.d"
+  "libgrapple_cfg.a"
+  "libgrapple_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_checker.dir/builtin_checkers.cc.o"
+  "CMakeFiles/grapple_checker.dir/builtin_checkers.cc.o.d"
+  "CMakeFiles/grapple_checker.dir/checker.cc.o"
+  "CMakeFiles/grapple_checker.dir/checker.cc.o.d"
+  "CMakeFiles/grapple_checker.dir/report_json.cc.o"
+  "CMakeFiles/grapple_checker.dir/report_json.cc.o.d"
+  "libgrapple_checker.a"
+  "libgrapple_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_fsm.dir/fsm.cc.o"
+  "CMakeFiles/grapple_fsm.dir/fsm.cc.o.d"
+  "CMakeFiles/grapple_fsm.dir/fsm_parser.cc.o"
+  "CMakeFiles/grapple_fsm.dir/fsm_parser.cc.o.d"
+  "libgrapple_fsm.a"
+  "libgrapple_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

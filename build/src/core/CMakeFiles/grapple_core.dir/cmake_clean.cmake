@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_core.dir/grapple.cc.o"
+  "CMakeFiles/grapple_core.dir/grapple.cc.o.d"
+  "libgrapple_core.a"
+  "libgrapple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/grammar.cc" "src/grammar/CMakeFiles/grapple_grammar.dir/grammar.cc.o" "gcc" "src/grammar/CMakeFiles/grapple_grammar.dir/grammar.cc.o.d"
+  "/root/repo/src/grammar/pointsto_grammar.cc" "src/grammar/CMakeFiles/grapple_grammar.dir/pointsto_grammar.cc.o" "gcc" "src/grammar/CMakeFiles/grapple_grammar.dir/pointsto_grammar.cc.o.d"
+  "/root/repo/src/grammar/typestate_grammar.cc" "src/grammar/CMakeFiles/grapple_grammar.dir/typestate_grammar.cc.o" "gcc" "src/grammar/CMakeFiles/grapple_grammar.dir/typestate_grammar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checker/CMakeFiles/grapple_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grapple_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_grammar.dir/grammar.cc.o"
+  "CMakeFiles/grapple_grammar.dir/grammar.cc.o.d"
+  "CMakeFiles/grapple_grammar.dir/pointsto_grammar.cc.o"
+  "CMakeFiles/grapple_grammar.dir/pointsto_grammar.cc.o.d"
+  "CMakeFiles/grapple_grammar.dir/typestate_grammar.cc.o"
+  "CMakeFiles/grapple_grammar.dir/typestate_grammar.cc.o.d"
+  "libgrapple_grammar.a"
+  "libgrapple_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_graph.dir/constraint_oracle.cc.o"
+  "CMakeFiles/grapple_graph.dir/constraint_oracle.cc.o.d"
+  "CMakeFiles/grapple_graph.dir/edge.cc.o"
+  "CMakeFiles/grapple_graph.dir/edge.cc.o.d"
+  "CMakeFiles/grapple_graph.dir/engine.cc.o"
+  "CMakeFiles/grapple_graph.dir/engine.cc.o.d"
+  "CMakeFiles/grapple_graph.dir/partition_store.cc.o"
+  "CMakeFiles/grapple_graph.dir/partition_store.cc.o.d"
+  "libgrapple_graph.a"
+  "libgrapple_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

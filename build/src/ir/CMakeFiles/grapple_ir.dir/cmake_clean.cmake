@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_ir.dir/builder.cc.o"
+  "CMakeFiles/grapple_ir.dir/builder.cc.o.d"
+  "CMakeFiles/grapple_ir.dir/ir.cc.o"
+  "CMakeFiles/grapple_ir.dir/ir.cc.o.d"
+  "CMakeFiles/grapple_ir.dir/parser.cc.o"
+  "CMakeFiles/grapple_ir.dir/parser.cc.o.d"
+  "CMakeFiles/grapple_ir.dir/validate.cc.o"
+  "CMakeFiles/grapple_ir.dir/validate.cc.o.d"
+  "libgrapple_ir.a"
+  "libgrapple_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathenc/constraint_decoder.cc" "src/pathenc/CMakeFiles/grapple_pathenc.dir/constraint_decoder.cc.o" "gcc" "src/pathenc/CMakeFiles/grapple_pathenc.dir/constraint_decoder.cc.o.d"
+  "/root/repo/src/pathenc/path_encoding.cc" "src/pathenc/CMakeFiles/grapple_pathenc.dir/path_encoding.cc.o" "gcc" "src/pathenc/CMakeFiles/grapple_pathenc.dir/path_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symexec/CMakeFiles/grapple_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/grapple_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grapple_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/grapple_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/grapple_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_pathenc.dir/constraint_decoder.cc.o"
+  "CMakeFiles/grapple_pathenc.dir/constraint_decoder.cc.o.d"
+  "CMakeFiles/grapple_pathenc.dir/path_encoding.cc.o"
+  "CMakeFiles/grapple_pathenc.dir/path_encoding.cc.o.d"
+  "libgrapple_pathenc.a"
+  "libgrapple_pathenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_pathenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

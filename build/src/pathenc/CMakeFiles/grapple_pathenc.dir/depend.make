@@ -1,0 +1,2 @@
+# Empty dependencies file for grapple_pathenc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/constraint.cc" "src/smt/CMakeFiles/grapple_smt.dir/constraint.cc.o" "gcc" "src/smt/CMakeFiles/grapple_smt.dir/constraint.cc.o.d"
+  "/root/repo/src/smt/linear_expr.cc" "src/smt/CMakeFiles/grapple_smt.dir/linear_expr.cc.o" "gcc" "src/smt/CMakeFiles/grapple_smt.dir/linear_expr.cc.o.d"
+  "/root/repo/src/smt/solver.cc" "src/smt/CMakeFiles/grapple_smt.dir/solver.cc.o" "gcc" "src/smt/CMakeFiles/grapple_smt.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/grapple_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

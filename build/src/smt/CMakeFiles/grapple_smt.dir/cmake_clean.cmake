@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_smt.dir/constraint.cc.o"
+  "CMakeFiles/grapple_smt.dir/constraint.cc.o.d"
+  "CMakeFiles/grapple_smt.dir/linear_expr.cc.o"
+  "CMakeFiles/grapple_smt.dir/linear_expr.cc.o.d"
+  "CMakeFiles/grapple_smt.dir/solver.cc.o"
+  "CMakeFiles/grapple_smt.dir/solver.cc.o.d"
+  "libgrapple_smt.a"
+  "libgrapple_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

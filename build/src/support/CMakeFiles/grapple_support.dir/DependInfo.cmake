@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/byte_io.cc" "src/support/CMakeFiles/grapple_support.dir/byte_io.cc.o" "gcc" "src/support/CMakeFiles/grapple_support.dir/byte_io.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/grapple_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/grapple_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/grapple_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/grapple_support.dir/thread_pool.cc.o.d"
+  "/root/repo/src/support/timer.cc" "src/support/CMakeFiles/grapple_support.dir/timer.cc.o" "gcc" "src/support/CMakeFiles/grapple_support.dir/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_support.dir/byte_io.cc.o"
+  "CMakeFiles/grapple_support.dir/byte_io.cc.o.d"
+  "CMakeFiles/grapple_support.dir/logging.cc.o"
+  "CMakeFiles/grapple_support.dir/logging.cc.o.d"
+  "CMakeFiles/grapple_support.dir/thread_pool.cc.o"
+  "CMakeFiles/grapple_support.dir/thread_pool.cc.o.d"
+  "CMakeFiles/grapple_support.dir/timer.cc.o"
+  "CMakeFiles/grapple_support.dir/timer.cc.o.d"
+  "libgrapple_support.a"
+  "libgrapple_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_symexec.dir/cfet.cc.o"
+  "CMakeFiles/grapple_symexec.dir/cfet.cc.o.d"
+  "CMakeFiles/grapple_symexec.dir/cfet_builder.cc.o"
+  "CMakeFiles/grapple_symexec.dir/cfet_builder.cc.o.d"
+  "libgrapple_symexec.a"
+  "libgrapple_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

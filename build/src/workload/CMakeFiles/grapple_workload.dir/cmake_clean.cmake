@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grapple_workload.dir/workload.cc.o"
+  "CMakeFiles/grapple_workload.dir/workload.cc.o.d"
+  "libgrapple_workload.a"
+  "libgrapple_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grapple_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrapple_workload.a"
+)

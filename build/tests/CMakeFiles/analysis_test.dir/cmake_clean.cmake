@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/alias_query_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/alias_query_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/alias_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/alias_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/typestate_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/typestate_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_test.dir/checker/checker_test.cc.o"
+  "CMakeFiles/checker_test.dir/checker/checker_test.cc.o.d"
+  "CMakeFiles/checker_test.dir/checker/fsm_parser_test.cc.o"
+  "CMakeFiles/checker_test.dir/checker/fsm_parser_test.cc.o.d"
+  "CMakeFiles/checker_test.dir/checker/report_json_test.cc.o"
+  "CMakeFiles/checker_test.dir/checker/report_json_test.cc.o.d"
+  "checker_test"
+  "checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

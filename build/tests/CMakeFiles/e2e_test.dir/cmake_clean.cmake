@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_test.dir/e2e/baseline_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/baseline_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/event_qualification_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/event_qualification_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/oracle_equivalence_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/oracle_equivalence_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/pattern_kinds_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/pattern_kinds_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/pipeline_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/pipeline_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/unroll_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/unroll_test.cc.o.d"
+  "CMakeFiles/e2e_test.dir/e2e/workload_test.cc.o"
+  "CMakeFiles/e2e_test.dir/e2e/workload_test.cc.o.d"
+  "e2e_test"
+  "e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

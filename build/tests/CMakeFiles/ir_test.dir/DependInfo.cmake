@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/ir_test.cc" "tests/CMakeFiles/ir_test.dir/ir/ir_test.cc.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/ir_test.cc.o.d"
+  "/root/repo/tests/ir/parser_test.cc" "tests/CMakeFiles/ir_test.dir/ir/parser_test.cc.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/parser_test.cc.o.d"
+  "/root/repo/tests/ir/validate_test.cc" "tests/CMakeFiles/ir_test.dir/ir/validate_test.cc.o" "gcc" "tests/CMakeFiles/ir_test.dir/ir/validate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/grapple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/grapple_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/grapple_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/grapple_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/grapple_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/grapple_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/grapple_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathenc/CMakeFiles/grapple_pathenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexec/CMakeFiles/grapple_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/grapple_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/grapple_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/grapple_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/grapple_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grapple_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathenc_test.dir/pathenc/decoder_test.cc.o"
+  "CMakeFiles/pathenc_test.dir/pathenc/decoder_test.cc.o.d"
+  "CMakeFiles/pathenc_test.dir/pathenc/merge_property_test.cc.o"
+  "CMakeFiles/pathenc_test.dir/pathenc/merge_property_test.cc.o.d"
+  "CMakeFiles/pathenc_test.dir/pathenc/path_encoding_test.cc.o"
+  "CMakeFiles/pathenc_test.dir/pathenc/path_encoding_test.cc.o.d"
+  "pathenc_test"
+  "pathenc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathenc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

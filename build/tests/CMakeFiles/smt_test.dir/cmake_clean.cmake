@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_test.dir/smt/linear_expr_test.cc.o"
+  "CMakeFiles/smt_test.dir/smt/linear_expr_test.cc.o.d"
+  "CMakeFiles/smt_test.dir/smt/solver_test.cc.o"
+  "CMakeFiles/smt_test.dir/smt/solver_test.cc.o.d"
+  "smt_test"
+  "smt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

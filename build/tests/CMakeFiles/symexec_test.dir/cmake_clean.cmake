@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symexec_test.dir/symexec/cfet_test.cc.o"
+  "CMakeFiles/symexec_test.dir/symexec/cfet_test.cc.o.d"
+  "CMakeFiles/symexec_test.dir/symexec/icfet_paper_example_test.cc.o"
+  "CMakeFiles/symexec_test.dir/symexec/icfet_paper_example_test.cc.o.d"
+  "symexec_test"
+  "symexec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symexec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smt_test "/root/repo/build/tests/smt_test")
+set_tests_properties(smt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cfg_test "/root/repo/build/tests/cfg_test")
+set_tests_properties(cfg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(symexec_test "/root/repo/build/tests/symexec_test")
+set_tests_properties(symexec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pathenc_test "/root/repo/build/tests/pathenc_test")
+set_tests_properties(pathenc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(grammar_test "/root/repo/build/tests/grammar_test")
+set_tests_properties(grammar_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(checker_test "/root/repo/build/tests/checker_test")
+set_tests_properties(checker_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;25;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;27;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;28;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(e2e_test "/root/repo/build/tests/e2e_test")
+set_tests_properties(e2e_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;29;grapple_test;/root/repo/tests/CMakeLists.txt;0;")
