@@ -12,6 +12,7 @@
 
 #include "src/checker/builtin_checkers.h"
 #include "src/core/grapple.h"
+#include "src/obs/report.h"
 #include "src/support/timer.h"
 #include "src/workload/workload.h"
 
@@ -41,38 +42,22 @@ inline SubjectRun RunSubject(const WorkloadConfig& config,
   return run;
 }
 
-// Figure-9 style cost breakdown aggregated over all engine runs of a
-// subject: I/O, constraint lookup (encode/decode + cache), SMT solving, and
-// edge computation (join time not attributed to the oracle).
-struct CostBreakdown {
-  double io = 0;
-  double lookup = 0;
-  double solve = 0;
-  double edge = 0;
-
-  double Total() const { return io + lookup + solve + edge; }
-  double Pct(double part) const { return Total() > 0 ? 100.0 * part / Total() : 0.0; }
-};
-
-inline void Accumulate(const EngineStats& stats, CostBreakdown* breakdown) {
-  auto io_it = stats.phase_seconds.find("io");
-  auto join_it = stats.phase_seconds.find("join");
-  double io = io_it != stats.phase_seconds.end() ? io_it->second : 0.0;
-  double join = join_it != stats.phase_seconds.end() ? join_it->second : 0.0;
-  breakdown->io += io;
-  breakdown->lookup += stats.oracle.lookup_seconds;
-  breakdown->solve += stats.oracle.solve_seconds;
-  double edge = join - stats.oracle.lookup_seconds - stats.oracle.solve_seconds;
-  breakdown->edge += edge > 0 ? edge : 0;
-}
+// Figure-9 style cost breakdown; the single implementation lives in
+// src/obs/report.h and renders from the run's metrics snapshots, so the
+// bench tables and BENCH_*.json files agree by construction.
+using CostBreakdown = obs::CostBreakdown;
 
 inline CostBreakdown BreakdownOf(const GrappleResult& result) {
-  CostBreakdown breakdown;
-  Accumulate(result.alias.engine, &breakdown);
-  for (const auto& checker : result.checkers) {
-    Accumulate(checker.typestate.engine, &breakdown);
-  }
-  return breakdown;
+  return result.report.Breakdown();
+}
+
+// Attaches one subject's run report (with the subject name) to a bench
+// report destined for BENCH_<name>.json.
+inline void AddSubject(obs::BenchReport* bench, const std::string& subject,
+                       const GrappleResult& result) {
+  obs::RunReport report = result.report;
+  report.subject = subject;
+  bench->Add(std::move(report));
 }
 
 inline void PrintHeaderLine(const std::string& title) {

@@ -15,7 +15,8 @@
 namespace grapple {
 namespace {
 
-void Report(const char* title, uint32_t solve_latency_us, double scale) {
+void Report(const char* title, uint32_t solve_latency_us, double scale, const char* tag,
+            obs::BenchReport* bench) {
   PrintHeaderLine(title);
   std::printf("%-11s %8s %10s %9s %12s\n", "Subject", "I/O", "lookup", "SMT", "edge-comp");
   for (const auto& preset : AllPresets(scale)) {
@@ -25,13 +26,18 @@ void Report(const char* title, uint32_t solve_latency_us, double scale) {
     CostBreakdown b = BreakdownOf(run.result);
     std::printf("%-11s %7.1f%% %9.1f%% %8.1f%% %11.1f%%\n", preset.name.c_str(), b.Pct(b.io),
                 b.Pct(b.lookup), b.Pct(b.solve), b.Pct(b.edge));
+    AddSubject(bench, preset.name + ":" + tag, run.result);
   }
 }
 
 int Main() {
   double scale = ScaleFromEnv(0.5);
-  Report("Figure 9a: breakdown with the built-in solver (native speed)", 0, scale);
-  Report("Figure 9b: breakdown with simulated Z3-like per-solve latency (250us)", 250, scale);
+  obs::BenchReport bench("fig9_breakdown");
+  Report("Figure 9a: breakdown with the built-in solver (native speed)", 0, scale, "native",
+         &bench);
+  Report("Figure 9b: breakdown with simulated Z3-like per-solve latency (250us)", 250, scale,
+         "z3like", &bench);
+  bench.Write();
   std::printf("\npaper reference:  I/O     lookup   SMT     edge-comp\n");
   std::printf("  ZooKeeper       1.0%%    0.4%%     89.5%%   9.1%%\n");
   std::printf("  Hadoop          4.2%%    0.2%%     32.7%%   62.9%%\n");

@@ -26,6 +26,7 @@ constexpr PaperRow kPaper[] = {
 
 int Main() {
   double scale = ScaleFromEnv(1.0);
+  obs::BenchReport bench("table1_subjects");
   PrintHeaderLine("Table 1: characteristics of subject programs");
   std::printf("(synthetic stand-ins at scale %.2f; paper LoC shown for reference)\n\n", scale);
   std::printf("%-11s %-9s %10s %9s %10s   %s\n", "Subject", "PaperLoC", "#Stmts", "#Methods",
@@ -36,9 +37,15 @@ int Main() {
     std::printf("%-11s %-9s %10zu %9zu %10zu   %s\n", presets[i].name.c_str(), kPaper[i].loc,
                 workload.total_statements, workload.program.NumMethods(),
                 workload.patterns.size(), kPaper[i].description);
+    obs::MetricsSnapshot snapshot;
+    snapshot.counters["workload_statements"] = workload.total_statements;
+    snapshot.counters["workload_methods"] = workload.program.NumMethods();
+    snapshot.counters["workload_patterns"] = workload.patterns.size();
+    bench.AddSnapshot(presets[i].name, "workload", std::move(snapshot));
   }
   std::printf("\n#Stmts is this reproduction's analog of LoC; #Patterns counts injected\n");
   std::printf("resource-usage patterns (ground truth for Table 2).\n");
+  bench.Write();
   return 0;
 }
 

@@ -16,11 +16,13 @@ int Main() {
               "except.", "socket", "total");
   std::printf("%s\n", std::string(72, '-').c_str());
 
+  obs::BenchReport bench("table2_bugs");
   size_t grand_tp = 0;
   size_t grand_fp = 0;
   size_t grand_fn = 0;
   for (const auto& preset : AllPresets(scale)) {
     SubjectRun run = RunSubject(preset);
+    AddSubject(&bench, preset.name, run.result);
     size_t total_tp = 0;
     size_t total_fp = 0;
     size_t total_fn = 0;
@@ -47,6 +49,7 @@ int Main() {
   std::printf("overall: %zu true bugs, %zu false positives (%.1f%% FP rate), %zu missed\n",
               grand_tp, grand_fp, fp_rate, grand_fn);
   std::printf("paper:   359 true bugs, 17 false positives (4.7%% FP rate)\n");
+  bench.Write();
   return 0;
 }
 

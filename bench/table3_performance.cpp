@@ -15,6 +15,7 @@ namespace {
 
 int Main() {
   double scale = ScaleFromEnv(1.0);
+  obs::BenchReport bench("table3_performance");
   PrintHeaderLine("Table 3: Grapple performance");
   std::printf("%-11s %9s %9s %10s %9s %11s %11s %6s\n", "Subject", "#V(K)", "#EB(K)", "#EA(K)",
               "PT", "CT", "TT", "#part");
@@ -23,6 +24,7 @@ int Main() {
     SubjectRun run = RunSubject(preset);
     double total = timer.ElapsedSeconds();
     const GrappleResult& r = run.result;
+    AddSubject(&bench, preset.name, r);
     size_t partitions = r.alias.engine.num_partitions;
     for (const auto& checker : r.checkers) {
       partitions += checker.typestate.engine.num_partitions;
@@ -35,6 +37,7 @@ int Main() {
   }
   std::printf("\npaper shape check: hadoop < zookeeper < hdfs << hbase in total time;\n");
   std::printf("edge count grows substantially during computation (#EA >> #EB).\n");
+  bench.Write();
   return 0;
 }
 

@@ -33,6 +33,7 @@ CacheRunStats StatsOf(const GrappleResult& result) {
 
 int Main() {
   double scale = ScaleFromEnv(0.5);
+  obs::BenchReport bench("table4_caching");
   PrintHeaderLine("Table 4: effectiveness of constraint caching");
   std::printf("%-11s %12s %12s %8s %10s %10s %8s\n", "Subject", "#Const", "#Hits", "Rate",
               "TOC(s)", "TWC(s)", "Saving");
@@ -41,11 +42,13 @@ int Main() {
     no_cache.enable_cache = false;
     SubjectRun cold = RunSubject(preset, no_cache);
     CacheRunStats toc = StatsOf(cold.result);
+    AddSubject(&bench, preset.name + ":no_cache", cold.result);
 
     GrappleOptions with_cache;
     with_cache.enable_cache = true;
     SubjectRun warm = RunSubject(preset, with_cache);
     CacheRunStats twc = StatsOf(warm.result);
+    AddSubject(&bench, preset.name + ":cache", warm.result);
 
     double rate = twc.lookups > 0 ? 100.0 * twc.hits / static_cast<double>(twc.lookups) : 0;
     double saving = toc.constraint_seconds > 0
@@ -56,6 +59,7 @@ int Main() {
                 rate, toc.constraint_seconds, twc.constraint_seconds, saving);
   }
   std::printf("\npaper reference: hit rates 59.9-78.0%%, savings 63.7-86.7%%\n");
+  bench.Write();
   return 0;
 }
 

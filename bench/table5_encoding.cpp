@@ -30,6 +30,7 @@ struct PhaseRun {
   uint64_t constraints = 0;
   double seconds = 0;
   bool timed_out = false;
+  obs::MetricsSnapshot metrics;
 };
 
 PhaseRun RunAliasPhase(const Program& input, bool explicit_codec, uint64_t budget,
@@ -63,6 +64,7 @@ PhaseRun RunAliasPhase(const Program& input, bool explicit_codec, uint64_t budge
   out.constraints = engine.stats().oracle.constraints_checked;
   out.timed_out = engine.stats().timed_out;
   out.seconds = timer.ElapsedSeconds();
+  out.metrics = engine.stats().metrics;
   return out;
 }
 
@@ -70,6 +72,7 @@ int Main() {
   double scale = ScaleFromEnv(0.5);
   const uint64_t kBudget = uint64_t{2} << 20;  // small budget: stress spilling
   const double kCap = 180.0;                   // baseline wall-clock cap (s)
+  obs::BenchReport bench("table5_encoding");
   PrintHeaderLine("Table 5: interval encoding vs explicit (string-style) constraints");
   std::printf("%-11s | %-22s | %-22s\n", "", "#part  #iter  #cons(K)  time",
               "#part  #iter  #cons(K)  time");
@@ -79,6 +82,8 @@ int Main() {
     Workload workload = GenerateWorkload(preset);
     PhaseRun grapple_run = RunAliasPhase(workload.program, false, kBudget, 0);
     PhaseRun naive_run = RunAliasPhase(workload.program, true, kBudget, kCap);
+    bench.AddSnapshot(preset.name + ":interval", "alias", grapple_run.metrics);
+    bench.AddSnapshot(preset.name + ":explicit", "alias", naive_run.metrics);
     char naive_time[32];
     if (naive_run.timed_out) {
       std::snprintf(naive_time, sizeof(naive_time), ">%s", FormatDuration(kCap).c_str());
@@ -107,6 +112,7 @@ int Main() {
                 result.seconds);
   }
   std::printf("\npaper: the traditional implementation ran out of memory on all subjects.\n");
+  bench.Write();
   return 0;
 }
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and test — plain Release plus an
+# ASan/UBSan pass. Usage:
+#   scripts/ci.sh            # both passes
+#   scripts/ci.sh release    # plain build + ctest only
+#   scripts/ci.sh sanitize   # ASan/UBSan build + ctest only
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_pass() {
+  local name="$1"
+  shift
+  local build_dir="${repo_root}/build-ci-${name}"
+  echo "==> [${name}] configure"
+  cmake -S "${repo_root}" -B "${build_dir}" "$@" > /dev/null
+  echo "==> [${name}] build"
+  cmake --build "${build_dir}" -j "${jobs}" -- --no-print-directory 2>&1 | grep -Ev '^(make|gmake)\[' || true
+  echo "==> [${name}] test"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+case "${mode}" in
+  release)
+    run_pass release -DCMAKE_BUILD_TYPE=Release
+    ;;
+  sanitize)
+    run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGRAPPLE_SANITIZE=address,undefined
+    ;;
+  all)
+    run_pass release -DCMAKE_BUILD_TYPE=Release
+    run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGRAPPLE_SANITIZE=address,undefined
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [release|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> CI passed (${mode})"

@@ -1,66 +1,35 @@
 #include "src/checker/report_json.h"
 
-#include <cstdio>
 #include <sstream>
+
+#include "src/obs/json.h"
 
 namespace grapple {
 
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 8);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string JsonEscape(const std::string& text) { return obs::JsonEscapeString(text); }
 
 std::string ReportToJson(const BugReport& report) {
-  std::ostringstream out;
-  out << "{";
-  out << "\"checker\":\"" << JsonEscape(report.checker) << "\",";
-  out << "\"kind\":\""
-      << (report.kind == BugReport::Kind::kErroneousEvent ? "erroneous_event"
-                                                          : "bad_exit_state")
-      << "\",";
-  out << "\"object\":\"" << JsonEscape(report.object_desc) << "\",";
-  out << "\"type\":\"" << JsonEscape(report.type) << "\",";
-  out << "\"alloc_line\":" << report.alloc_line << ",";
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("checker").String(report.checker);
+  w.Key("kind").String(report.kind == BugReport::Kind::kErroneousEvent ? "erroneous_event"
+                                                                       : "bad_exit_state");
+  w.Key("object").String(report.object_desc);
+  w.Key("type").String(report.type);
+  w.Key("alloc_line").Int(report.alloc_line);
   if (report.kind == BugReport::Kind::kErroneousEvent) {
-    out << "\"event\":\"" << JsonEscape(report.event) << "\",";
-    out << "\"event_line\":" << report.event_line << ",";
+    w.Key("event").String(report.event);
+    w.Key("event_line").Int(report.event_line);
   }
-  out << "\"state\":\"" << JsonEscape(report.state) << "\",";
-  out << "\"constraint\":\"" << JsonEscape(report.constraint) << "\",";
-  out << "\"witness_path\":\"" << JsonEscape(report.witness_path) << "\"";
-  out << "}";
-  return out.str();
+  w.Key("state").String(report.state);
+  w.Key("constraint").String(report.constraint);
+  w.Key("witness_path").String(report.witness_path);
+  w.EndObject();
+  return w.Take();
 }
 
 std::string ReportsToJson(const std::vector<BugReport>& reports) {
+  // One report per line: still valid JSON, still readable in a terminal.
   std::ostringstream out;
   out << "[";
   for (size_t i = 0; i < reports.size(); ++i) {

@@ -6,6 +6,8 @@
 #include "src/cfg/loop_unroll.h"
 #include "src/grammar/pointsto_grammar.h"
 #include "src/grammar/typestate_grammar.h"
+#include "src/obs/trace.h"
+#include "src/support/env.h"
 #include "src/support/logging.h"
 #include "src/support/timer.h"
 
@@ -88,6 +90,8 @@ Grapple::Grapple(Program program) : Grapple(std::move(program), GrappleOptions()
 
 Grapple::Grapple(Program program, GrappleOptions options)
     : options_(std::move(options)), program_(std::make_unique<Program>(std::move(program))) {
+  obs::InitTracingFromEnv();
+  obs::ScopedSpan span("frontend", "phase");
   WallTimer timer;
   UnrollLoops(program_.get(), options_.loop_unroll);
   call_graph_ = std::make_unique<CallGraph>(*program_);
@@ -136,14 +140,26 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
   EngineOptions alias_engine_options = engine_options;
   alias_engine_options.work_dir = PhaseDir("alias");
   GraphEngine alias_engine(&pointsto_grammar, &alias_oracle, alias_engine_options);
+  auto alias_span = std::make_unique<obs::ScopedSpan>("alias_phase", "phase");
   AliasGraph alias_graph(*program_, *call_graph_, icfet_, pt_labels, &alias_engine);
   alias_engine.Finalize(alias_graph.num_vertices());
   alias_engine.Run();
+  alias_span.reset();
   result.alias.num_vertices = alias_graph.num_vertices();
   result.alias.edges_before = alias_engine.stats().base_edges;
   result.alias.edges_after = alias_engine.stats().final_edges;
   result.alias.engine = alias_engine.stats();
   result.alias.seconds = alias_timer.ElapsedSeconds();
+  {
+    obs::PhaseReport phase;
+    phase.name = "alias";
+    phase.num_vertices = alias_graph.num_vertices();
+    phase.edges_before = result.alias.edges_before;
+    phase.edges_after = result.alias.edges_after;
+    phase.seconds = result.alias.seconds;
+    phase.metrics = alias_engine.stats().metrics;
+    result.report.phases.push_back(std::move(phase));
+  }
 
   // Harvest aliasing facts for every event receiver once.
   std::unordered_set<VertexId> receivers;
@@ -160,6 +176,7 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     WallTimer checker_timer;
     CheckerRunResult checker_result;
     checker_result.checker = spec.fsm.name();
+    obs::ScopedSpan checker_span(obs::InternSpanName("typestate:" + spec.fsm.name()), "phase");
 
     std::unordered_set<std::string> types(spec.tracked_types.begin(), spec.tracked_types.end());
     std::vector<uint32_t> tracked;
@@ -189,10 +206,33 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     checker_result.typestate.edges_after = ts_engine.stats().final_edges;
     checker_result.typestate.engine = ts_engine.stats();
     checker_result.typestate.seconds = checker_timer.ElapsedSeconds();
+
+    obs::PhaseReport phase;
+    phase.name = "typestate:" + spec.fsm.name();
+    phase.num_vertices = ts_graph.num_vertices();
+    phase.edges_before = checker_result.typestate.edges_before;
+    phase.edges_after = checker_result.typestate.edges_after;
+    phase.seconds = checker_result.typestate.seconds;
+    // Re-snapshot after report extraction so the oracle's CheckPayload work
+    // on final edges is included.
+    phase.metrics = ts_engine.Metrics();
+    result.report.phases.push_back(std::move(phase));
+
     result.checkers.push_back(std::move(checker_result));
   }
 
   result.total_seconds = total_timer.ElapsedSeconds() + frontend_seconds_;
+  result.report.frontend_seconds = frontend_seconds_;
+  result.report.total_seconds = result.total_seconds;
+  result.report.total_reports = result.TotalReports();
+
+  // GRAPPLE_METRICS=<path> dumps the machine-readable run report.
+  std::string metrics_path = EnvString("GRAPPLE_METRICS");
+  if (!metrics_path.empty()) {
+    if (!obs::WriteTextFile(metrics_path, result.report.ToJson())) {
+      GRAPPLE_LOG(WARNING) << "failed to write run report to " << metrics_path;
+    }
+  }
   return result;
 }
 

@@ -26,6 +26,7 @@
 #include "src/checker/checker.h"
 #include "src/graph/engine.h"
 #include "src/ir/ir.h"
+#include "src/obs/report.h"
 #include "src/smt/solver.h"
 #include "src/support/byte_io.h"
 #include "src/symexec/cfet_builder.h"
@@ -80,6 +81,10 @@ struct GrappleResult {
   size_t alias_pairs = 0;  // flowsTo facts held for phase-2 queries
   std::vector<CheckerRunResult> checkers;
   double total_seconds = 0;
+  // Machine-readable record of the run: one obs::PhaseReport per engine run
+  // ("alias", "typestate:<checker>") with the full metrics snapshot each.
+  // Serialized to the path in GRAPPLE_METRICS when that variable is set.
+  obs::RunReport report;
 
   size_t TotalReports() const;
   // Aggregates for Table-3 style reporting.

@@ -1,6 +1,30 @@
 #include "src/graph/constraint_oracle.h"
 
+#include <cmath>
+
+#include "src/obs/trace.h"
+
 namespace grapple {
+
+namespace {
+
+uint64_t SecondsToNanos(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<uint64_t>(std::llround(seconds * 1e9));
+}
+
+}  // namespace
+
+obs::MetricsSnapshot OracleStats::ToSnapshot() const {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["oracle_merges"] = merges;
+  snapshot.counters["oracle_constraints_checked"] = constraints_checked;
+  snapshot.counters["oracle_cache_hits"] = cache_hits;
+  snapshot.counters["oracle_unsat"] = unsat;
+  snapshot.counters["oracle_unknown"] = unknown;
+  snapshot.counters["oracle_lookup_ns"] = SecondsToNanos(lookup_seconds);
+  snapshot.counters["oracle_solve_ns"] = SecondsToNanos(solve_seconds);
+  return snapshot;
+}
 
 IntervalOracle::IntervalOracle(const Icfet* icfet) : IntervalOracle(icfet, Options()) {}
 
@@ -8,7 +32,15 @@ IntervalOracle::IntervalOracle(const Icfet* icfet, Options options)
     : options_(options),
       decoder_(icfet),
       solver_(options.solver_limits),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_capacity),
+      c_merges_(metrics_.Counter("oracle_merges")),
+      c_checked_(metrics_.Counter("oracle_constraints_checked")),
+      c_cache_hits_(metrics_.Counter("oracle_cache_hits")),
+      c_unsat_(metrics_.Counter("oracle_unsat")),
+      c_unknown_(metrics_.Counter("oracle_unknown")),
+      c_lookup_ns_(metrics_.Counter("oracle_lookup_ns")),
+      c_solve_ns_(metrics_.Counter("oracle_solve_ns")),
+      h_solve_ns_(metrics_.Histogram("oracle_solve_ns")) {}
 
 std::vector<uint8_t> IntervalOracle::BasePayload(const PathEncoding& enc) {
   std::vector<uint8_t> out;
@@ -24,14 +56,14 @@ SolveResult IntervalOracle::CheckEncodingLocked(const PathEncoding& enc, const s
   if (options_.enable_cache) {
     auto cached = cache_.Get(key);
     if (cached.has_value()) {
-      ++stats_.cache_hits;
+      metrics_.Add(c_cache_hits_);
       return *cached;
     }
   }
-  ++stats_.constraints_checked;
+  metrics_.Add(c_checked_);
   WallTimer decode_timer;
   Constraint constraint = decoder_.Decode(enc);
-  stats_.lookup_seconds += decode_timer.ElapsedSeconds();
+  metrics_.AddNanos(c_lookup_ns_, decode_timer.ElapsedNanos());
   WallTimer solve_timer;
   SolveResult result = solver_.Solve(constraint);
   if (options_.simulated_solve_latency_us > 0) {
@@ -40,11 +72,13 @@ SolveResult IntervalOracle::CheckEncodingLocked(const PathEncoding& enc, const s
       // busy-wait: models a blocking round trip to an external solver
     }
   }
-  stats_.solve_seconds += solve_timer.ElapsedSeconds();
+  uint64_t solve_nanos = solve_timer.ElapsedNanos();
+  metrics_.AddNanos(c_solve_ns_, solve_nanos);
+  metrics_.Observe(h_solve_ns_, solve_nanos);
   if (result == SolveResult::kUnsat) {
-    ++stats_.unsat;
+    metrics_.Add(c_unsat_);
   } else if (result == SolveResult::kUnknown) {
-    ++stats_.unknown;
+    metrics_.Add(c_unknown_);
   }
   if (options_.enable_cache) {
     cache_.Put(key, result);
@@ -55,8 +89,9 @@ SolveResult IntervalOracle::CheckEncodingLocked(const PathEncoding& enc, const s
 std::optional<std::vector<uint8_t>> IntervalOracle::MergeAndCheck(const uint8_t* a, size_t a_len,
                                                                   const uint8_t* b,
                                                                   size_t b_len) {
+  obs::ScopedSpan span("merge_check", "oracle");
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.merges;
+  metrics_.Add(c_merges_);
   WallTimer lookup_timer;
   ByteReader reader_a(a, a_len);
   ByteReader reader_b(b, b_len);
@@ -69,7 +104,7 @@ std::optional<std::vector<uint8_t>> IntervalOracle::MergeAndCheck(const uint8_t*
   std::vector<uint8_t> full_bytes;
   full.Serialize(&full_bytes);
   std::string key(reinterpret_cast<const char*>(full_bytes.data()), full_bytes.size());
-  stats_.lookup_seconds += lookup_timer.ElapsedSeconds();
+  metrics_.AddNanos(c_lookup_ns_, lookup_timer.ElapsedNanos());
   SolveResult result = CheckEncodingLocked(full, key);
   if (result == SolveResult::kUnsat) {
     return std::nullopt;
@@ -79,7 +114,7 @@ std::optional<std::vector<uint8_t>> IntervalOracle::MergeAndCheck(const uint8_t*
   WallTimer compact_timer;
   std::vector<uint8_t> bytes;
   full.Compact().Serialize(&bytes);
-  stats_.lookup_seconds += compact_timer.ElapsedSeconds();
+  metrics_.AddNanos(c_lookup_ns_, compact_timer.ElapsedNanos());
   return bytes;
 }
 
@@ -99,13 +134,21 @@ Constraint IntervalOracle::DecodePayload(const uint8_t* payload, size_t len) {
 }
 
 OracleStats IntervalOracle::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  OracleStats stats;
+  stats.merges = snapshot.CounterOr("oracle_merges");
+  stats.constraints_checked = snapshot.CounterOr("oracle_constraints_checked");
+  stats.cache_hits = snapshot.CounterOr("oracle_cache_hits");
+  stats.unsat = snapshot.CounterOr("oracle_unsat");
+  stats.unknown = snapshot.CounterOr("oracle_unknown");
+  stats.lookup_seconds = snapshot.SecondsOf("oracle_lookup_ns");
+  stats.solve_seconds = snapshot.SecondsOf("oracle_solve_ns");
+  return stats;
 }
 
 void IntervalOracle::ResetStats() {
+  metrics_.Reset();
   std::lock_guard<std::mutex> lock(mu_);
-  stats_ = OracleStats();
   cache_.ResetStats();
 }
 

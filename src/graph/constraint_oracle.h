@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/pathenc/constraint_decoder.h"
 #include "src/pathenc/path_encoding.h"
 #include "src/smt/solver.h"
@@ -34,6 +35,11 @@ struct OracleStats {
   uint64_t unknown = 0;
   double lookup_seconds = 0;  // encoding/decoding + cache probing
   double solve_seconds = 0;   // SMT time
+
+  // The same numbers under the registry's counter names ("oracle_merges",
+  // "oracle_lookup_ns", ...), so snapshot-based consumers work with any
+  // oracle implementation.
+  obs::MetricsSnapshot ToSnapshot() const;
 };
 
 class ConstraintOracle {
@@ -54,6 +60,11 @@ class ConstraintOracle {
 
   virtual OracleStats Stats() const = 0;
   virtual void ResetStats() = 0;
+
+  // Metrics snapshot under registry counter names. The default renders
+  // Stats() through OracleStats::ToSnapshot(); registry-backed oracles
+  // override it to expose their full snapshot (histograms included).
+  virtual obs::MetricsSnapshot Metrics() const { return Stats().ToSnapshot(); }
 };
 
 class IntervalOracle : public ConstraintOracle {
@@ -86,6 +97,8 @@ class IntervalOracle : public ConstraintOracle {
   SolveResult CheckPayload(const uint8_t* payload, size_t len);
   Constraint DecodePayload(const uint8_t* payload, size_t len);
 
+  obs::MetricsSnapshot Metrics() const override { return metrics_.Snapshot(); }
+
  private:
   SolveResult CheckEncodingLocked(const PathEncoding& enc, const std::string& key);
 
@@ -94,7 +107,16 @@ class IntervalOracle : public ConstraintOracle {
   PathDecoder decoder_;
   Solver solver_;
   LruCache<std::string, SolveResult> cache_;
-  OracleStats stats_;
+
+  obs::MetricsRegistry metrics_;
+  obs::MetricId c_merges_;
+  obs::MetricId c_checked_;
+  obs::MetricId c_cache_hits_;
+  obs::MetricId c_unsat_;
+  obs::MetricId c_unknown_;
+  obs::MetricId c_lookup_ns_;
+  obs::MetricId c_solve_ns_;
+  obs::MetricId h_solve_ns_;
 };
 
 }  // namespace grapple

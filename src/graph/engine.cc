@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
-#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace grapple {
@@ -93,8 +95,22 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
     : grammar_(grammar),
       oracle_(oracle),
       options_(std::move(options)),
-      store_(options_.work_dir, &profiler_),
-      pool_(options_.num_threads == 0 ? 1 : options_.num_threads) {}
+      c_base_edges_(metrics_.Counter("engine_base_edges")),
+      c_final_edges_(metrics_.Counter("engine_final_edges")),
+      c_pair_loads_(metrics_.Counter("engine_pair_loads")),
+      c_join_rounds_(metrics_.Counter("engine_join_rounds")),
+      c_joins_attempted_(metrics_.Counter("engine_joins_attempted")),
+      c_edges_added_(metrics_.Counter("engine_edges_added")),
+      c_unsat_pruned_(metrics_.Counter("engine_unsat_pruned")),
+      c_widened_triples_(metrics_.Counter("engine_widened_triples")),
+      c_partition_splits_(metrics_.Counter("engine_partition_splits")),
+      c_preprocess_ns_(metrics_.Counter("engine_preprocess_ns")),
+      c_compute_ns_(metrics_.Counter("engine_compute_ns")),
+      h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
+      store_(options_.work_dir, &profiler_, &metrics_),
+      pool_(options_.num_threads == 0 ? 1 : options_.num_threads) {
+  obs::InitTracingFromEnv();
+}
 
 void GraphEngine::AddBaseEdge(VertexId src, VertexId dst, Label label, const PathEncoding& enc) {
   GRAPPLE_CHECK(!finalized_) << "AddBaseEdge after Finalize";
@@ -148,36 +164,46 @@ struct GraphEngineIndexHolder {
 
 GraphEngine::~GraphEngine() = default;
 
-std::string EngineStats::ToString() const {
-  std::ostringstream out;
-  out << "edges: " << base_edges << " -> " << final_edges << " (+" << edges_added
-      << " induced, " << unsat_pruned + oracle.unsat << " pruned unsat)\n";
-  out << "partitions: " << num_partitions << " (peak " << peak_partitions << ", "
-      << partition_splits << " splits); pair loads: " << pair_loads << ", join rounds: "
-      << join_rounds << ", joins: " << joins_attempted << "\n";
-  out << "constraints: " << oracle.merges << " merges, " << oracle.constraints_checked
-      << " solved, " << oracle.cache_hits << " cache hits";
-  uint64_t lookups = oracle.constraints_checked + oracle.cache_hits;
-  if (lookups > 0) {
-    out << " (" << (100 * oracle.cache_hits / lookups) << "% hit rate)";
+void EngineStats::SyncFromMetrics() {
+  base_edges = metrics.CounterOr("engine_base_edges");
+  final_edges = metrics.CounterOr("engine_final_edges");
+  pair_loads = metrics.CounterOr("engine_pair_loads");
+  join_rounds = metrics.CounterOr("engine_join_rounds");
+  joins_attempted = metrics.CounterOr("engine_joins_attempted");
+  edges_added = metrics.CounterOr("engine_edges_added");
+  unsat_pruned = metrics.CounterOr("engine_unsat_pruned");
+  widened_triples = metrics.CounterOr("engine_widened_triples");
+  partition_splits = metrics.CounterOr("engine_partition_splits");
+  timed_out = metrics.GaugeOr("engine_timed_out") > 0;
+  num_partitions = static_cast<size_t>(metrics.GaugeOr("engine_num_partitions"));
+  peak_partitions = static_cast<size_t>(metrics.GaugeOr("engine_peak_partitions"));
+  preprocess_seconds = metrics.SecondsOf("engine_preprocess_ns");
+  compute_seconds = metrics.SecondsOf("engine_compute_ns");
+  oracle.merges = metrics.CounterOr("oracle_merges");
+  oracle.constraints_checked = metrics.CounterOr("oracle_constraints_checked");
+  oracle.cache_hits = metrics.CounterOr("oracle_cache_hits");
+  oracle.unsat = metrics.CounterOr("oracle_unsat");
+  oracle.unknown = metrics.CounterOr("oracle_unknown");
+  oracle.lookup_seconds = metrics.SecondsOf("oracle_lookup_ns");
+  oracle.solve_seconds = metrics.SecondsOf("oracle_solve_ns");
+  phase_seconds.clear();
+  const std::string prefix = obs::kPhaseNsPrefix;
+  const std::string suffix = obs::kPhaseNsSuffix;
+  for (const auto& [name, nanos] : metrics.counters) {
+    if (name.size() > prefix.size() + suffix.size() && name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      std::string phase = name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+      phase_seconds[phase] = static_cast<double>(nanos) / 1e9;
+    }
   }
-  out << "\n";
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer),
-                "time: preprocess %.3fs, compute %.3fs (lookup %.3fs, solve %.3fs)",
-                preprocess_seconds, compute_seconds, oracle.lookup_seconds,
-                oracle.solve_seconds);
-  out << buffer;
-  if (timed_out) {
-    out << " [TIMED OUT]";
-  }
-  out << "\n";
-  return out.str();
 }
+
+std::string EngineStats::ToString() const { return obs::RenderEngineSummary(metrics); }
 
 void GraphEngine::Finalize(VertexId num_vertices) {
   GRAPPLE_CHECK(!finalized_);
   finalized_ = true;
+  obs::ScopedSpan span("finalize", "engine");
   WallTimer timer;
   // Expand unary/mirror closures and dedup.
   index_ = std::make_unique<GraphEngineIndexHolder>();
@@ -198,18 +224,24 @@ void GraphEngine::Finalize(VertexId num_vertices) {
   pending_base_.clear();
   pending_base_.shrink_to_fit();
   stats_.base_edges = expanded.size();
+  metrics_.Add(c_base_edges_, expanded.size());
   store_.Initialize(std::move(expanded), num_vertices, options_.memory_budget_bytes / 4);
+  metrics_.AddNanos(c_preprocess_ns_, timer.ElapsedNanos());
   stats_.preprocess_seconds = timer.ElapsedSeconds();
   stats_.num_partitions = store_.NumPartitions();
   stats_.peak_partitions = store_.NumPartitions();
+  metrics_.SetGauge("engine_num_partitions", static_cast<double>(store_.NumPartitions()));
+  metrics_.MaxGauge("engine_peak_partitions", static_cast<double>(store_.NumPartitions()));
 }
 
 void GraphEngine::Run() {
   GRAPPLE_CHECK(finalized_) << "call Finalize before Run";
+  obs::ScopedSpan span("engine_run", "engine");
+  bool timed_out = false;
   WallTimer timer;
   for (;;) {
     if (options_.max_seconds > 0 && timer.ElapsedSeconds() > options_.max_seconds) {
-      stats_.timed_out = true;
+      timed_out = true;
       break;
     }
     // Pick the next stale pair (i <= j).
@@ -233,15 +265,30 @@ void GraphEngine::Run() {
     }
     ProcessPair(pick_i, pick_j);
   }
-  stats_.compute_seconds = timer.ElapsedSeconds();
-  stats_.num_partitions = store_.NumPartitions();
-  stats_.oracle = oracle_->Stats();
-  stats_.phase_seconds = profiler_.Snapshot();
-  stats_.final_edges = store_.TotalEdges();
+  metrics_.AddNanos(c_compute_ns_, timer.ElapsedNanos());
+  metrics_.Add(c_final_edges_, store_.TotalEdges());
+  metrics_.SetGauge("engine_num_partitions", static_cast<double>(store_.NumPartitions()));
+  metrics_.MaxGauge("engine_peak_partitions", static_cast<double>(store_.NumPartitions()));
+  metrics_.SetGauge("engine_timed_out", timed_out ? 1.0 : 0.0);
+  // The registry (merged with phase timers and the oracle) is the source of
+  // truth; the legacy named fields become a view over it.
+  stats_.metrics = Metrics();
+  stats_.SyncFromMetrics();
+}
+
+obs::MetricsSnapshot GraphEngine::Metrics() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  for (const auto& [name, seconds] : profiler_.Snapshot()) {
+    uint64_t nanos = seconds <= 0 ? 0 : static_cast<uint64_t>(std::llround(seconds * 1e9));
+    snapshot.counters[std::string(obs::kPhaseNsPrefix) + name + obs::kPhaseNsSuffix] += nanos;
+  }
+  snapshot.Merge(oracle_->Metrics());
+  return snapshot;
 }
 
 void GraphEngine::ProcessPair(size_t pi, size_t pj) {
-  ++stats_.pair_loads;
+  obs::ScopedSpan span("process_pair", "engine");
+  metrics_.Add(c_pair_loads_);
   const PartitionInfo& info_i = store_.Info(pi);
   const PartitionInfo& info_j = store_.Info(pj);
   LoadedPair pair(info_i.lo, info_i.hi, pi == pj ? info_i.lo : info_j.lo,
@@ -293,12 +340,14 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
   bool complete = true;
 
   while (!frontier.empty()) {
-    ++stats_.join_rounds;
+    metrics_.Add(c_join_rounds_);
+    obs::ScopedSpan round_span("join_round", "engine");
     // --- parallel candidate generation ---
     size_t shards = pool_.num_threads();
     std::vector<std::vector<Candidate>> shard_candidates(shards);
     std::atomic<uint64_t> joins{0};
     pool_.ParallelFor(frontier.size(), [&](size_t shard, size_t begin, size_t end) {
+      obs::ScopedSpan shard_span("join_shard", "engine");
       auto& out = shard_candidates[shard];
       uint64_t local_joins = 0;
       for (size_t f = begin; f < end; ++f) {
@@ -357,7 +406,8 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
       }
       joins.fetch_add(local_joins, std::memory_order_relaxed);
     });
-    stats_.joins_attempted += joins.load();
+    metrics_.Add(c_joins_attempted_, joins.load());
+    metrics_.Observe(h_join_round_joins_, joins.load());
 
     // --- sequential integration ---
     std::fill(in_frontier.begin(), in_frontier.end(), 0);
@@ -378,11 +428,11 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
         if (index.content.count(content) != 0) {
           return;
         }
-        ++stats_.widened_triples;
+        metrics_.Add(c_widened_triples_);
       }
       index.content.insert(content);
       ++variant_count;
-      ++stats_.edges_added;
+      metrics_.Add(c_edges_added_);
       if (pair.Owns(record.src)) {
         uint32_t idx = pair.Insert(record.src, record.dst, record.label, record.payload.data(),
                                    record.payload.size());
@@ -442,7 +492,7 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
     if (bytes > target * 2 && hi - lo > 1) {
       size_t pieces = store_.SplitAndRewrite(index_p, std::move(edges), target);
       if (pieces > 1) {
-        stats_.partition_splits += pieces - 1;
+        metrics_.Add(c_partition_splits_, pieces - 1);
         return true;  // layout changed
       }
       return false;
@@ -479,7 +529,7 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
     }
   }
 
-  stats_.peak_partitions = std::max(stats_.peak_partitions, store_.NumPartitions());
+  metrics_.MaxGauge("engine_peak_partitions", static_cast<double>(store_.NumPartitions()));
 
   if (layout_changed) {
     // Partition indices shifted; all bookkeeping is stale.

@@ -22,6 +22,7 @@
 #include "src/graph/constraint_oracle.h"
 #include "src/graph/edge.h"
 #include "src/graph/partition_store.h"
+#include "src/obs/metrics.h"
 #include "src/pathenc/path_encoding.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timer.h"
@@ -47,6 +48,11 @@ struct EngineOptions {
   double max_seconds = 0;
 };
 
+// Engine run statistics. The metrics registry is the source of truth; the
+// named fields are a convenience view populated from the merged snapshot
+// when the engine finishes (plus mid-ingestion by Finalize), kept for
+// existing call sites. `metrics` carries the full snapshot — engine and
+// oracle counters, phase timer buckets as "phase_<name>_ns", histograms.
 struct EngineStats {
   uint64_t base_edges = 0;
   uint64_t final_edges = 0;
@@ -65,8 +71,14 @@ struct EngineStats {
   OracleStats oracle;
   // "io" / "lookup" / "solve" / "join" buckets (Figure 9).
   std::map<std::string, double> phase_seconds;
+  // Full merged snapshot (engine registry + phase timers + oracle).
+  obs::MetricsSnapshot metrics;
 
-  // Multi-line human-readable summary.
+  // Rebuilds the named fields from `metrics` (counter names as in
+  // obs::RenderEngineSummary).
+  void SyncFromMetrics();
+
+  // Multi-line human-readable summary (renders from `metrics`).
   std::string ToString() const;
 };
 
@@ -121,6 +133,11 @@ class GraphEngine : public EdgeSink {
   const EngineStats& stats() const { return stats_; }
   size_t NumPartitions() const { return store_.NumPartitions(); }
 
+  // Merged metrics snapshot: engine registry (counters, io_*, gauges) +
+  // phase timer buckets (as "phase_<name>_ns") + the oracle's snapshot.
+  // Valid any time; complete after Run().
+  obs::MetricsSnapshot Metrics() const;
+
  private:
   class LoadedPair;
 
@@ -133,6 +150,19 @@ class GraphEngine : public EdgeSink {
   ConstraintOracle* oracle_;
   EngineOptions options_;
   PhaseProfiler profiler_;
+  obs::MetricsRegistry metrics_;
+  obs::MetricId c_base_edges_;
+  obs::MetricId c_final_edges_;
+  obs::MetricId c_pair_loads_;
+  obs::MetricId c_join_rounds_;
+  obs::MetricId c_joins_attempted_;
+  obs::MetricId c_edges_added_;
+  obs::MetricId c_unsat_pruned_;
+  obs::MetricId c_widened_triples_;
+  obs::MetricId c_partition_splits_;
+  obs::MetricId c_preprocess_ns_;
+  obs::MetricId c_compute_ns_;
+  obs::MetricId h_join_round_joins_;
   PartitionStore store_;
   ThreadPool pool_;
   EngineStats stats_;

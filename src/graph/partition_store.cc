@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace grapple {
 
-PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler)
-    : dir_(std::move(dir)), profiler_(profiler) {}
+PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
+                               obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)), profiler_(profiler), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    c_bytes_read_ = metrics_->Counter("io_bytes_read");
+    c_bytes_written_ = metrics_->Counter("io_bytes_written");
+    c_loads_ = metrics_->Counter("io_partition_loads");
+    c_writes_ = metrics_->Counter("io_partition_writes");
+    c_appends_ = metrics_->Counter("io_partition_appends");
+    c_splits_ = metrics_->Counter("io_partition_splits");
+  }
+}
 
 std::string PartitionStore::FileFor(VertexId lo) const {
   return dir_ + "/part-" + std::to_string(lo) + "-" + std::to_string(file_counter_) + ".edges";
@@ -16,12 +27,17 @@ std::string PartitionStore::FileFor(VertexId lo) const {
 void PartitionStore::WriteEdges(const std::string& path, const std::vector<EdgeRecord>& edges,
                                 uint64_t* bytes) {
   ScopedPhase phase(profiler_, "io");
+  obs::ScopedSpan span("partition_write", "io");
   std::vector<uint8_t> buffer;
   for (const auto& edge : edges) {
     SerializeEdge(edge, &buffer);
   }
   GRAPPLE_CHECK(WriteFileBytes(path, buffer)) << "failed to write partition " << path;
   *bytes = buffer.size();
+  if (metrics_ != nullptr) {
+    metrics_->Add(c_writes_);
+    metrics_->Add(c_bytes_written_, buffer.size());
+  }
 }
 
 void PartitionStore::Initialize(std::vector<EdgeRecord> edges, VertexId num_vertices,
@@ -100,9 +116,14 @@ size_t PartitionStore::PartitionOf(VertexId v) const {
 
 std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
   ScopedPhase phase(profiler_, "io");
+  obs::ScopedSpan span("partition_load", "io");
   std::vector<uint8_t> bytes;
   GRAPPLE_CHECK(ReadFileBytes(partitions_[index].path, &bytes))
       << "failed to read partition " << partitions_[index].path;
+  if (metrics_ != nullptr) {
+    metrics_->Add(c_loads_);
+    metrics_->Add(c_bytes_read_, bytes.size());
+  }
   std::vector<EdgeRecord> edges;
   edges.reserve(partitions_[index].edges);
   ByteReader reader(bytes);
@@ -130,12 +151,17 @@ void PartitionStore::Append(size_t index, const std::vector<EdgeRecord>& edges) 
     return;
   }
   ScopedPhase phase(profiler_, "io");
+  obs::ScopedSpan span("partition_append", "io");
   std::vector<uint8_t> buffer;
   for (const auto& edge : edges) {
     SerializeEdge(edge, &buffer);
   }
   PartitionInfo& info = partitions_[index];
   GRAPPLE_CHECK(AppendFileBytes(info.path, buffer)) << "failed to append to " << info.path;
+  if (metrics_ != nullptr) {
+    metrics_->Add(c_appends_);
+    metrics_->Add(c_bytes_written_, buffer.size());
+  }
   info.bytes += buffer.size();
   info.edges += edges.size();
   ++info.version;
@@ -144,6 +170,7 @@ void PartitionStore::Append(size_t index, const std::vector<EdgeRecord>& edges) 
 
 size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edges,
                                        uint64_t target_bytes) {
+  obs::ScopedSpan span("partition_split", "io");
   PartitionInfo original = partitions_[index];
   if (original.hi - original.lo <= 1) {
     Rewrite(index, edges);
@@ -194,6 +221,9 @@ size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edg
     return 1;
   }
 
+  if (metrics_ != nullptr) {
+    metrics_->Add(c_splits_);
+  }
   RemoveFile(original.path);
   for (size_t i = 0; i < pieces.size(); ++i) {
     ++file_counter_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/graph/edge.h"
+#include "src/obs/metrics.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -33,8 +34,10 @@ struct PartitionInfo {
 
 class PartitionStore {
  public:
-  // `dir` must exist; `profiler` (optional) receives "io" time.
-  PartitionStore(std::string dir, PhaseProfiler* profiler);
+  // `dir` must exist; `profiler` (optional) receives "io" time; `metrics`
+  // (optional) receives io_* counters (bytes and operation counts).
+  PartitionStore(std::string dir, PhaseProfiler* profiler,
+                 obs::MetricsRegistry* metrics = nullptr);
 
   // Creates the initial layout from base edges, targeting `target_bytes`
   // per partition. Consumes `edges`.
@@ -76,6 +79,13 @@ class PartitionStore {
 
   std::string dir_;
   PhaseProfiler* profiler_;
+  obs::MetricsRegistry* metrics_;
+  obs::MetricId c_bytes_read_ = obs::kInvalidMetric;
+  obs::MetricId c_bytes_written_ = obs::kInvalidMetric;
+  obs::MetricId c_loads_ = obs::kInvalidMetric;
+  obs::MetricId c_writes_ = obs::kInvalidMetric;
+  obs::MetricId c_appends_ = obs::kInvalidMetric;
+  obs::MetricId c_splits_ = obs::kInvalidMetric;
   VertexId num_vertices_ = 0;
   std::vector<PartitionInfo> partitions_;  // sorted by lo, contiguous
   uint64_t file_counter_ = 0;

@@ -1,0 +1,225 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/support/env.h"
+
+namespace grapple {
+namespace obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Event {
+  const char* name;
+  const char* category;
+  uint64_t ts_ns;
+  uint64_t dur_ns;
+  char phase;  // 'X' complete, 'i' instant
+};
+
+// Per-thread event buffer. Buffers are registered once per thread and kept
+// alive for the whole process so cached thread-local pointers can never
+// dangle; events are cleared when a new session starts. The per-buffer
+// mutex is only ever contended by the flusher, so recording stays cheap.
+struct ThreadBuf {
+  std::mutex mu;
+  std::vector<Event> events;
+  uint64_t dropped = 0;
+  uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> buffers;
+  Clock::time_point start;
+  TraceOptions options;
+};
+
+std::atomic<bool> g_enabled{false};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+thread_local ThreadBuf* t_buf = nullptr;
+
+ThreadBuf* LocalBuf() {
+  if (t_buf == nullptr) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(std::make_unique<ThreadBuf>());
+    t_buf = state.buffers.back().get();
+    t_buf->tid = static_cast<uint32_t>(state.buffers.size());
+  }
+  return t_buf;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - State().start)
+          .count());
+}
+
+void Record(const char* name, const char* category, uint64_t ts_ns, uint64_t dur_ns,
+            char phase) {
+  ThreadBuf* buf = LocalBuf();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->events.size() >= State().options.max_events_per_thread) {
+    ++buf->dropped;
+    return;
+  }
+  buf->events.push_back(Event{name, category, ts_ns, dur_ns, phase});
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void StartTracing(TraceOptions options) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  state.options = options;
+  state.start = Clock::now();
+  for (auto& buf : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+  g_enabled.store(true, std::memory_order_release);
+}
+
+std::string StopTracingToJson() {
+  g_enabled.store(false, std::memory_order_release);
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  // Process metadata.
+  w.BeginObject();
+  w.Key("ph").String("M").Key("pid").Int(1).Key("name").String("process_name");
+  w.Key("args").BeginObject().Key("name").String("grapple").EndObject();
+  w.EndObject();
+  uint64_t total_dropped = 0;
+  for (auto& buf : state.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    w.BeginObject();
+    w.Key("ph").String("M").Key("pid").Int(1).Key("tid").Int(buf->tid);
+    w.Key("name").String("thread_name");
+    w.Key("args").BeginObject().Key("name").String("worker-" + std::to_string(buf->tid)).EndObject();
+    w.EndObject();
+    for (const Event& event : buf->events) {
+      w.BeginObject();
+      w.Key("name").String(event.name);
+      w.Key("cat").String(event.category);
+      w.Key("ph").String(std::string(1, event.phase));
+      w.Key("pid").Int(1);
+      w.Key("tid").Int(buf->tid);
+      // Chrome expects microseconds.
+      w.Key("ts").Double(static_cast<double>(event.ts_ns) / 1000.0);
+      if (event.phase == 'X') {
+        w.Key("dur").Double(static_cast<double>(event.dur_ns) / 1000.0);
+      } else {
+        w.Key("s").String("t");
+      }
+      w.EndObject();
+    }
+    total_dropped += buf->dropped;
+    buf->events.clear();
+    buf->events.shrink_to_fit();
+    buf->dropped = 0;
+  }
+  w.EndArray();
+  w.Key("otherData").BeginObject();
+  w.Key("dropped_events").UInt(total_dropped);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+bool StopTracing(const std::string& path) {
+  std::string json = StopTracingToJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+namespace {
+std::string* g_env_trace_path = nullptr;
+}  // namespace
+
+void InitTracingFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::string path = EnvString("GRAPPLE_TRACE");
+    if (path.empty()) {
+      return;
+    }
+    g_env_trace_path = new std::string(std::move(path));
+    TraceOptions options;
+    int64_t cap = EnvInt64("GRAPPLE_TRACE_MAX_EVENTS", 0);
+    if (cap > 0) {
+      options.max_events_per_thread = static_cast<size_t>(cap);
+    }
+    StartTracing(options);
+    std::atexit([] {
+      // Plain stderr: logging statics may already be destroyed at exit.
+      if (TracingEnabled() && !StopTracing(*g_env_trace_path)) {
+        std::fprintf(stderr, "grapple: failed to write trace to %s\n",
+                     g_env_trace_path->c_str());
+      }
+    });
+  });
+}
+
+const char* InternSpanName(const std::string& name) {
+  static std::mutex mu;
+  static std::set<std::string>* names = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return names->insert(name).first->c_str();
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    active_ = true;
+    start_ns_ = NowNs();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_ || !g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  uint64_t end_ns = NowNs();
+  Record(name_, category_, start_ns_, end_ns - start_ns_, 'X');
+}
+
+void TraceInstant(const char* name, const char* category) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  Record(name, category, NowNs(), 0, 'i');
+}
+
+}  // namespace obs
+}  // namespace grapple

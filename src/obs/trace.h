@@ -1,0 +1,74 @@
+// Nested timed spans with Chrome trace_event JSON export.
+//
+// Usage:
+//   { obs::ScopedSpan span("process_pair", "engine"); ... }
+//
+// Tracing is process-global and off by default; when off, a span costs one
+// relaxed atomic load. Enable programmatically (StartTracing/StopTracing)
+// or by setting GRAPPLE_TRACE=<path>, which arms tracing at first use and
+// flushes the Chrome-loadable JSON (chrome://tracing, Perfetto) to <path>
+// at process exit.
+//
+// Each thread buffers its own events (complete "X" events: name, category,
+// ts, dur), so recording never contends across threads. Buffers are capped
+// (GRAPPLE_TRACE_MAX_EVENTS, default 262144 per thread); overflow events
+// are counted and reported as metadata instead of growing without bound.
+#ifndef GRAPPLE_SRC_OBS_TRACE_H_
+#define GRAPPLE_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace grapple {
+namespace obs {
+
+struct TraceOptions {
+  size_t max_events_per_thread = size_t{1} << 18;
+};
+
+// True while a trace session is recording.
+bool TracingEnabled();
+
+// Starts an in-memory trace session (no-op when already recording).
+void StartTracing(TraceOptions options = TraceOptions());
+
+// Stops recording and returns the session as Chrome trace JSON
+// ({"traceEvents":[...]}). Buffers are cleared for the next session.
+std::string StopTracingToJson();
+
+// StopTracingToJson + write to `path`. Returns false on I/O failure.
+bool StopTracing(const std::string& path);
+
+// Reads GRAPPLE_TRACE; when set, starts tracing (once per process) and
+// registers an atexit hook that flushes to the given path. Safe to call
+// from multiple subsystems; only the first call does work.
+void InitTracingFromEnv();
+
+// Interns a dynamic span name, returning a pointer that stays valid for the
+// process lifetime (span names are usually string literals; use this for
+// names built at runtime, e.g. per-checker phases).
+const char* InternSpanName(const std::string& name);
+
+// RAII span. Records one complete event on destruction when tracing is on.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "grapple");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+// Records a zero-duration instant event.
+void TraceInstant(const char* name, const char* category = "grapple");
+
+}  // namespace obs
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_OBS_TRACE_H_

@@ -1,0 +1,33 @@
+// Environment-variable configuration for the observability layer (and any
+// other runtime toggle that must work without touching call sites).
+//
+// Grapple reads:
+//   GRAPPLE_LOG_LEVEL        debug|info|warning|error|fatal (or 0..4)
+//   GRAPPLE_TRACE            path: enable span tracing, flush Chrome trace
+//                            JSON there at process exit
+//   GRAPPLE_TRACE_MAX_EVENTS per-thread span buffer cap (default 262144)
+//   GRAPPLE_METRICS          path ("-" = stdout): the Grapple facade writes
+//                            the machine-readable run report there
+//   GRAPPLE_SCALE            bench workload scale (read by bench_util.h)
+#ifndef GRAPPLE_SRC_SUPPORT_ENV_H_
+#define GRAPPLE_SRC_SUPPORT_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace grapple {
+
+// Raw getenv; nullptr when unset. Empty values count as unset.
+const char* EnvRaw(const char* name);
+
+std::string EnvString(const char* name, const std::string& default_value = "");
+
+// Parses a decimal integer; malformed or unset values yield the default.
+int64_t EnvInt64(const char* name, int64_t default_value);
+
+// Truthy: "1", "true", "yes", "on" (case-insensitive).
+bool EnvBool(const char* name, bool default_value = false);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_ENV_H_

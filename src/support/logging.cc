@@ -1,16 +1,40 @@
 #include "src/support/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <mutex>
 
+#include "src/support/env.h"
+
 namespace grapple {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+// GRAPPLE_LOG_LEVEL accepts a name (debug..fatal) or a number (0..4).
+int InitialMinLevel() {
+  std::string value = EnvString("GRAPPLE_LOG_LEVEL");
+  if (value.empty()) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (value == "info") return static_cast<int>(LogLevel::kInfo);
+  if (value == "warning" || value == "warn") return static_cast<int>(LogLevel::kWarning);
+  if (value == "error") return static_cast<int>(LogLevel::kError);
+  if (value == "fatal") return static_cast<int>(LogLevel::kFatal);
+  int64_t numeric = EnvInt64("GRAPPLE_LOG_LEVEL", static_cast<int>(LogLevel::kInfo));
+  if (numeric < static_cast<int>(LogLevel::kDebug) || numeric > static_cast<int>(LogLevel::kFatal)) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  return static_cast<int>(numeric);
+}
+
+std::atomic<int> g_min_level{InitialMinLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

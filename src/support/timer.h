@@ -6,6 +6,8 @@
 #ifndef GRAPPLE_SRC_SUPPORT_TIMER_H_
 #define GRAPPLE_SRC_SUPPORT_TIMER_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -30,16 +32,28 @@ class WallTimer {
     return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
   }
 
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 
-// Accumulates wall time into named buckets. Thread-safe; the per-call cost is
-// one mutex acquisition, so callers should batch (time a whole partition scan,
-// not a single edge).
+// Accumulates wall time into named buckets. Thread-safe and lock-free on the
+// hot path: each bucket is striped into per-thread cache-line-aligned atomic
+// slots, so Add() is one relaxed fetch_add with no mutex and no cross-thread
+// cache-line ping-pong. The mutex is only taken to register a new phase name
+// and to snapshot.
 class PhaseProfiler {
  public:
+  // Distinct phase names per profiler; further names fold into "other".
+  static constexpr size_t kMaxPhases = 32;
+  // Stripes per bucket; threads hash onto stripes.
+  static constexpr size_t kStripes = 8;
+
   void Add(const std::string& phase, double seconds);
   void AddMicros(const std::string& phase, int64_t micros) {
     Add(phase, static_cast<double>(micros) * 1e-6);
@@ -63,8 +77,24 @@ class PhaseProfiler {
   void Merge(const PhaseProfiler& other);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, double> seconds_;
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> nanos{0};
+  };
+  struct Bucket {
+    std::string name;
+    std::array<Stripe, kStripes> stripes;
+    uint64_t TotalNanos() const;
+  };
+
+  // Lock-free lookup of a published bucket; nullptr when absent.
+  Bucket* Find(const std::string& phase) const;
+  // Registers `phase` (mutex) and returns its bucket; folds overflow into a
+  // reserved "other" bucket rather than failing.
+  Bucket* FindOrCreate(const std::string& phase);
+
+  mutable std::mutex mu_;  // registration and snapshot only
+  std::atomic<size_t> num_buckets_{0};
+  mutable std::array<Bucket, kMaxPhases> buckets_;
 };
 
 // RAII helper: adds the scope's elapsed time to a profiler bucket.

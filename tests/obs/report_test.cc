@@ -1,0 +1,264 @@
+// Run reports: JSON writer/parser round trips, golden-file parse checks of
+// the run-report JSON, and — on a real engine run — the guarantee that the
+// metrics snapshot the report is built from agrees with the legacy
+// EngineStats fields (the snapshot is the source of truth; the named fields
+// are a synced view).
+#include <gtest/gtest.h>
+
+#include "src/cfg/call_graph.h"
+#include "src/cfg/loop_unroll.h"
+#include "src/graph/engine.h"
+#include "src/ir/parser.h"
+#include "src/obs/json.h"
+#include "src/obs/report.h"
+#include "src/symexec/cfet_builder.h"
+
+namespace grapple {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::MetricsSnapshot;
+using obs::ParseJson;
+
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("quote\" and \\ and \n newline");
+  w.Key("count").UInt(12345678901234ull);
+  w.Key("ratio").Double(0.25);
+  w.Key("flag").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("list").BeginArray().Int(-3).Int(0).Int(7).EndArray();
+  w.Key("nested").BeginObject().Key("k").String("v").EndObject();
+  w.EndObject();
+  std::string error;
+  std::optional<JsonValue> doc = ParseJson(w.Take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->StringOr("name", ""), "quote\" and \\ and \n newline");
+  EXPECT_EQ(doc->NumberOr("count", 0), 12345678901234.0);
+  EXPECT_EQ(doc->NumberOr("ratio", 0), 0.25);
+  const JsonValue* list = doc->Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items.size(), 3u);
+  EXPECT_EQ(list->items[0].number_value, -3);
+  const JsonValue* nested = doc->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->StringOr("k", ""), "v");
+}
+
+TEST(CostBreakdownTest, AccumulateSplitsJoinTime) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["phase_io_ns"] = 2000000000;      // 2s
+  snapshot.counters["phase_join_ns"] = 10000000000;   // 10s
+  snapshot.counters["oracle_lookup_ns"] = 1000000000; // 1s
+  snapshot.counters["oracle_solve_ns"] = 4000000000;  // 4s
+  obs::CostBreakdown breakdown;
+  breakdown.Accumulate(snapshot);
+  EXPECT_DOUBLE_EQ(breakdown.io, 2.0);
+  EXPECT_DOUBLE_EQ(breakdown.lookup, 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.solve, 4.0);
+  EXPECT_DOUBLE_EQ(breakdown.edge, 5.0);  // join - lookup - solve
+  EXPECT_DOUBLE_EQ(breakdown.Total(), 12.0);
+  EXPECT_DOUBLE_EQ(breakdown.Pct(breakdown.io), 100.0 * 2.0 / 12.0);
+}
+
+// The real-engine fixture from the engine tests, reused so the report is
+// validated against genuine instrumentation rather than hand-built numbers.
+class ReportEngineTest : public ::testing::Test {
+ protected:
+  ReportEngineTest() {
+    // Same two-branch method as the engine tests: interval [0,0,2] is the
+    // x >= 0 branch, [0,0,1] the x < 0 branch, so composing them is unsat.
+    ParseResult parsed = ParseProgram(R"(
+      method m(int x) {
+        int y
+        y = x
+        if (x >= 0) {
+          y = x - 1
+        } else {
+          y = x + 1
+        }
+        if (y > 0) {
+          y = 0
+        }
+        return
+      }
+    )");
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    program_ = std::move(parsed.program);
+    UnrollLoops(&program_, 2);
+    call_graph_ = std::make_unique<CallGraph>(program_);
+    icfet_ = BuildIcfet(program_, *call_graph_);
+    edge_ = grammar_.Intern("edge");
+    path_ = grammar_.Intern("path");
+    grammar_.AddUnary(edge_, path_);
+    grammar_.AddBinary(path_, edge_, path_);
+  }
+
+  // Runs a small closure with one infeasible composition so engine and
+  // oracle counters are all non-trivial.
+  void RunEngine(GraphEngine* engine) {
+    engine->AddBaseEdge(0, 1, edge_, PathEncoding::Interval(0, 0, 2));
+    engine->AddBaseEdge(1, 2, edge_, PathEncoding::Interval(0, 0, 1));
+    engine->AddBaseEdge(2, 3, edge_, PathEncoding::Empty());
+    engine->Finalize(4);
+    engine->Run();
+  }
+
+  Program program_;
+  std::unique_ptr<CallGraph> call_graph_;
+  Icfet icfet_;
+  Grammar grammar_;
+  Label edge_ = kNoLabel;
+  Label path_ = kNoLabel;
+};
+
+// Acceptance check: the snapshot counter totals must equal the legacy
+// EngineStats/OracleStats fields they replaced.
+TEST_F(ReportEngineTest, SnapshotCountersMatchLegacyStats) {
+  TempDir dir("report-legacy");
+  IntervalOracle oracle(&icfet_);
+  EngineOptions options;
+  options.work_dir = dir.path();
+  GraphEngine engine(&grammar_, &oracle, options);
+  RunEngine(&engine);
+
+  const EngineStats& stats = engine.stats();
+  const MetricsSnapshot& m = stats.metrics;
+  EXPECT_GT(stats.base_edges, 0u);
+  EXPECT_EQ(m.CounterOr("engine_base_edges"), stats.base_edges);
+  EXPECT_EQ(m.CounterOr("engine_final_edges"), stats.final_edges);
+  EXPECT_EQ(m.CounterOr("engine_pair_loads"), stats.pair_loads);
+  EXPECT_EQ(m.CounterOr("engine_join_rounds"), stats.join_rounds);
+  EXPECT_EQ(m.CounterOr("engine_joins_attempted"), stats.joins_attempted);
+  EXPECT_EQ(m.CounterOr("engine_edges_added"), stats.edges_added);
+  EXPECT_EQ(m.CounterOr("engine_unsat_pruned"), stats.unsat_pruned);
+  EXPECT_EQ(m.CounterOr("engine_widened_triples"), stats.widened_triples);
+  EXPECT_EQ(m.CounterOr("engine_partition_splits"), stats.partition_splits);
+  EXPECT_EQ(static_cast<size_t>(m.GaugeOr("engine_num_partitions")), stats.num_partitions);
+  EXPECT_EQ(static_cast<size_t>(m.GaugeOr("engine_peak_partitions")), stats.peak_partitions);
+  EXPECT_DOUBLE_EQ(m.SecondsOf("engine_preprocess_ns"), stats.preprocess_seconds);
+  EXPECT_DOUBLE_EQ(m.SecondsOf("engine_compute_ns"), stats.compute_seconds);
+
+  const OracleStats& o = stats.oracle;
+  EXPECT_GT(o.merges, 0u);
+  EXPECT_EQ(m.CounterOr("oracle_merges"), o.merges);
+  EXPECT_EQ(m.CounterOr("oracle_constraints_checked"), o.constraints_checked);
+  EXPECT_EQ(m.CounterOr("oracle_cache_hits"), o.cache_hits);
+  EXPECT_EQ(m.CounterOr("oracle_unsat"), o.unsat);
+  EXPECT_EQ(m.CounterOr("oracle_unknown"), o.unknown);
+  EXPECT_DOUBLE_EQ(m.SecondsOf("oracle_lookup_ns"), o.lookup_seconds);
+  EXPECT_DOUBLE_EQ(m.SecondsOf("oracle_solve_ns"), o.solve_seconds);
+
+  // Phase timer buckets fold in as phase_<name>_ns and drive phase_seconds.
+  for (const auto& [name, seconds] : stats.phase_seconds) {
+    std::string counter = std::string(obs::kPhaseNsPrefix) + name + obs::kPhaseNsSuffix;
+    EXPECT_NEAR(m.SecondsOf(counter), seconds, 1e-9) << counter;
+  }
+  EXPECT_GT(stats.phase_seconds.count("join"), 0u);
+
+  // The live Metrics() accessor agrees with the stored snapshot.
+  EXPECT_EQ(engine.Metrics().CounterOr("engine_pair_loads"), stats.pair_loads);
+
+  // An unsat composition happened and was counted on one side or the other.
+  EXPECT_GT(stats.unsat_pruned + o.unsat, 0u);
+}
+
+TEST_F(ReportEngineTest, RunReportJsonParsesAndMatchesSnapshot) {
+  TempDir dir("report-json");
+  IntervalOracle oracle(&icfet_);
+  EngineOptions options;
+  options.work_dir = dir.path();
+  GraphEngine engine(&grammar_, &oracle, options);
+  RunEngine(&engine);
+
+  obs::RunReport report;
+  report.subject = "unit";
+  report.total_seconds = 1.5;
+  report.total_reports = 2;
+  obs::PhaseReport phase;
+  phase.name = "closure";
+  phase.num_vertices = 4;
+  phase.edges_before = 3;
+  phase.edges_after = engine.stats().final_edges;
+  phase.metrics = engine.stats().metrics;
+  report.phases.push_back(phase);
+
+  std::string error;
+  std::optional<JsonValue> doc = ParseJson(report.ToJson(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->StringOr("schema", ""), "grapple.run_report.v1");
+  EXPECT_EQ(doc->StringOr("subject", ""), "unit");
+  EXPECT_EQ(doc->NumberOr("total_reports", -1), 2);
+  const JsonValue* breakdown = doc->Find("breakdown");
+  ASSERT_NE(breakdown, nullptr);
+  EXPECT_GE(breakdown->NumberOr("io_seconds", -1), 0);
+  const JsonValue* phases = doc->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->items.size(), 1u);
+  const JsonValue& p0 = phases->items[0];
+  EXPECT_EQ(p0.StringOr("name", ""), "closure");
+  EXPECT_EQ(p0.NumberOr("edges_after", 0),
+            static_cast<double>(engine.stats().final_edges));
+  const JsonValue* metrics = p0.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // Counter totals in the serialized report equal the legacy stats fields.
+  EXPECT_EQ(counters->NumberOr("engine_pair_loads", -1),
+            static_cast<double>(engine.stats().pair_loads));
+  EXPECT_EQ(counters->NumberOr("engine_final_edges", -1),
+            static_cast<double>(engine.stats().final_edges));
+  EXPECT_EQ(counters->NumberOr("oracle_merges", -1),
+            static_cast<double>(engine.stats().oracle.merges));
+  const JsonValue* histograms = metrics->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* join_hist = histograms->Find("engine_join_round_joins");
+  ASSERT_NE(join_hist, nullptr);
+  EXPECT_EQ(join_hist->NumberOr("count", 0),
+            static_cast<double>(engine.stats().join_rounds));
+
+  // The text renderings are built from the same snapshot and must carry the
+  // same headline numbers.
+  std::string summary = engine.stats().ToString();
+  EXPECT_NE(summary.find("-> " + std::to_string(engine.stats().final_edges)),
+            std::string::npos);
+  EXPECT_NE(report.ToText().find("closure"), std::string::npos);
+}
+
+TEST_F(ReportEngineTest, BenchReportJsonParses) {
+  TempDir dir("report-bench");
+  IntervalOracle oracle(&icfet_);
+  EngineOptions options;
+  options.work_dir = dir.path();
+  GraphEngine engine(&grammar_, &oracle, options);
+  RunEngine(&engine);
+
+  obs::BenchReport bench("unit_bench");
+  bench.AddSnapshot("subject_a", "closure", engine.stats().metrics);
+  std::string error;
+  std::optional<JsonValue> doc = ParseJson(bench.ToJson(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->StringOr("schema", ""), "grapple.bench_report.v1");
+  EXPECT_EQ(doc->StringOr("bench", ""), "unit_bench");
+  const JsonValue* subjects = doc->Find("subjects");
+  ASSERT_NE(subjects, nullptr);
+  ASSERT_EQ(subjects->items.size(), 1u);
+  EXPECT_EQ(subjects->items[0].StringOr("subject", ""), "subject_a");
+}
+
+TEST(ReportFileTest, WriteTextFileRoundTrips) {
+  std::string path = ::testing::TempDir() + "/grapple_report_test.json";
+  ASSERT_TRUE(obs::WriteTextFile(path, "{\"ok\":true}"));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, n), "{\"ok\":true}");
+}
+
+}  // namespace
+}  // namespace grapple

@@ -1,0 +1,168 @@
+// Span tracer: Chrome trace JSON structure, span nesting by ts/dur
+// containment, per-thread tids, instants, and overflow accounting. Every
+// assertion parses the emitted JSON with the obs parser — these double as
+// golden checks that the trace loads as valid JSON.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+
+namespace grapple {
+namespace obs {
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;
+  int tid = 0;
+  double ts = 0;
+  double dur = 0;
+};
+
+std::vector<ParsedEvent> EventsOf(const std::string& trace_json) {
+  std::string error;
+  std::optional<JsonValue> doc = ParseJson(trace_json, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  std::vector<ParsedEvent> events;
+  if (!doc.has_value()) {
+    return events;
+  }
+  const JsonValue* array = doc->Find("traceEvents");
+  EXPECT_NE(array, nullptr);
+  EXPECT_TRUE(array->IsArray());
+  for (const JsonValue& item : array->items) {
+    ParsedEvent event;
+    event.name = item.StringOr("name", "");
+    event.cat = item.StringOr("cat", "");
+    event.ph = item.StringOr("ph", "");
+    event.tid = static_cast<int>(item.NumberOr("tid", -1));
+    event.ts = item.NumberOr("ts", 0);
+    event.dur = item.NumberOr("dur", 0);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+const ParsedEvent* FindByName(const std::vector<ParsedEvent>& events, const std::string& name) {
+  for (const ParsedEvent& event : events) {
+    if (event.name == name) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+// a strictly contains b on the trace timeline (same thread, [ts, ts+dur]).
+bool Contains(const ParsedEvent& a, const ParsedEvent& b) {
+  return a.tid == b.tid && a.ts <= b.ts && b.ts + b.dur <= a.ts + a.dur;
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  { ScopedSpan span("should_not_appear", "test"); }
+  StartTracing();
+  std::vector<ParsedEvent> events = EventsOf(StopTracingToJson());
+  EXPECT_EQ(FindByName(events, "should_not_appear"), nullptr);
+  for (const ParsedEvent& event : events) {
+    EXPECT_EQ(event.ph, "M");  // only metadata
+  }
+}
+
+TEST(TraceTest, NestedSpansAreContained) {
+  StartTracing();
+  {
+    ScopedSpan outer("t_outer", "engine");
+    {
+      ScopedSpan middle("t_middle", "oracle");
+      { ScopedSpan leaf("t_leaf", "solver"); }
+    }
+  }
+  std::vector<ParsedEvent> events = EventsOf(StopTracingToJson());
+  const ParsedEvent* outer = FindByName(events, "t_outer");
+  const ParsedEvent* middle = FindByName(events, "t_middle");
+  const ParsedEvent* leaf = FindByName(events, "t_leaf");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(outer->ph, "X");
+  EXPECT_EQ(outer->cat, "engine");
+  EXPECT_EQ(middle->cat, "oracle");
+  EXPECT_EQ(leaf->cat, "solver");
+  EXPECT_TRUE(Contains(*outer, *middle));
+  EXPECT_TRUE(Contains(*middle, *leaf));
+}
+
+TEST(TraceTest, ThreadsGetDistinctTids) {
+  StartTracing();
+  { ScopedSpan span("t_main_span", "test"); }
+  std::thread worker([] { ScopedSpan span("t_worker_span", "test"); });
+  worker.join();
+  std::vector<ParsedEvent> events = EventsOf(StopTracingToJson());
+  const ParsedEvent* main_span = FindByName(events, "t_main_span");
+  const ParsedEvent* worker_span = FindByName(events, "t_worker_span");
+  ASSERT_NE(main_span, nullptr);
+  ASSERT_NE(worker_span, nullptr);
+  EXPECT_NE(main_span->tid, worker_span->tid);
+}
+
+TEST(TraceTest, InstantsAndInternedNames) {
+  const char* interned = InternSpanName(std::string("t_dyn_") + "name");
+  EXPECT_EQ(interned, InternSpanName("t_dyn_name"));  // stable pointer
+  StartTracing();
+  TraceInstant(interned, "test");
+  std::vector<ParsedEvent> events = EventsOf(StopTracingToJson());
+  const ParsedEvent* instant = FindByName(events, "t_dyn_name");
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(instant->ph, "i");
+  EXPECT_EQ(instant->dur, 0);
+}
+
+TEST(TraceTest, OverflowIsCountedNotGrown) {
+  TraceOptions options;
+  options.max_events_per_thread = 4;
+  StartTracing(options);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("t_overflow", "test");
+  }
+  std::string json = StopTracingToJson();
+  std::vector<ParsedEvent> events = EventsOf(json);
+  size_t recorded = 0;
+  for (const ParsedEvent& event : events) {
+    if (event.name == "t_overflow") {
+      ++recorded;
+    }
+  }
+  EXPECT_EQ(recorded, 4u);
+  std::optional<JsonValue> doc = ParseJson(json);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* other = doc->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->NumberOr("dropped_events", -1), 6);
+}
+
+TEST(TraceTest, StopWritesLoadableFile) {
+  StartTracing();
+  { ScopedSpan span("t_file_span", "test"); }
+  std::string path = ::testing::TempDir() + "/grapple_trace_test.json";
+  ASSERT_TRUE(StopTracing(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  std::vector<ParsedEvent> events = EventsOf(content);
+  EXPECT_NE(FindByName(events, "t_file_span"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace grapple
