@@ -13,12 +13,21 @@
 namespace grapple {
 namespace {
 
+// Sums one counter across every phase of a run (alias + all typestate).
+uint64_t SumCounter(const GrappleResult& r, const std::string& name) {
+  uint64_t total = 0;
+  for (const auto& phase : r.report.phases) {
+    total += phase.metrics.CounterOr(name);
+  }
+  return total;
+}
+
 int Main() {
   double scale = ScaleFromEnv(1.0);
   obs::BenchReport bench("table3_performance");
   PrintHeaderLine("Table 3: Grapple performance");
-  std::printf("%-11s %9s %9s %10s %9s %11s %11s %6s\n", "Subject", "#V(K)", "#EB(K)", "#EA(K)",
-              "PT", "CT", "TT", "#part");
+  std::printf("%-11s %9s %9s %10s %9s %11s %11s %6s %9s\n", "Subject", "#V(K)", "#EB(K)",
+              "#EA(K)", "PT", "CT", "TT", "#part", "prov(MB)");
   for (const auto& preset : AllPresets(scale)) {
     WallTimer timer;
     SubjectRun run = RunSubject(preset);
@@ -29,14 +38,17 @@ int Main() {
     for (const auto& checker : r.checkers) {
       partitions += checker.typestate.engine.num_partitions;
     }
-    std::printf("%-11s %9.1f %9.1f %10.1f %9s %11s %11s %6zu\n", preset.name.c_str(),
+    std::printf("%-11s %9.1f %9.1f %10.1f %9s %11s %11s %6zu %9.2f\n", preset.name.c_str(),
                 r.TotalVerticesAllPhases() / 1000.0, r.TotalEdgesBefore() / 1000.0,
                 r.TotalEdgesAfter() / 1000.0, FormatDuration(r.PreprocessSeconds()).c_str(),
                 FormatDuration(r.ComputeSeconds()).c_str(), FormatDuration(total).c_str(),
-                partitions);
+                partitions, SumCounter(r, "provenance_bytes") / (1024.0 * 1024.0));
   }
   std::printf("\npaper shape check: hadoop < zookeeper < hdfs << hbase in total time;\n");
   std::printf("edge count grows substantially during computation (#EA >> #EB).\n");
+  std::printf("prov(MB) is the witness-provenance log written out-of-core per subject\n");
+  std::printf("(GRAPPLE_WITNESS=%s; set GRAPPLE_WITNESS=off to measure without it).\n",
+              obs::WitnessModeName(obs::WitnessModeFromEnv()));
   bench.Write();
   return 0;
 }

@@ -2,13 +2,16 @@
 // checkers.
 //
 //   $ ./analyze_file program.grap [io|lock|except|socket ...]
-//                    [--fsm spec.fsm] [--stats]
+//                    [--fsm spec.fsm] [--stats] [--json] [--explain]
 //
 // With no checker arguments, all four built-in checkers run; --fsm adds a
 // property defined in the text format of src/checker/fsm_parser.h; --stats
-// prints per-phase engine statistics. The program input uses the IR text
-// format (see src/ir/parser.h for the grammar); example files live in
-// examples/testdata/.
+// prints per-phase engine statistics; --explain ("grapple-explain" mode)
+// renders each bug's decoded derivation witness — the step-by-step
+// counterexample trace recovered from edge-induction provenance, annotated
+// with FSM states, source lines, and the path constraint that makes the
+// trace feasible. The program input uses the IR text format (see
+// src/ir/parser.h for the grammar); example files live in examples/testdata/.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,7 +42,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <program.grap> [io|lock|except|socket ...] [--fsm spec.fsm] "
-                 "[--stats] [--json]\n",
+                 "[--stats] [--json] [--explain]\n",
                  argv[0]);
     return 2;
   }
@@ -58,9 +61,14 @@ int main(int argc, char** argv) {
   std::vector<grapple::FsmSpec> specs;
   bool print_stats = false;
   bool print_json = false;
+  bool explain = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
       continue;
     }
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -98,8 +106,11 @@ int main(int argc, char** argv) {
     specs = grapple::AllBuiltinCheckers();
   }
 
-  std::printf("analyzing %s (%zu methods, %zu statements)\n", argv[1],
-              parsed.program.NumMethods(), parsed.program.TotalStatements());
+  // In --json mode stdout carries only the JSON document; chatter goes to
+  // stderr so the output can be piped or archived directly.
+  std::FILE* chatter = print_json ? stderr : stdout;
+  std::fprintf(chatter, "analyzing %s (%zu methods, %zu statements)\n", argv[1],
+               parsed.program.NumMethods(), parsed.program.TotalStatements());
   grapple::Grapple analyzer(std::move(parsed.program));
   grapple::GrappleResult result = analyzer.Check(specs);
 
@@ -109,6 +120,13 @@ int main(int argc, char** argv) {
     for (const auto& report : checker.reports) {
       if (!print_json) {
         std::printf("%s\n", report.ToString().c_str());
+        if (explain) {
+          if (report.has_witness) {
+            std::printf("%s\n", report.witness.ToString().c_str());
+          } else {
+            std::printf("  (no witness: run with GRAPPLE_WITNESS=bugs or full)\n");
+          }
+        }
       }
       all_reports.push_back(report);
       ++total;
@@ -117,13 +135,14 @@ int main(int argc, char** argv) {
   if (print_json) {
     std::printf("%s\n", grapple::ReportsToJson(all_reports).c_str());
   }
-  std::printf("%zu warning(s) in %.3fs (alias pairs: %zu)\n", total, result.total_seconds,
-              result.alias_pairs);
+  std::fprintf(chatter, "%zu warning(s) in %.3fs (alias pairs: %zu)\n", total,
+               result.total_seconds, result.alias_pairs);
   if (print_stats) {
-    std::printf("\n-- alias phase --\n%s", result.alias.engine.ToString().c_str());
+    std::fprintf(chatter, "\n-- alias phase --\n%s", result.alias.engine.ToString().c_str());
     for (const auto& checker : result.checkers) {
-      std::printf("-- typestate: %s (%zu tracked objects) --\n%s", checker.checker.c_str(),
-                  checker.tracked_objects, checker.typestate.engine.ToString().c_str());
+      std::fprintf(chatter, "-- typestate: %s (%zu tracked objects) --\n%s",
+                   checker.checker.c_str(), checker.tracked_objects,
+                   checker.typestate.engine.ToString().c_str());
     }
   }
   return total == 0 ? 0 : 1;

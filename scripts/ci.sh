@@ -4,6 +4,8 @@
 #   scripts/ci.sh            # both passes
 #   scripts/ci.sh release    # plain build + ctest only
 #   scripts/ci.sh sanitize   # ASan/UBSan build + ctest only
+#   scripts/ci.sh bench      # smoke-scale bench sweep + trajectory report
+#                            # plus a sample witness report (bench-reports/)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,9 +24,32 @@ run_pass() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 }
 
+# Smoke-scale bench sweep: every bench binary at a tiny GRAPPLE_SCALE, the
+# aggregated BENCH_trajectory.json, and one decoded-witness JSON report from
+# the example front door — the artifacts CI uploads.
+run_bench_smoke() {
+  local build_dir="${repo_root}/build-ci-release"
+  local out_dir="${build_dir}/bench-reports"
+  echo "==> [bench] configure + build"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "${build_dir}" -j "${jobs}" -- --no-print-directory 2>&1 | grep -Ev '^(make|gmake)\[' || true
+  echo "==> [bench] smoke sweep (GRAPPLE_SCALE=${GRAPPLE_SCALE:-0.1})"
+  GRAPPLE_SCALE="${GRAPPLE_SCALE:-0.1}" "${repo_root}/scripts/bench.sh" "${build_dir}" "${out_dir}"
+  echo "==> [bench] sample witness report"
+  GRAPPLE_WITNESS=bugs "${build_dir}/examples/analyze_file" \
+    "${repo_root}/examples/testdata/leaky.grap" --json \
+    > "${out_dir}/sample_witness_report.json" || true
+  test -s "${out_dir}/sample_witness_report.json"
+  grep -q '"witness"' "${out_dir}/sample_witness_report.json"
+  echo "==> [bench] reports in ${out_dir}"
+}
+
 case "${mode}" in
   release)
     run_pass release -DCMAKE_BUILD_TYPE=Release
+    ;;
+  bench)
+    run_bench_smoke
     ;;
   sanitize)
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -36,7 +61,7 @@ case "${mode}" in
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize|all]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|bench|all]" >&2
     exit 2
     ;;
 esac

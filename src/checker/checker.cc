@@ -1,10 +1,15 @@
 #include "src/checker/checker.h"
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <unordered_map>
 
+#include "src/pathenc/witness_decoder.h"
 #include "src/support/logging.h"
+#include "src/support/timer.h"
 
 namespace grapple {
 
@@ -47,7 +52,7 @@ std::string BugReport::ToString() const {
 std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm& fsm,
                                       const TypestateLabels& labels, const TypestateGraph& ts,
                                       const AliasGraph& alias_graph, GraphEngine* engine,
-                                      IntervalOracle* oracle) {
+                                      IntervalOracle* oracle, obs::WitnessMode witness_mode) {
   // Reverse map: label -> state id.
   std::unordered_map<Label, FsmStateId> state_of_label;
   for (size_t q = 0; q < labels.state.size(); ++q) {
@@ -65,6 +70,25 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
   // many tracked occurrences, which would otherwise repeat every warning.
   std::set<std::tuple<const Stmt*, const Stmt*, FsmStateId>> seen_events;
   std::set<std::pair<const Stmt*, FsmStateId>> seen_exits;
+
+  // Witness decoding: lazily index the engine's provenance log and walk
+  // derivation chains for the violating edges. The violating edge's content
+  // hash (the provenance key) is recomputed from the same fields the engine
+  // hashed when it recorded the edge.
+  std::unique_ptr<obs::ProvenanceReader> prov_reader;
+  std::unique_ptr<WitnessDecoder> witness_decoder;
+  if (engine->has_provenance() && witness_mode != obs::WitnessMode::kOff) {
+    auto reader = std::make_unique<obs::ProvenanceReader>();
+    if (reader->Open(engine->provenance_path()) || reader->NumRecords() > 0) {
+      prov_reader = std::move(reader);
+      WitnessDecoder::Options wopts;
+      wopts.replay_steps = witness_mode == obs::WitnessMode::kFull;
+      witness_decoder =
+          std::make_unique<WitnessDecoder>(&alias_graph.icfet(), prov_reader.get(), wopts);
+    } else {
+      GRAPPLE_LOG(WARNING) << "provenance log unreadable: " << engine->provenance_path();
+    }
+  }
 
   auto make_base_report = [&](uint32_t pos) {
     const TrackedObject& obj = alias_graph.objects()[ts.tracked()[pos]];
@@ -100,6 +124,22 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
     facts.push_back({sit->second, edge.dst, lit->second, edge.payload});
     states_at[edge.dst].push_back(lit->second);
   });
+
+  auto attach_witness = [&](BugReport* report, const StateFact& fact) {
+    if (witness_decoder == nullptr) {
+      return;
+    }
+    WallTimer timer;
+    uint64_t hash = EdgeContentHash(ts.SeedOf(fact.pos), fact.dst, labels.state[fact.state],
+                                    fact.payload.data(), fact.payload.size());
+    DerivationChain chain = witness_decoder->Decode(hash);
+    if (chain.empty()) {
+      return;
+    }
+    report->witness = BuildWitness(chain, fsm, labels, ts);
+    report->has_witness = !report->witness.empty();
+    engine->ObserveWitnessDecode(timer.ElapsedNanos());
+  };
 
   // Pass 2: classify.
   for (const auto& fact : facts) {
@@ -139,6 +179,7 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
             oracle->DecodePayload(fact.payload.data(), fact.payload.size()).ToString();
         ByteReader reader(fact.payload.data(), fact.payload.size());
         report.witness_path = PathEncoding::Deserialize(&reader).ToString();
+        attach_witness(&report, fact);
         reports.push_back(std::move(report));
       }
       continue;
@@ -155,9 +196,19 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
           oracle->DecodePayload(fact.payload.data(), fact.payload.size()).ToString();
       ByteReader reader(fact.payload.data(), fact.payload.size());
       report.witness_path = PathEncoding::Deserialize(&reader).ToString();
+      attach_witness(&report, fact);
       reports.push_back(std::move(report));
     }
   }
+  // Deterministic order regardless of thread count / partition layout: edge
+  // iteration order varies with how partitions split, so sort by subject and
+  // site before anything (goldens, report diffs, JSON) consumes the list.
+  auto sort_key = [](const BugReport& r) {
+    return std::make_tuple(r.alloc_line, r.object_desc, static_cast<int>(r.kind), r.event_line,
+                           r.event, r.state);
+  };
+  std::stable_sort(reports.begin(), reports.end(),
+                   [&](const BugReport& a, const BugReport& b) { return sort_key(a) < sort_key(b); });
   return reports;
 }
 

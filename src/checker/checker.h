@@ -17,9 +17,11 @@
 #include "src/analysis/alias_graph.h"
 #include "src/analysis/typestate_graph.h"
 #include "src/checker/fsm.h"
+#include "src/checker/witness.h"
 #include "src/grammar/typestate_grammar.h"
 #include "src/graph/constraint_oracle.h"
 #include "src/graph/engine.h"
+#include "src/obs/provenance.h"
 
 namespace grapple {
 
@@ -48,17 +50,26 @@ struct BugReport {
   // The witness path's interval encoding (ICFET coordinates), for debugging
   // and IDE integration.
   std::string witness_path;
+  // Decoded derivation witness (when the engine recorded provenance and
+  // GRAPPLE_WITNESS != off): the step-by-step counterexample.
+  bool has_witness = false;
+  Witness witness;
 
   std::string ToString() const;
 };
 
 // Scans the finished typestate engine run and extracts deduplicated
-// warnings. `fsm` must be the completed FSM used to build the grammar and
-// graph; `oracle` decodes witness constraints.
+// warnings, sorted into a thread-count-independent order (allocation site,
+// object, kind, event site). `fsm` must be the completed FSM used to build
+// the grammar and graph; `oracle` decodes witness constraints. When the
+// engine recorded provenance and `witness_mode` != kOff, each report also
+// carries a decoded derivation Witness (kFull additionally replays the SMT
+// query at every step).
 std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm& fsm,
                                       const TypestateLabels& labels, const TypestateGraph& ts,
                                       const AliasGraph& alias_graph, GraphEngine* engine,
-                                      IntervalOracle* oracle);
+                                      IntervalOracle* oracle,
+                                      obs::WitnessMode witness_mode = obs::WitnessMode::kBugs);
 
 }  // namespace grapple
 

@@ -24,6 +24,50 @@ std::string ReportToJson(const BugReport& report) {
   w.Key("state").String(report.state);
   w.Key("constraint").String(report.constraint);
   w.Key("witness_path").String(report.witness_path);
+  if (report.has_witness) {
+    const Witness& witness = report.witness;
+    w.Key("witness");
+    w.BeginObject();
+    w.Key("complete").Bool(witness.complete);
+    w.Key("truncated").Bool(witness.truncated);
+    w.Key("final_constraint").String(witness.final_constraint);
+    w.Key("final_replay").String(witness.final_replay);
+    w.Key("decode_ns").UInt(witness.decode_nanos);
+    w.Key("steps");
+    w.BeginArray();
+    for (const WitnessStep& step : witness.steps) {
+      w.BeginObject();
+      switch (step.kind) {
+        case WitnessStep::Kind::kAlloc:
+          w.Key("kind").String("alloc");
+          break;
+        case WitnessStep::Kind::kEvent:
+          w.Key("kind").String("event");
+          break;
+        case WitnessStep::Kind::kFlow:
+          w.Key("kind").String("flow");
+          break;
+      }
+      if (step.kind != WitnessStep::Kind::kAlloc) {
+        w.Key("from_state").String(step.from_state);
+      }
+      w.Key("to_state").String(step.to_state);
+      if (step.kind == WitnessStep::Kind::kEvent) {
+        w.Key("event").String(step.event);
+      }
+      w.Key("line").Int(step.source_line);
+      w.Key("point").String(step.point);
+      w.Key("clone").UInt(step.clone);
+      w.Key("icfet_node").UInt(step.icfet_node);
+      w.Key("constraint").String(step.constraint);
+      if (!step.replay.empty()) {
+        w.Key("replay").String(step.replay);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
   w.EndObject();
   return w.Take();
 }

@@ -1,0 +1,203 @@
+#include "src/checker/witness.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace grapple {
+
+namespace {
+
+const char* PointName(TsVertexInfo::Kind kind) {
+  switch (kind) {
+    case TsVertexInfo::Kind::kSeed:
+      return "seed";
+    case TsVertexInfo::Kind::kEventIn:
+      return "before event";
+    case TsVertexInfo::Kind::kEventOut:
+      return "event";
+    case TsVertexInfo::Kind::kAllocOut:
+      return "alloc";
+    case TsVertexInfo::Kind::kExit:
+      return "exit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Witness BuildWitness(const DerivationChain& chain, const Fsm& fsm, const TypestateLabels& labels,
+                     const TypestateGraph& ts) {
+  Witness witness;
+  witness.complete = chain.complete;
+  witness.truncated = chain.truncated;
+  witness.final_constraint = chain.final_constraint.ToString();
+  witness.final_replay = SolveResultName(chain.final_replay);
+  witness.decode_nanos = chain.decode_nanos;
+
+  std::unordered_map<Label, FsmStateId> state_of_label;
+  for (size_t q = 0; q < labels.state.size(); ++q) {
+    state_of_label[labels.state[q]] = static_cast<FsmStateId>(q);
+  }
+  std::unordered_map<Label, FsmEventId> event_of_label;
+  for (size_t e = 0; e < labels.event.size(); ++e) {
+    event_of_label[labels.event[e]] = static_cast<FsmEventId>(e);
+  }
+
+  for (const DerivationStep& d : chain.steps) {
+    WitnessStep step;
+    // The derived spine edge carries the post-step FSM state.
+    auto sit = state_of_label.find(d.edge.label);
+    if (sit != state_of_label.end()) {
+      step.to_state_id = sit->second;
+      step.to_state = fsm.StateName(sit->second);
+    } else {
+      witness.truncated = true;
+    }
+    if (!witness.steps.empty()) {
+      step.from_state_id = witness.steps.back().to_state_id;
+      step.from_state = witness.steps.back().to_state;
+    }
+    if (d.kind == obs::ProvKind::kBase) {
+      step.kind = WitnessStep::Kind::kAlloc;
+    } else if (d.consumed.label == labels.flow) {
+      step.kind = WitnessStep::Kind::kFlow;
+    } else {
+      auto eit = event_of_label.find(d.consumed.label);
+      if (eit != event_of_label.end()) {
+        step.kind = WitnessStep::Kind::kEvent;
+        step.event = fsm.EventName(eit->second);
+      } else {
+        // Unary/mirror rewrite or an unmapped label: state-preserving.
+        step.kind = WitnessStep::Kind::kFlow;
+      }
+    }
+    if (d.edge.dst < ts.vertex_info().size()) {
+      const TsVertexInfo& info = ts.vertex_info()[d.edge.dst];
+      step.point = PointName(info.kind);
+      step.clone = info.clone;
+      step.icfet_node = info.node;
+      if (info.stmt != nullptr) {
+        step.source_line = info.stmt->source_line;
+        if (!info.stmt->event.empty() && step.event.empty() &&
+            step.kind != WitnessStep::Kind::kAlloc) {
+          step.point = std::string(PointName(info.kind)) + " " + info.stmt->event;
+        }
+      }
+    } else {
+      witness.truncated = true;
+    }
+    step.constraint = d.constraint.ToString();
+    if (d.replayed) {
+      step.replay = SolveResultName(d.replay);
+    }
+    witness.steps.push_back(std::move(step));
+  }
+  return witness;
+}
+
+bool Witness::TypeChecks(const Fsm& fsm, std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) {
+      *why = reason;
+    }
+    return false;
+  };
+  if (steps.empty()) {
+    return fail("witness has no steps");
+  }
+  if (steps.front().kind != WitnessStep::Kind::kAlloc) {
+    return fail("witness does not start at the allocation");
+  }
+  if (steps.front().to_state_id != fsm.initial()) {
+    return fail("allocation step does not enter the initial state");
+  }
+  FsmStateId state = steps.front().to_state_id;
+  for (size_t i = 1; i < steps.size(); ++i) {
+    const WitnessStep& step = steps[i];
+    std::ostringstream at;
+    at << "step " << (i + 1);
+    if (step.from_state_id != state) {
+      return fail(at.str() + " starts in state '" + step.from_state + "' but the chain is in '" +
+                  fsm.StateName(state) + "'");
+    }
+    switch (step.kind) {
+      case WitnessStep::Kind::kAlloc:
+        return fail(at.str() + " re-allocates mid-chain");
+      case WitnessStep::Kind::kFlow:
+        if (step.to_state_id != state) {
+          return fail(at.str() + " changes state on a flow edge");
+        }
+        break;
+      case WitnessStep::Kind::kEvent: {
+        auto event = fsm.FindEvent(step.event);
+        if (!event.has_value()) {
+          return fail(at.str() + " fires unknown event '" + step.event + "'");
+        }
+        auto next = fsm.Next(state, *event);
+        if (!next.has_value() || *next != step.to_state_id) {
+          return fail(at.str() + " takes an illegal transition '" + fsm.StateName(state) +
+                      "' --" + step.event + "--> '" + step.to_state + "'");
+        }
+        break;
+      }
+    }
+    state = step.to_state_id;
+  }
+  if (!fsm.IsError(state) && fsm.IsAccepting(state)) {
+    return fail("witness ends in accepting state '" + fsm.StateName(state) + "'");
+  }
+  return true;
+}
+
+std::string WitnessStep::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kAlloc:
+      out << "alloc";
+      break;
+    case Kind::kEvent:
+      out << "event " << event;
+      break;
+    case Kind::kFlow:
+      out << (point.empty() ? "flow" : point);
+      break;
+  }
+  if (source_line >= 0) {
+    out << " (line " << source_line << ")";
+  }
+  out << ": ";
+  if (kind == Kind::kAlloc) {
+    out << "=> " << to_state;
+  } else {
+    out << from_state << " -> " << to_state;
+  }
+  if (!constraint.empty() && constraint != "true") {
+    out << "  [" << constraint << "]";
+  }
+  if (!replay.empty()) {
+    out << "  {replay: " << replay << "}";
+  }
+  return out.str();
+}
+
+std::string Witness::ToString() const {
+  std::ostringstream out;
+  out << "witness (" << steps.size() << " step" << (steps.size() == 1 ? "" : "s");
+  if (!complete) {
+    out << ", incomplete";
+  }
+  if (truncated) {
+    out << ", truncated";
+  }
+  out << "):\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out << "  " << (i + 1) << ". " << steps[i].ToString() << "\n";
+  }
+  out << "  feasibility: " << final_replay;
+  if (!final_constraint.empty() && final_constraint != "true") {
+    out << "  [" << final_constraint << "]";
+  }
+  return out.str();
+}
+
+}  // namespace grapple

@@ -1,0 +1,81 @@
+// Semantic bug witnesses: derivation chains interpreted against the FSM.
+//
+// The pathenc witness decoder yields raw derivation steps (edges, path
+// encodings, constraints). This layer — which knows the property FSM, the
+// typestate labels, and the per-vertex program coordinates — turns them
+// into the ordered (statement, ICFET node, FSM transition, constraint
+// decision) steps a human reads during triage: allocation first, each
+// event/flow step with the state transition it performed and the path
+// constraint that admitted it, the violation last.
+#ifndef GRAPPLE_SRC_CHECKER_WITNESS_H_
+#define GRAPPLE_SRC_CHECKER_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/typestate_graph.h"
+#include "src/checker/fsm.h"
+#include "src/grammar/typestate_grammar.h"
+#include "src/pathenc/witness_decoder.h"
+
+namespace grapple {
+
+struct WitnessStep {
+  enum class Kind : uint8_t { kAlloc, kEvent, kFlow };
+
+  Kind kind = Kind::kFlow;
+  // FSM transition this step performed: from_state --event--> to_state.
+  // Flow steps keep the state; the alloc step has no from-state.
+  FsmStateId from_state_id = kNoFsmState;
+  FsmStateId to_state_id = kNoFsmState;
+  std::string from_state;
+  std::string to_state;
+  std::string event;  // kEvent only
+  // Program coordinates of the point reached: source line, statement
+  // description, and the ICFET (clone, node) pair.
+  int32_t source_line = -1;
+  std::string point;
+  uint32_t clone = 0;
+  uint32_t icfet_node = 0;
+  // Path constraint established up to this step (pretty-printed), and —
+  // when GRAPPLE_WITNESS=full replayed the step — the solver verdict.
+  std::string constraint;
+  std::string replay;
+
+  std::string ToString() const;
+};
+
+struct Witness {
+  // The derivation chain reached the base (allocation) record.
+  bool complete = false;
+  // The chain walk stopped early (missing record / step cap).
+  bool truncated = false;
+  std::vector<WitnessStep> steps;
+  // The violating edge's full path constraint and the replayed SMT verdict
+  // that established its feasibility ("sat" / "unknown").
+  std::string final_constraint;
+  std::string final_replay;
+  uint64_t decode_nanos = 0;
+
+  bool empty() const { return steps.empty(); }
+
+  // Validates the step sequence against `fsm`: the first step allocates
+  // into the initial state, every event transition is legal, flow steps
+  // preserve the state, and the final state is a violation (error state or
+  // non-accepting). On failure, `why` (if non-null) says which step broke.
+  bool TypeChecks(const Fsm& fsm, std::string* why = nullptr) const;
+
+  // Multi-line annotated trace for terminals (grapple-explain).
+  std::string ToString() const;
+};
+
+// Interprets a raw derivation chain using the FSM, the grammar's label
+// assignment, and the typestate graph's vertex map. Steps whose labels or
+// vertices cannot be resolved mark the witness truncated but are kept.
+Witness BuildWitness(const DerivationChain& chain, const Fsm& fsm, const TypestateLabels& labels,
+                     const TypestateGraph& ts);
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_CHECKER_WITNESS_H_

@@ -91,6 +91,8 @@ Grapple::Grapple(Program program) : Grapple(std::move(program), GrappleOptions()
 Grapple::Grapple(Program program, GrappleOptions options)
     : options_(std::move(options)), program_(std::make_unique<Program>(std::move(program))) {
   obs::InitTracingFromEnv();
+  // The environment knob wins when set; the caller's option is the fallback.
+  options_.witness = obs::WitnessModeFromEnv(options_.witness);
   obs::ScopedSpan span("frontend", "phase");
   WallTimer timer;
   UnrollLoops(program_.get(), options_.loop_unroll);
@@ -139,6 +141,9 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
   IntervalOracle alias_oracle(&icfet_, oracle_options);
   EngineOptions alias_engine_options = engine_options;
   alias_engine_options.work_dir = PhaseDir("alias");
+  // Alias-phase provenance only matters for full-fidelity tracing; bug
+  // witnesses walk typestate derivations.
+  alias_engine_options.record_provenance = options_.witness == obs::WitnessMode::kFull;
   GraphEngine alias_engine(&pointsto_grammar, &alias_oracle, alias_engine_options);
   auto alias_span = std::make_unique<obs::ScopedSpan>("alias_phase", "phase");
   AliasGraph alias_graph(*program_, *call_graph_, icfet_, pt_labels, &alias_engine);
@@ -193,6 +198,7 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     IntervalOracle ts_oracle(&icfet_, oracle_options);
     EngineOptions ts_engine_options = engine_options;
     ts_engine_options.work_dir = PhaseDir("typestate-" + spec.fsm.name());
+    ts_engine_options.record_provenance = options_.witness != obs::WitnessMode::kOff;
     GraphEngine ts_engine(&ts_grammar, &ts_oracle, ts_engine_options);
     TypestateGraph ts_graph(alias_graph, alias_index, completed, ts_labels, tracked, &ts_engine,
                             options_.qualify_events_with_alias_paths);
@@ -200,7 +206,8 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     ts_engine.Run();
 
     checker_result.reports = ExtractReports(spec.fsm.name(), completed, ts_labels, ts_graph,
-                                            alias_graph, &ts_engine, &ts_oracle);
+                                            alias_graph, &ts_engine, &ts_oracle,
+                                            options_.witness);
     checker_result.typestate.num_vertices = ts_graph.num_vertices();
     checker_result.typestate.edges_before = ts_engine.stats().base_edges;
     checker_result.typestate.edges_after = ts_engine.stats().final_edges;

@@ -26,6 +26,7 @@
 #include "src/checker/checker.h"
 #include "src/graph/engine.h"
 #include "src/ir/ir.h"
+#include "src/obs/provenance.h"
 #include "src/obs/report.h"
 #include "src/smt/solver.h"
 #include "src/support/byte_io.h"
@@ -57,6 +58,12 @@ struct GrappleOptions {
   // whose aliasing is path-infeasible no longer fire). See
   // TypestateGraph's constructor.
   bool qualify_events_with_alias_paths = true;
+  // How much derivation provenance to record and decode (GRAPPLE_WITNESS
+  // overrides the initial value at construction):
+  //   kOff  — no recording, reports carry no witnesses;
+  //   kBugs — record during typestate phases, decode per reported bug;
+  //   kFull — also record the alias phase and replay SMT at every step.
+  obs::WitnessMode witness = obs::WitnessMode::kBugs;
 };
 
 // Statistics of one engine run plus its graph generation.

@@ -20,7 +20,21 @@ struct Candidate {
   VertexId dst = 0;
   Label label = kNoLabel;
   std::vector<uint8_t> payload;
+  // Provenance (only filled when recording): content hashes + identities of
+  // the two parent edges the join consumed.
+  uint64_t parent_a = 0;
+  uint64_t parent_b = 0;
+  obs::ProvEdge a_edge;
+  obs::ProvEdge b_edge;
 };
+
+obs::ProvEdge ProvEdgeOf(const EdgeRecord& record) {
+  obs::ProvEdge edge;
+  edge.src = record.src;
+  edge.dst = record.dst;
+  edge.label = record.label;
+  return edge;
+}
 
 }  // namespace
 
@@ -107,9 +121,19 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
       c_preprocess_ns_(metrics_.Counter("engine_preprocess_ns")),
       c_compute_ns_(metrics_.Counter("engine_compute_ns")),
       h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
+      c_witnesses_decoded_(metrics_.Counter("witnesses_decoded")),
+      h_witness_decode_ns_(metrics_.Histogram("witness_decode_ns")),
       store_(options_.work_dir, &profiler_, &metrics_),
       pool_(options_.num_threads == 0 ? 1 : options_.num_threads) {
   obs::InitTracingFromEnv();
+  if (options_.record_provenance) {
+    provenance_ = std::make_unique<obs::ProvenanceWriter>(store_.ProvenancePath(), &metrics_);
+  }
+}
+
+void GraphEngine::ObserveWitnessDecode(uint64_t nanos) {
+  metrics_.Add(c_witnesses_decoded_);
+  metrics_.Observe(h_witness_decode_ns_, nanos);
 }
 
 void GraphEngine::AddBaseEdge(VertexId src, VertexId dst, Label label, const PathEncoding& enc) {
@@ -122,20 +146,30 @@ void GraphEngine::AddBaseEdge(VertexId src, VertexId dst, Label label, const Pat
   pending_base_.push_back(std::move(edge));
 }
 
-void GraphEngine::ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out) const {
-  // Closure over unary productions and mirror labels; payload shared.
-  std::vector<EdgeRecord> queue{edge};
+void GraphEngine::ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out,
+                             std::vector<int>* parent_of) const {
+  // Closure over unary productions and mirror labels; payload shared. Each
+  // queued record remembers which `out` slot its source record will occupy,
+  // so the closure forms a forest rooted at the input edge.
+  struct Item {
+    EdgeRecord record;
+    int parent;
+  };
+  std::vector<Item> queue;
+  queue.push_back({edge, -1});
   std::unordered_set<uint64_t> seen;
   seen.insert(EdgeTripleHash(edge.src, edge.dst, edge.label));
   while (!queue.empty()) {
-    EdgeRecord cur = std::move(queue.back());
+    Item item = std::move(queue.back());
     queue.pop_back();
+    const EdgeRecord& cur = item.record;
+    int my_index = static_cast<int>(out->size());
     for (Label result : grammar_->UnaryResults(cur.label)) {
       uint64_t key = EdgeTripleHash(cur.src, cur.dst, result);
       if (seen.insert(key).second) {
         EdgeRecord derived = cur;
         derived.label = result;
-        queue.push_back(std::move(derived));
+        queue.push_back({std::move(derived), my_index});
       }
     }
     Label mirror = grammar_->MirrorOf(cur.label);
@@ -147,10 +181,13 @@ void GraphEngine::ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* ou
         derived.dst = cur.src;
         derived.label = mirror;
         derived.payload = cur.payload;
-        queue.push_back(std::move(derived));
+        queue.push_back({std::move(derived), my_index});
       }
     }
-    out->push_back(std::move(cur));
+    out->push_back(std::move(item.record));
+    if (parent_of != nullptr) {
+      parent_of->push_back(item.parent);
+    }
   }
 }
 
@@ -211,12 +248,30 @@ void GraphEngine::Finalize(VertexId num_vertices) {
   expanded.reserve(pending_base_.size() * 2);
   for (const auto& edge : pending_base_) {
     std::vector<EdgeRecord> closure;
-    ExpandEdge(edge, &closure);
-    for (auto& derived : closure) {
+    std::vector<int> parents;
+    ExpandEdge(edge, &closure, provenance_ != nullptr ? &parents : nullptr);
+    std::vector<uint64_t> hashes(provenance_ != nullptr ? closure.size() : 0, 0);
+    for (size_t k = 0; k < closure.size(); ++k) {
+      auto& derived = closure[k];
       uint64_t hash = EdgeContentHash(derived.src, derived.dst, derived.label,
                                       derived.payload.data(), derived.payload.size());
+      if (provenance_ != nullptr) {
+        hashes[k] = hash;
+      }
       if (index_->content.insert(hash).second) {
         ++index_->variants[EdgeTripleHash(derived.src, derived.dst, derived.label)];
+        if (provenance_ != nullptr) {
+          if (parents[k] < 0) {
+            provenance_->RecordBase(hash, ProvEdgeOf(derived), derived.payload.data(),
+                                    derived.payload.size());
+          } else {
+            // closure[parents[k]] may have moved to `expanded` already; its
+            // scalar identity fields survive the move.
+            provenance_->RecordRewrite(hash, ProvEdgeOf(derived), derived.payload.data(),
+                                       derived.payload.size(), hashes[parents[k]],
+                                       ProvEdgeOf(closure[static_cast<size_t>(parents[k])]));
+          }
+        }
         expanded.push_back(std::move(derived));
       }
     }
@@ -265,6 +320,9 @@ void GraphEngine::Run() {
     }
     ProcessPair(pick_i, pick_j);
   }
+  if (provenance_ != nullptr) {
+    provenance_->Flush();
+  }
   metrics_.AddNanos(c_compute_ns_, timer.ElapsedNanos());
   metrics_.Add(c_final_edges_, store_.TotalEdges());
   metrics_.SetGauge("engine_num_partitions", static_cast<double>(store_.NumPartitions()));
@@ -310,6 +368,14 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
 
   ScopedPhase join_phase(&profiler_, "join");
   GraphEngineIndexHolder& index = *index_;
+  const bool record_prov = provenance_ != nullptr;
+  auto prov_edge_of = [](const LoadedPair::MemEdge& e) {
+    obs::ProvEdge pe;
+    pe.src = e.src;
+    pe.dst = e.dst;
+    pe.label = e.label;
+    return pe;
+  };
 
   // Delta frontier: if this pair previously reached a local fixpoint at
   // versions (vi, vj), the old x old joins are already done — only edges
@@ -367,12 +433,26 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
             if (!payload.has_value()) {
               continue;
             }
+            uint64_t hash_a = 0;
+            uint64_t hash_b = 0;
+            if (record_prov) {
+              hash_a = EdgeContentHash(e1.src, e1.dst, e1.label, pair.PayloadOf(e1),
+                                       e1.payload_len);
+              hash_b = EdgeContentHash(e2.src, e2.dst, e2.label, pair.PayloadOf(e2),
+                                       e2.payload_len);
+            }
             for (Label result : results) {
               Candidate c;
               c.src = e1.src;
               c.dst = e2.dst;
               c.label = result;
               c.payload = *payload;
+              if (record_prov) {
+                c.parent_a = hash_a;
+                c.parent_b = hash_b;
+                c.a_edge = prov_edge_of(e1);
+                c.b_edge = prov_edge_of(e2);
+              }
               out.push_back(std::move(c));
             }
           }
@@ -394,12 +474,26 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
           if (!payload.has_value()) {
             continue;
           }
+          uint64_t hash_a = 0;
+          uint64_t hash_b = 0;
+          if (record_prov) {
+            hash_a = EdgeContentHash(e0.src, e0.dst, e0.label, pair.PayloadOf(e0),
+                                     e0.payload_len);
+            hash_b = EdgeContentHash(e1.src, e1.dst, e1.label, pair.PayloadOf(e1),
+                                     e1.payload_len);
+          }
           for (Label result : results) {
             Candidate c;
             c.src = e0.src;
             c.dst = e1.dst;
             c.label = result;
             c.payload = *payload;
+            if (record_prov) {
+              c.parent_a = hash_a;
+              c.parent_b = hash_b;
+              c.a_edge = prov_edge_of(e0);
+              c.b_edge = prov_edge_of(e1);
+            }
             out.push_back(std::move(c));
           }
         }
@@ -412,27 +506,50 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
     // --- sequential integration ---
     std::fill(in_frontier.begin(), in_frontier.end(), 0);
     std::vector<uint32_t> next_frontier;
-    auto integrate = [&](EdgeRecord&& record) {
+    // `out_hash` (when recording) receives the content hash the record ended
+    // up stored under — post-widening, and also on dedup (where it names the
+    // already-recorded edge) — so closure rewrites can reference it.
+    auto integrate = [&](EdgeRecord&& record, uint64_t parent_a, const obs::ProvEdge& a_edge,
+                         uint64_t parent_b, const obs::ProvEdge& b_edge, bool is_rewrite,
+                         uint64_t* out_hash) {
       uint64_t triple = EdgeTripleHash(record.src, record.dst, record.label);
       uint64_t content = EdgeContentHash(record.src, record.dst, record.label,
                                          record.payload.data(), record.payload.size());
+      if (out_hash != nullptr) {
+        *out_hash = content;
+      }
       if (index.content.count(content) != 0) {
         return;
       }
+      bool widened = false;
       uint32_t& variant_count = index.variants[triple];
       if (variant_count >= options_.max_variants_per_triple) {
         // Widen: replace further variants by the always-true payload.
         record.payload = oracle_->TruePayload();
         content = EdgeContentHash(record.src, record.dst, record.label, record.payload.data(),
                                   record.payload.size());
+        if (out_hash != nullptr) {
+          *out_hash = content;
+        }
         if (index.content.count(content) != 0) {
           return;
         }
+        widened = true;
         metrics_.Add(c_widened_triples_);
       }
       index.content.insert(content);
       ++variant_count;
       metrics_.Add(c_edges_added_);
+      if (record_prov) {
+        if (is_rewrite) {
+          provenance_->RecordRewrite(content, ProvEdgeOf(record), record.payload.data(),
+                                     record.payload.size(), parent_a, a_edge);
+        } else {
+          provenance_->RecordJoin(content, ProvEdgeOf(record), record.payload.data(),
+                                  record.payload.size(), parent_a, a_edge, parent_b, b_edge,
+                                  widened);
+        }
+      }
       if (pair.Owns(record.src)) {
         uint32_t idx = pair.Insert(record.src, record.dst, record.label, record.payload.data(),
                                    record.payload.size());
@@ -448,6 +565,7 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
         external.push_back(std::move(record));
       }
     };
+    const obs::ProvEdge no_edge;
     for (auto& shard : shard_candidates) {
       for (auto& candidate : shard) {
         EdgeRecord record;
@@ -456,9 +574,23 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
         record.label = candidate.label;
         record.payload = std::move(candidate.payload);
         std::vector<EdgeRecord> closure;
-        ExpandEdge(record, &closure);
-        for (auto& derived : closure) {
-          integrate(std::move(derived));
+        std::vector<int> parents;
+        ExpandEdge(record, &closure, record_prov ? &parents : nullptr);
+        std::vector<uint64_t> hashes(record_prov ? closure.size() : 0, 0);
+        for (size_t k = 0; k < closure.size(); ++k) {
+          if (!record_prov) {
+            integrate(std::move(closure[k]), 0, no_edge, 0, no_edge, false, nullptr);
+          } else if (parents[k] < 0) {
+            // The join result itself.
+            integrate(std::move(closure[k]), candidate.parent_a, candidate.a_edge,
+                      candidate.parent_b, candidate.b_edge, false, &hashes[k]);
+          } else {
+            // Unary/mirror rewrite of an earlier closure record (whose
+            // scalar identity fields survive its move).
+            size_t p = static_cast<size_t>(parents[k]);
+            integrate(std::move(closure[k]), hashes[p], ProvEdgeOf(closure[p]), 0, no_edge,
+                      true, &hashes[k]);
+          }
         }
       }
     }

@@ -23,6 +23,7 @@
 #include "src/graph/edge.h"
 #include "src/graph/partition_store.h"
 #include "src/obs/metrics.h"
+#include "src/obs/provenance.h"
 #include "src/pathenc/path_encoding.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timer.h"
@@ -46,6 +47,10 @@ struct EngineOptions {
   // early with stats().timed_out set (used by the Table-5 baseline, whose
   // string-style codec may not terminate in reasonable time).
   double max_seconds = 0;
+  // Record a derivation-provenance record for every unique edge (base,
+  // join, rewrite) into <work_dir>/provenance.bin so witnesses can be
+  // decoded after the run. See src/obs/provenance.h and GRAPPLE_WITNESS.
+  bool record_provenance = false;
 };
 
 // Engine run statistics. The metrics registry is the source of truth; the
@@ -133,6 +138,15 @@ class GraphEngine : public EdgeSink {
   const EngineStats& stats() const { return stats_; }
   size_t NumPartitions() const { return store_.NumPartitions(); }
 
+  // Derivation provenance (when EngineOptions.record_provenance). The log
+  // is complete (flushed) once Run() returns.
+  bool has_provenance() const { return provenance_ != nullptr; }
+  std::string provenance_path() const { return store_.ProvenancePath(); }
+  // Feeds the "witness_decode_ns" histogram / "witnesses_decoded" counter;
+  // called by the checker so decode cost lands in this engine's phase
+  // report alongside the recording-side counters.
+  void ObserveWitnessDecode(uint64_t nanos);
+
   // Merged metrics snapshot: engine registry (counters, io_*, gauges) +
   // phase timer buckets (as "phase_<name>_ns") + the oracle's snapshot.
   // Valid any time; complete after Run().
@@ -143,8 +157,12 @@ class GraphEngine : public EdgeSink {
 
   void ProcessPair(size_t pi, size_t pj);
   // Applies unary-production and mirror closure to an edge, collecting all
-  // records (including the original) into `out`.
-  void ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out) const;
+  // records (including the original, at index 0) into `out`. When
+  // `parent_of` is non-null it receives, per record, the index into `out`
+  // of the record it was rewritten from (-1 for the input edge) so the
+  // caller can emit rewrite provenance.
+  void ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out,
+                  std::vector<int>* parent_of) const;
 
   const Grammar* grammar_;
   ConstraintOracle* oracle_;
@@ -163,7 +181,10 @@ class GraphEngine : public EdgeSink {
   obs::MetricId c_preprocess_ns_;
   obs::MetricId c_compute_ns_;
   obs::MetricId h_join_round_joins_;
+  obs::MetricId c_witnesses_decoded_;
+  obs::MetricId h_witness_decode_ns_;
   PartitionStore store_;
+  std::unique_ptr<obs::ProvenanceWriter> provenance_;
   ThreadPool pool_;
   EngineStats stats_;
 

@@ -47,6 +47,10 @@ class PartitionStore {
   const PartitionInfo& Info(size_t index) const { return partitions_[index]; }
   VertexId num_vertices() const { return num_vertices_; }
 
+  // Where the engine's derivation-provenance log lives: next to the
+  // partition files, so one work dir holds a run's full on-disk state.
+  std::string ProvenancePath() const { return dir_ + "/provenance.bin"; }
+
   // Index of the partition owning vertex `v`.
   size_t PartitionOf(VertexId v) const;
 

@@ -1,0 +1,80 @@
+#include "src/pathenc/witness_decoder.h"
+
+#include <algorithm>
+
+#include "src/support/timer.h"
+
+namespace grapple {
+
+namespace {
+
+PathEncoding DecodePayload(const std::vector<uint8_t>& payload) {
+  ByteReader reader(payload);
+  return PathEncoding::Deserialize(&reader);
+}
+
+}  // namespace
+
+WitnessDecoder::WitnessDecoder(const Icfet* icfet, const obs::ProvenanceReader* reader)
+    : WitnessDecoder(icfet, reader, Options()) {}
+
+WitnessDecoder::WitnessDecoder(const Icfet* icfet, const obs::ProvenanceReader* reader,
+                               Options options)
+    : reader_(reader), decoder_(icfet), solver_(options.solver_limits), options_(options) {}
+
+DerivationChain WitnessDecoder::Decode(uint64_t hash) {
+  DerivationChain chain;
+  WallTimer timer;
+
+  // Walk left parents back to the base record. Parents are recorded before
+  // children, so the chain is acyclic by construction; max_steps guards the
+  // pathological hash-collision case.
+  std::vector<const obs::ProvRecord*> spine;
+  const obs::ProvRecord* cur = reader_->Lookup(hash);
+  while (cur != nullptr) {
+    spine.push_back(cur);
+    if (cur->kind == obs::ProvKind::kBase) {
+      chain.complete = true;
+      break;
+    }
+    if (spine.size() >= options_.max_steps) {
+      chain.truncated = true;
+      break;
+    }
+    const obs::ProvRecord* parent = reader_->Lookup(cur->parent_a);
+    if (parent == nullptr) {
+      // The left parent was never recorded (e.g. it predates enabling
+      // recording, or a widened sibling's pre-widening payload): keep the
+      // partial chain rather than dropping the witness entirely.
+      chain.truncated = true;
+    }
+    cur = parent;
+  }
+  std::reverse(spine.begin(), spine.end());
+
+  for (const obs::ProvRecord* record : spine) {
+    DerivationStep step;
+    step.kind = record->kind;
+    step.edge = record->edge;
+    step.consumed = record->kind == obs::ProvKind::kJoin ? record->b_edge : record->edge;
+    step.widened = record->widened;
+    step.encoding = DecodePayload(record->payload);
+    step.constraint = decoder_.Decode(step.encoding);
+    if (options_.replay_steps) {
+      step.replayed = true;
+      step.replay = solver_.Solve(step.constraint);
+    }
+    chain.steps.push_back(std::move(step));
+  }
+
+  if (!chain.steps.empty()) {
+    // Replay the feasibility query of the violating edge itself — the SMT
+    // call whose kSat/kUnknown admitted the final join.
+    chain.final_constraint = chain.steps.back().constraint;
+    chain.final_replay = solver_.Solve(chain.final_constraint);
+  }
+  chain.decode_nanos = timer.ElapsedNanos();
+  return chain;
+}
+
+}  // namespace grapple

@@ -8,6 +8,11 @@
 //   GRAPPLE_TRACE_MAX_EVENTS per-thread span buffer cap (default 262144)
 //   GRAPPLE_METRICS          path ("-" = stdout): the Grapple facade writes
 //                            the machine-readable run report there
+//   GRAPPLE_REPORT_DIR       directory: every bench writes its
+//                            BENCH_<name>.json report there (obs/report.h)
+//   GRAPPLE_WITNESS          off|bugs|full: how much derivation provenance
+//                            to record and decode into per-bug witnesses
+//                            (obs/provenance.h; default bugs)
 //   GRAPPLE_SCALE            bench workload scale (read by bench_util.h)
 #ifndef GRAPPLE_SRC_SUPPORT_ENV_H_
 #define GRAPPLE_SRC_SUPPORT_ENV_H_

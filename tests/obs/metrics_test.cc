@@ -72,6 +72,56 @@ TEST(MetricsRegistryTest, HistogramBucketsAndPercentiles) {
   EXPECT_DOUBLE_EQ(h.Mean(), (10.0 + 1024.0) / 11.0);
 }
 
+TEST(MetricsRegistryTest, HistogramPercentileEdges) {
+  // Empty histogram: every percentile is 0, including p0 and p100.
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.ApproxPercentile(0), 0u);
+  EXPECT_EQ(empty.ApproxPercentile(50), 0u);
+  EXPECT_EQ(empty.ApproxPercentile(100), 0u);
+
+  MetricsRegistry registry;
+  MetricId hist = registry.Histogram("h");
+
+  // Single observation: every positive percentile collapses to its bucket's
+  // upper bound. p0's rank of zero is satisfied by the (empty) first bucket,
+  // so it degenerates to bucket 0's bound — not a useful query, but stable.
+  registry.Observe(hist, 5);  // bucket 2 (values 4..7), upper bound 7
+  HistogramSnapshot one = registry.Snapshot().histograms.at("h");
+  EXPECT_EQ(one.ApproxPercentile(0), 1u);
+  EXPECT_EQ(one.ApproxPercentile(50), 7u);
+  EXPECT_EQ(one.ApproxPercentile(100), 7u);
+  EXPECT_EQ(one.min, 5u);
+  EXPECT_EQ(one.max, 5u);
+
+  // Power-of-two boundaries land in the bucket they open: 2^k is the first
+  // value of bucket k, and 2^k - 1 the last value of bucket k-1.
+  MetricsRegistry reg2;
+  MetricId h2 = reg2.Histogram("h2");
+  reg2.Observe(h2, 0);     // bucket 0
+  reg2.Observe(h2, 1);     // bucket 0
+  reg2.Observe(h2, 2);     // bucket 1
+  reg2.Observe(h2, 3);     // bucket 1
+  reg2.Observe(h2, 4);     // bucket 2
+  HistogramSnapshot two = reg2.Snapshot().histograms.at("h2");
+  EXPECT_EQ(two.buckets[0], 2u);
+  EXPECT_EQ(two.buckets[1], 2u);
+  EXPECT_EQ(two.buckets[2], 1u);
+  // Rank math at exact bucket edges: 40% of 5 = 2 observations, which bucket
+  // 0 satisfies exactly; one observation more crosses into bucket 1.
+  EXPECT_EQ(two.ApproxPercentile(40), 1u);  // bucket 0 upper bound 2^1-1
+  EXPECT_EQ(two.ApproxPercentile(41), 3u);  // bucket 1 upper bound 2^2-1
+  EXPECT_EQ(two.ApproxPercentile(80), 3u);
+  EXPECT_EQ(two.ApproxPercentile(81), 7u);  // bucket 2 upper bound 2^3-1
+
+  // The top bucket reports the saturating upper bound, not overflow.
+  MetricsRegistry reg3;
+  MetricId h3 = reg3.Histogram("h3");
+  reg3.Observe(h3, UINT64_MAX);
+  HistogramSnapshot top = reg3.Snapshot().histograms.at("h3");
+  EXPECT_EQ(top.ApproxPercentile(100), UINT64_MAX);
+  EXPECT_EQ(top.max, UINT64_MAX);
+}
+
 TEST(MetricsRegistryTest, GaugesSetAndMax) {
   MetricsRegistry registry;
   registry.SetGauge("level", 3);

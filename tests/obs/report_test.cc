@@ -5,6 +5,10 @@
 // are a synced view).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "src/cfg/call_graph.h"
 #include "src/cfg/loop_unroll.h"
 #include "src/graph/engine.h"
@@ -246,6 +250,52 @@ TEST_F(ReportEngineTest, BenchReportJsonParses) {
   ASSERT_NE(subjects, nullptr);
   ASSERT_EQ(subjects->items.size(), 1u);
   EXPECT_EQ(subjects->items[0].StringOr("subject", ""), "subject_a");
+}
+
+// End-to-end: GRAPPLE_REPORT_DIR steers BenchReport::Write, and the file on
+// disk parses back with the expected schema and content.
+TEST_F(ReportEngineTest, ReportDirEnvSteersBenchWriteEndToEnd) {
+  TempDir work("report-dir-work");
+  TempDir report_dir("report-dir-out");
+  ::setenv("GRAPPLE_REPORT_DIR", report_dir.path().c_str(), 1);
+
+  IntervalOracle oracle(&icfet_);
+  EngineOptions options;
+  options.work_dir = work.path();
+  GraphEngine engine(&grammar_, &oracle, options);
+  RunEngine(&engine);
+
+  obs::BenchReport bench("env_e2e");
+  bench.AddSnapshot("subject_a", "closure", engine.stats().metrics);
+  std::string path = bench.Path();
+  EXPECT_EQ(path, report_dir.path() + "/BENCH_env_e2e.json");
+  ASSERT_TRUE(bench.Write());
+  ::unsetenv("GRAPPLE_REPORT_DIR");
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  ASSERT_FALSE(text.empty());
+  std::string error;
+  std::optional<JsonValue> doc = ParseJson(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->StringOr("schema", ""), "grapple.bench_report.v1");
+  EXPECT_EQ(doc->StringOr("bench", ""), "env_e2e");
+  const JsonValue* subjects = doc->Find("subjects");
+  ASSERT_NE(subjects, nullptr);
+  ASSERT_EQ(subjects->items.size(), 1u);
+  // Each subject is a full RunReport; metrics hang off its phases.
+  const JsonValue* phases = subjects->items[0].Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->items.size(), 1u);
+  const JsonValue* metrics = phases->items[0].Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->NumberOr("engine_final_edges", -1),
+            static_cast<double>(engine.stats().final_edges));
 }
 
 TEST(ReportFileTest, WriteTextFileRoundTrips) {
