@@ -21,7 +21,7 @@ void Report(const char* title, uint32_t solve_latency_us, double scale, const ch
   std::printf("%-11s %8s %10s %9s %12s\n", "Subject", "I/O", "lookup", "SMT", "edge-comp");
   for (const auto& preset : AllPresets(scale)) {
     GrappleOptions options;
-    options.simulated_solve_latency_us = solve_latency_us;
+    options.engine.simulated_solve_latency_us = solve_latency_us;
     SubjectRun run = RunSubject(preset, options);
     CostBreakdown b = BreakdownOf(run.result);
     std::printf("%-11s %7.1f%% %9.1f%% %8.1f%% %11.1f%%\n", preset.name.c_str(), b.Pct(b.io),

@@ -39,13 +39,13 @@ int Main() {
               "TOC(s)", "TWC(s)", "Saving");
   for (const auto& preset : AllPresets(scale)) {
     GrappleOptions no_cache;
-    no_cache.enable_cache = false;
+    no_cache.engine.enable_cache = false;
     SubjectRun cold = RunSubject(preset, no_cache);
     CacheRunStats toc = StatsOf(cold.result);
     AddSubject(&bench, preset.name + ":no_cache", cold.result);
 
     GrappleOptions with_cache;
-    with_cache.enable_cache = true;
+    with_cache.engine.enable_cache = true;
     SubjectRun warm = RunSubject(preset, with_cache);
     CacheRunStats twc = StatsOf(warm.result);
     AddSubject(&bench, preset.name + ":cache", warm.result);

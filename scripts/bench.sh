@@ -13,7 +13,9 @@
 #              (default: <build-dir>/bench-reports)
 #
 # GRAPPLE_SCALE scales the synthetic subjects (e.g. GRAPPLE_SCALE=0.1 for a
-# CI smoke run); GRAPPLE_WITNESS picks the provenance mode under test.
+# CI smoke run); GRAPPLE_WITNESS picks the provenance mode under test;
+# GRAPPLE_CHECKER_PARALLELISM sets the concurrent-checker count used by the
+# scheduler speedup section of table3 (default 4).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,6 +34,7 @@ fi
 
 mkdir -p "${out_dir}"
 export GRAPPLE_REPORT_DIR="${out_dir}"
+export GRAPPLE_CHECKER_PARALLELISM="${GRAPPLE_CHECKER_PARALLELISM:-4}"
 
 for bench in "${benches[@]}"; do
   echo "==> ${bench} (GRAPPLE_SCALE=${GRAPPLE_SCALE:-1})"
@@ -44,7 +47,8 @@ git_sha="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
 trajectory="${out_dir}/BENCH_trajectory.json"
 {
   printf '{"schema":"grapple.bench_trajectory.v1","schema_version":1,'
-  printf '"git_sha":"%s","benches":[' "${git_sha}"
+  printf '"git_sha":"%s","checker_parallelism":%s,"benches":[' \
+    "${git_sha}" "${GRAPPLE_CHECKER_PARALLELISM}"
   first=1
   for bench in "${benches[@]}"; do
     report="${out_dir}/BENCH_${bench}.json"

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, and test — plain Release plus an
 # ASan/UBSan pass. Usage:
-#   scripts/ci.sh            # both passes
+#   scripts/ci.sh            # release + sanitize passes
 #   scripts/ci.sh release    # plain build + ctest only
 #   scripts/ci.sh sanitize   # ASan/UBSan build + ctest only
+#   scripts/ci.sh tsan       # ThreadSanitizer build; full ctest, then the
+#                            # concurrent-scheduler pipeline on a generated
+#                            # workload under GRAPPLE_CHECKER_PARALLELISM=4
 #   scripts/ci.sh bench      # smoke-scale bench sweep + trajectory report
 #                            # plus a sample witness report (bench-reports/)
 set -euo pipefail
@@ -44,6 +47,20 @@ run_bench_smoke() {
   echo "==> [bench] reports in ${out_dir}"
 }
 
+# ThreadSanitizer pass: the whole suite runs under TSan (the scheduler,
+# arbiter, and engine tests all spin up real thread contention), then the
+# parallel pipeline is exercised end-to-end on a generated workload via the
+# table3 scheduler section, which runs 4 checkers concurrently.
+run_tsan() {
+  local build_dir="${repo_root}/build-ci-tsan"
+  run_pass tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRAPPLE_SANITIZE=thread
+  echo "==> [tsan] concurrent scheduler pipeline (parallelism=4)"
+  mkdir -p "${build_dir}/bench-reports"
+  GRAPPLE_SCALE="${GRAPPLE_SCALE:-0.1}" GRAPPLE_CHECKER_PARALLELISM=4 \
+    GRAPPLE_REPORT_DIR="${build_dir}/bench-reports" \
+    "${build_dir}/bench/table3_performance"
+}
+
 case "${mode}" in
   release)
     run_pass release -DCMAKE_BUILD_TYPE=Release
@@ -55,13 +72,16 @@ case "${mode}" in
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
+  tsan)
+    run_tsan
+    ;;
   all)
     run_pass release -DCMAKE_BUILD_TYPE=Release
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize|bench|all]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -32,7 +32,9 @@ std::string ReportToJson(const BugReport& report) {
     w.Key("truncated").Bool(witness.truncated);
     w.Key("final_constraint").String(witness.final_constraint);
     w.Key("final_replay").String(witness.final_replay);
-    w.Key("decode_ns").UInt(witness.decode_nanos);
+    // decode_nanos is deliberately not serialized: report JSON is a
+    // deterministic artifact (byte-identical across reruns and scheduling
+    // modes); decode timing lives in the "witness_decode_ns" histogram.
     w.Key("steps");
     w.BeginArray();
     for (const WitnessStep& step : witness.steps) {

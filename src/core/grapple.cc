@@ -1,5 +1,6 @@
 #include "src/core/grapple.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <unordered_set>
 
@@ -9,6 +10,7 @@
 #include "src/obs/trace.h"
 #include "src/support/env.h"
 #include "src/support/logging.h"
+#include "src/support/thread_pool.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -36,7 +38,69 @@ std::vector<std::string> FieldUniverse(const Program& program) {
   return sorted;
 }
 
+IntervalOracle::Options OracleOptionsFrom(const GrappleOptions& options) {
+  IntervalOracle::Options oracle_options;
+  oracle_options.cache_capacity = options.engine.cache_capacity;
+  oracle_options.enable_cache = options.engine.enable_cache;
+  oracle_options.max_encoding_items = options.engine.max_encoding_items;
+  oracle_options.solver_limits = options.engine.solver_limits;
+  oracle_options.simulated_solve_latency_us = options.engine.simulated_solve_latency_us;
+  oracle_options.simulated_solve_blocks = options.engine.simulated_solve_blocks;
+  return oracle_options;
+}
+
+EngineOptions EngineOptionsFrom(const GrappleOptions& options) {
+  EngineOptions engine_options;
+  engine_options.memory_budget_bytes = options.engine.memory_budget_bytes;
+  engine_options.num_threads = options.scheduling.num_threads;
+  engine_options.max_variants_per_triple = options.engine.max_variants_per_triple;
+  return engine_options;
+}
+
 }  // namespace
+
+std::vector<std::string> GrappleOptions::Validate() const {
+  std::vector<std::string> errors;
+  if (engine.memory_budget_bytes == 0) {
+    errors.push_back("engine.memory_budget_bytes must be positive (it is the analysis-wide cap "
+                     "on resident edge data, not a disable switch)");
+  }
+  if (engine.max_variants_per_triple == 0) {
+    errors.push_back("engine.max_variants_per_triple must be >= 1; the variant cap is what "
+                     "guarantees termination of the closure");
+  }
+  if (engine.max_encoding_items == 0) {
+    errors.push_back("engine.max_encoding_items must be >= 1 so merged path encodings can hold "
+                     "at least one interval");
+  }
+  if (engine.enable_cache && engine.cache_capacity == 0) {
+    errors.push_back("engine.cache_capacity must be >= 1 when enable_cache is set; disable the "
+                     "cache instead of sizing it to zero");
+  }
+  if (precision.loop_unroll == 0) {
+    errors.push_back("precision.loop_unroll must be >= 1 (§3.1: loops are unrolled a bounded "
+                     "number of times; 0 iterations would drop loop bodies entirely)");
+  }
+  return errors;
+}
+
+GrappleFlatOptions::operator GrappleOptions() const {
+  GrappleOptions nested;
+  nested.engine.memory_budget_bytes = memory_budget_bytes;
+  nested.engine.max_variants_per_triple = max_variants_per_triple;
+  nested.engine.enable_cache = enable_cache;
+  nested.engine.cache_capacity = cache_capacity;
+  nested.engine.max_encoding_items = max_encoding_items;
+  nested.engine.solver_limits = solver_limits;
+  nested.engine.simulated_solve_latency_us = simulated_solve_latency_us;
+  nested.precision.loop_unroll = loop_unroll;
+  nested.precision.qualify_events_with_alias_paths = qualify_events_with_alias_paths;
+  nested.precision.icfet = icfet;
+  nested.observability.witness = witness;
+  nested.scheduling.num_threads = num_threads;
+  nested.work_dir = work_dir;
+  return nested;
+}
 
 size_t GrappleResult::TotalReports() const {
   size_t total = 0;
@@ -86,18 +150,41 @@ double GrappleResult::ComputeSeconds() const {
   return total;
 }
 
+// Everything phase 1 produces that later phases read. Owned by the session;
+// after EnsureAliasPhase returns, all of it is immutable and safe for
+// concurrent reads by checker workers.
+struct Grapple::AliasPhase {
+  Grammar grammar;
+  PointsToLabels labels;
+  std::unique_ptr<IntervalOracle> oracle;
+  std::unique_ptr<GraphEngine> engine;
+  std::unique_ptr<AliasGraph> graph;
+  std::unique_ptr<AliasIndex> index;
+  PhaseStats stats;
+  obs::PhaseReport report;
+  size_t pairs = 0;
+};
+
 Grapple::Grapple(Program program) : Grapple(std::move(program), GrappleOptions()) {}
 
 Grapple::Grapple(Program program, GrappleOptions options)
     : options_(std::move(options)), program_(std::make_unique<Program>(std::move(program))) {
+  std::vector<std::string> errors = options_.Validate();
+  if (!errors.empty()) {
+    std::string joined;
+    for (const auto& error : errors) {
+      joined += (joined.empty() ? "" : "; ") + error;
+    }
+    GRAPPLE_CHECK(false) << "invalid GrappleOptions: " << joined;
+  }
   obs::InitTracingFromEnv();
   // The environment knob wins when set; the caller's option is the fallback.
-  options_.witness = obs::WitnessModeFromEnv(options_.witness);
+  options_.observability.witness = obs::WitnessModeFromEnv(options_.observability.witness);
   obs::ScopedSpan span("frontend", "phase");
   WallTimer timer;
-  UnrollLoops(program_.get(), options_.loop_unroll);
+  UnrollLoops(program_.get(), options_.precision.loop_unroll);
   call_graph_ = std::make_unique<CallGraph>(*program_);
-  icfet_ = BuildIcfet(*program_, *call_graph_, options_.icfet);
+  icfet_ = BuildIcfet(*program_, *call_graph_, options_.precision.icfet);
   frontend_seconds_ = timer.ElapsedSeconds();
   if (options_.work_dir.empty()) {
     temp_dir_ = std::make_unique<TempDir>("grapple-work");
@@ -107,6 +194,8 @@ Grapple::Grapple(Program program, GrappleOptions options)
   }
 }
 
+Grapple::~Grapple() = default;
+
 std::string Grapple::PhaseDir(const std::string& name) {
   std::string dir = work_dir_ + "/" + name;
   std::error_code ec;
@@ -115,117 +204,166 @@ std::string Grapple::PhaseDir(const std::string& name) {
   return dir;
 }
 
-GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
-  GRAPPLE_CHECK(!used_) << "Grapple::Check may be called once per instance";
-  used_ = true;
-  WallTimer total_timer;
-  GrappleResult result;
-  result.frontend_seconds = frontend_seconds_;
-
-  IntervalOracle::Options oracle_options;
-  oracle_options.cache_capacity = options_.cache_capacity;
-  oracle_options.enable_cache = options_.enable_cache;
-  oracle_options.max_encoding_items = options_.max_encoding_items;
-  oracle_options.solver_limits = options_.solver_limits;
-  oracle_options.simulated_solve_latency_us = options_.simulated_solve_latency_us;
-
-  EngineOptions engine_options;
-  engine_options.memory_budget_bytes = options_.memory_budget_bytes;
-  engine_options.num_threads = options_.num_threads;
-  engine_options.max_variants_per_triple = options_.max_variants_per_triple;
-
-  // --- Phase 1: path-sensitive alias analysis ---
-  WallTimer alias_timer;
-  Grammar pointsto_grammar;
-  PointsToLabels pt_labels = BuildPointsToGrammar(&pointsto_grammar, FieldUniverse(*program_));
-  IntervalOracle alias_oracle(&icfet_, oracle_options);
-  EngineOptions alias_engine_options = engine_options;
-  alias_engine_options.work_dir = PhaseDir("alias");
-  // Alias-phase provenance only matters for full-fidelity tracing; bug
-  // witnesses walk typestate derivations.
-  alias_engine_options.record_provenance = options_.witness == obs::WitnessMode::kFull;
-  GraphEngine alias_engine(&pointsto_grammar, &alias_oracle, alias_engine_options);
-  auto alias_span = std::make_unique<obs::ScopedSpan>("alias_phase", "phase");
-  AliasGraph alias_graph(*program_, *call_graph_, icfet_, pt_labels, &alias_engine);
-  alias_engine.Finalize(alias_graph.num_vertices());
-  alias_engine.Run();
-  alias_span.reset();
-  result.alias.num_vertices = alias_graph.num_vertices();
-  result.alias.edges_before = alias_engine.stats().base_edges;
-  result.alias.edges_after = alias_engine.stats().final_edges;
-  result.alias.engine = alias_engine.stats();
-  result.alias.seconds = alias_timer.ElapsedSeconds();
+std::string Grapple::CheckerDir(const std::string& checker_name) {
+  size_t run;
   {
-    obs::PhaseReport phase;
-    phase.name = "alias";
-    phase.num_vertices = alias_graph.num_vertices();
-    phase.edges_before = result.alias.edges_before;
-    phase.edges_after = result.alias.edges_after;
-    phase.seconds = result.alias.seconds;
-    phase.metrics = alias_engine.stats().metrics;
-    result.report.phases.push_back(std::move(phase));
+    std::lock_guard<std::mutex> lock(checker_dirs_mu_);
+    run = checker_dir_runs_[checker_name]++;
   }
-
-  // Harvest aliasing facts for every event receiver once.
-  std::unordered_set<VertexId> receivers;
-  for (const auto& clone : alias_graph.clones()) {
-    for (const auto& occ : clone.events) {
-      receivers.insert(occ.receiver_vertex);
-    }
+  std::string name = "typestate-" + checker_name;
+  if (run > 0) {
+    name += "-r" + std::to_string(run);
   }
-  AliasIndex alias_index(&alias_engine, pt_labels.flows_to, receivers);
-  result.alias_pairs = alias_index.NumPairs();
+  return PhaseDir(name);
+}
 
-  // --- Phases 2 + 3 per checker ---
-  for (const auto& spec : specs) {
-    WallTimer checker_timer;
-    CheckerRunResult checker_result;
-    checker_result.checker = spec.fsm.name();
-    obs::ScopedSpan checker_span(obs::InternSpanName("typestate:" + spec.fsm.name()), "phase");
+const Grapple::AliasPhase& Grapple::EnsureAliasPhase() {
+  std::call_once(alias_once_, [&] {
+    auto alias = std::make_unique<AliasPhase>();
+    WallTimer alias_timer;
+    alias->labels = BuildPointsToGrammar(&alias->grammar, FieldUniverse(*program_));
+    alias->oracle = std::make_unique<IntervalOracle>(&icfet_, OracleOptionsFrom(options_));
+    EngineOptions engine_options = EngineOptionsFrom(options_);
+    engine_options.work_dir = PhaseDir("alias");
+    // Alias-phase provenance only matters for full-fidelity tracing; bug
+    // witnesses walk typestate derivations.
+    engine_options.record_provenance =
+        options_.observability.witness == obs::WitnessMode::kFull;
+    alias->engine =
+        std::make_unique<GraphEngine>(&alias->grammar, alias->oracle.get(), engine_options);
+    auto alias_span = std::make_unique<obs::ScopedSpan>("alias_phase", "phase");
+    alias->graph = std::make_unique<AliasGraph>(*program_, *call_graph_, icfet_, alias->labels,
+                                               alias->engine.get());
+    alias->engine->Finalize(alias->graph->num_vertices());
+    alias->engine->Run();
+    alias_span.reset();
+    alias->stats.num_vertices = alias->graph->num_vertices();
+    alias->stats.edges_before = alias->engine->stats().base_edges;
+    alias->stats.edges_after = alias->engine->stats().final_edges;
+    alias->stats.engine = alias->engine->stats();
+    alias->stats.seconds = alias_timer.ElapsedSeconds();
+    alias->report.name = "alias";
+    alias->report.num_vertices = alias->graph->num_vertices();
+    alias->report.edges_before = alias->stats.edges_before;
+    alias->report.edges_after = alias->stats.edges_after;
+    alias->report.seconds = alias->stats.seconds;
+    alias->report.metrics = alias->engine->stats().metrics;
 
-    std::unordered_set<std::string> types(spec.tracked_types.begin(), spec.tracked_types.end());
-    std::vector<uint32_t> tracked;
-    for (uint32_t i = 0; i < alias_graph.objects().size(); ++i) {
-      if (types.find(alias_graph.objects()[i].type) != types.end()) {
-        tracked.push_back(i);
+    // Harvest aliasing facts for every event receiver once.
+    std::unordered_set<VertexId> receivers;
+    for (const auto& clone : alias->graph->clones()) {
+      for (const auto& occ : clone.events) {
+        receivers.insert(occ.receiver_vertex);
       }
     }
-    checker_result.tracked_objects = tracked.size();
+    alias->index = std::make_unique<AliasIndex>(alias->engine.get(), alias->labels.flows_to,
+                                               receivers);
+    alias->pairs = alias->index->NumPairs();
+    alias_phase_ = std::move(alias);
+  });
+  return *alias_phase_;
+}
 
-    Fsm completed = CompleteFsm(spec.fsm);
-    Grammar ts_grammar;
-    TypestateLabels ts_labels = BuildTypestateGrammar(&ts_grammar, completed);
-    IntervalOracle ts_oracle(&icfet_, oracle_options);
-    EngineOptions ts_engine_options = engine_options;
-    ts_engine_options.work_dir = PhaseDir("typestate-" + spec.fsm.name());
-    ts_engine_options.record_provenance = options_.witness != obs::WitnessMode::kOff;
-    GraphEngine ts_engine(&ts_grammar, &ts_oracle, ts_engine_options);
-    TypestateGraph ts_graph(alias_graph, alias_index, completed, ts_labels, tracked, &ts_engine,
-                            options_.qualify_events_with_alias_paths);
-    ts_engine.Finalize(ts_graph.num_vertices());
-    ts_engine.Run();
+CheckerRunResult Grapple::CheckOne(const FsmSpec& spec) {
+  EnsureAliasPhase();
+  return CheckOne(spec, nullptr, nullptr);
+}
 
-    checker_result.reports = ExtractReports(spec.fsm.name(), completed, ts_labels, ts_graph,
-                                            alias_graph, &ts_engine, &ts_oracle,
-                                            options_.witness);
-    checker_result.typestate.num_vertices = ts_graph.num_vertices();
-    checker_result.typestate.edges_before = ts_engine.stats().base_edges;
-    checker_result.typestate.edges_after = ts_engine.stats().final_edges;
-    checker_result.typestate.engine = ts_engine.stats();
-    checker_result.typestate.seconds = checker_timer.ElapsedSeconds();
+CheckerRunResult Grapple::CheckOne(const FsmSpec& spec, BudgetLease* lease,
+                                   obs::PhaseReport* phase_out) {
+  const AliasPhase& alias = *alias_phase_;
+  WallTimer checker_timer;
+  CheckerRunResult checker_result;
+  checker_result.checker = spec.fsm.name();
+  obs::ScopedSpan checker_span(obs::InternSpanName("typestate:" + spec.fsm.name()), "phase");
 
-    obs::PhaseReport phase;
-    phase.name = "typestate:" + spec.fsm.name();
-    phase.num_vertices = ts_graph.num_vertices();
-    phase.edges_before = checker_result.typestate.edges_before;
-    phase.edges_after = checker_result.typestate.edges_after;
-    phase.seconds = checker_result.typestate.seconds;
+  std::unordered_set<std::string> types(spec.tracked_types.begin(), spec.tracked_types.end());
+  std::vector<uint32_t> tracked;
+  for (uint32_t i = 0; i < alias.graph->objects().size(); ++i) {
+    if (types.find(alias.graph->objects()[i].type) != types.end()) {
+      tracked.push_back(i);
+    }
+  }
+  checker_result.tracked_objects = tracked.size();
+
+  Fsm completed = CompleteFsm(spec.fsm);
+  Grammar ts_grammar;
+  TypestateLabels ts_labels = BuildTypestateGrammar(&ts_grammar, completed);
+  IntervalOracle ts_oracle(&icfet_, OracleOptionsFrom(options_));
+  EngineOptions ts_engine_options = EngineOptionsFrom(options_);
+  ts_engine_options.work_dir = CheckerDir(spec.fsm.name());
+  ts_engine_options.record_provenance =
+      options_.observability.witness != obs::WitnessMode::kOff;
+  ts_engine_options.budget_lease = lease;
+  GraphEngine ts_engine(&ts_grammar, &ts_oracle, ts_engine_options);
+  TypestateGraph ts_graph(*alias.graph, *alias.index, completed, ts_labels, tracked, &ts_engine,
+                          options_.precision.qualify_events_with_alias_paths);
+  ts_engine.Finalize(ts_graph.num_vertices());
+  ts_engine.Run();
+
+  checker_result.reports = ExtractReports(spec.fsm.name(), completed, ts_labels, ts_graph,
+                                          *alias.graph, &ts_engine, &ts_oracle,
+                                          options_.observability.witness);
+  checker_result.typestate.num_vertices = ts_graph.num_vertices();
+  checker_result.typestate.edges_before = ts_engine.stats().base_edges;
+  checker_result.typestate.edges_after = ts_engine.stats().final_edges;
+  checker_result.typestate.engine = ts_engine.stats();
+  checker_result.typestate.seconds = checker_timer.ElapsedSeconds();
+
+  if (phase_out != nullptr) {
+    phase_out->name = "typestate:" + spec.fsm.name();
+    phase_out->num_vertices = ts_graph.num_vertices();
+    phase_out->edges_before = checker_result.typestate.edges_before;
+    phase_out->edges_after = checker_result.typestate.edges_after;
+    phase_out->seconds = checker_result.typestate.seconds;
     // Re-snapshot after report extraction so the oracle's CheckPayload work
     // on final edges is included.
-    phase.metrics = ts_engine.Metrics();
-    result.report.phases.push_back(std::move(phase));
+    phase_out->metrics = ts_engine.Metrics();
+  }
+  return checker_result;
+}
 
-    result.checkers.push_back(std::move(checker_result));
+GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
+  WallTimer total_timer;
+  const AliasPhase& alias = EnsureAliasPhase();
+  GrappleResult result;
+  result.frontend_seconds = frontend_seconds_;
+  result.alias = alias.stats;
+  result.alias_pairs = alias.pairs;
+  result.report.phases.push_back(alias.report);
+
+  // --- Phases 2 + 3 per checker ---
+  // Workers write into per-spec slots; aggregation below walks the slots in
+  // spec order, so the result (checker order, report phases) is identical
+  // to the sequential run regardless of completion order.
+  std::vector<CheckerRunResult> runs(specs.size());
+  std::vector<obs::PhaseReport> phases(specs.size());
+  size_t parallelism = options_.scheduling.checker_parallelism == 0
+                           ? HardwareThreads()
+                           : options_.scheduling.checker_parallelism;
+  parallelism = std::min(parallelism, specs.size());
+  if (parallelism <= 1) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      runs[i] = CheckOne(specs[i], nullptr, &phases[i]);
+    }
+  } else {
+    // Each concurrent engine leases an equal slice of the analysis-wide
+    // budget up front (so the sum never exceeds it) and may borrow released
+    // headroom as siblings finish.
+    BudgetArbiter arbiter(options_.engine.memory_budget_bytes);
+    uint64_t slice = std::max<uint64_t>(1, arbiter.total_bytes() / parallelism);
+    ThreadPool scheduler(parallelism);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      scheduler.Schedule([this, &specs, &runs, &phases, &arbiter, slice, i] {
+        BudgetLease lease = arbiter.Acquire(slice);
+        runs[i] = CheckOne(specs[i], &lease, &phases[i]);
+      });
+    }
+    scheduler.Wait();
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    result.checkers.push_back(std::move(runs[i]));
+    result.report.phases.push_back(std::move(phases[i]));
   }
 
   result.total_seconds = total_timer.ElapsedSeconds() + frontend_seconds_;

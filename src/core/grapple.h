@@ -2,6 +2,11 @@
 // analysis) -> phase 2 (path-sensitive typestate dataflow, per checker) ->
 // phase 3 (FSM checking), as described in §2.2.
 //
+// A Grapple instance is a *session* over one program: the frontend runs at
+// construction, phase 1 runs once on first use and is cached, and phases
+// 2-3 run per property spec — repeatedly, and concurrently when
+// Scheduling::checker_parallelism > 1.
+//
 // Typical use:
 //
 //   Program program = ...;                 // built or parsed
@@ -12,10 +17,15 @@
 //       std::cout << report.ToString() << "\n";
 //     }
 //   }
+//   // The session stays usable: add a custom checker later, reusing the
+//   // cached alias analysis.
+//   CheckerRunResult one = grapple.CheckOne(MyCheckerSpec());
 #ifndef GRAPPLE_SRC_CORE_GRAPPLE_H_
 #define GRAPPLE_SRC_CORE_GRAPPLE_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,41 +39,108 @@
 #include "src/obs/provenance.h"
 #include "src/obs/report.h"
 #include "src/smt/solver.h"
+#include "src/support/budget_arbiter.h"
 #include "src/support/byte_io.h"
 #include "src/symexec/cfet_builder.h"
 
 namespace grapple {
 
+// Analysis options, grouped by concern. Construct, adjust the nested
+// fields, and pass to Grapple; the constructor rejects invalid combinations
+// with the messages from Validate() (no silent clamping).
 struct GrappleOptions {
-  // Bounded loop unrolling factor (§3.1).
+  // Knobs of the out-of-core engine and its constraint oracle.
+  struct EngineTuning {
+    // Analysis-wide cap on bytes of edge data resident in memory. With
+    // concurrent checkers this is the *total* across all live engines,
+    // arbitrated by a BudgetArbiter; sequentially each engine gets all of
+    // it. Smaller values force more partitions and exercise the
+    // out-of-core machinery.
+    uint64_t memory_budget_bytes = uint64_t{64} << 20;
+    // Per-(src,dst,label) cap on distinct payload variants; reaching it
+    // widens the triple to the always-true payload (see EngineOptions).
+    size_t max_variants_per_triple = 8;
+    // Constraint-memoization LRU (Table 4). Disable to measure its benefit.
+    bool enable_cache = true;
+    size_t cache_capacity = size_t{1} << 16;
+    size_t max_encoding_items = 64;
+    SolverLimits solver_limits;
+    // Per-solve wait (µs) modeling an external SMT solver's call cost;
+    // 0 = the built-in solver's native speed. See IntervalOracle::Options.
+    uint32_t simulated_solve_latency_us = 0;
+    // Simulated latency sleeps (out-of-process solver endpoint) instead of
+    // busy-waiting (in-process solver). See IntervalOracle::Options.
+    bool simulated_solve_blocks = false;
+  };
+
+  // Precision/soundness trade-offs of the program abstraction.
+  struct Precision {
+    // Bounded loop unrolling factor (§3.1); must be >= 1.
+    size_t loop_unroll = 2;
+    // Qualify each typestate event edge with the encoding of the
+    // object-to-receiver flow that makes it apply (extra precision: events
+    // whose aliasing is path-infeasible no longer fire). See
+    // TypestateGraph's constructor.
+    bool qualify_events_with_alias_paths = true;
+    IcfetOptions icfet;
+  };
+
+  // What the run records about itself.
+  struct Observability {
+    // How much derivation provenance to record and decode (GRAPPLE_WITNESS
+    // overrides the initial value at construction):
+    //   kOff  — no recording, reports carry no witnesses;
+    //   kBugs — record during typestate phases, decode per reported bug;
+    //   kFull — also record the alias phase and replay SMT at every step.
+    obs::WitnessMode witness = obs::WitnessMode::kBugs;
+  };
+
+  // How much hardware one Check() call may use. Thread-count convention
+  // (support/env.h): 0 = hardware concurrency, GRAPPLE_THREADS overrides
+  // num_threads. Total worker threads ≈ checker_parallelism × num_threads.
+  struct Scheduling {
+    // Outer concurrency: how many checkers (phase 2+3 engine runs) execute
+    // at once. Results are independent of this value — reports, witnesses,
+    // and report ordering match the sequential run.
+    size_t checker_parallelism = 1;
+    // Inner concurrency: engine join-loop workers per engine run.
+    size_t num_threads = 1;
+  };
+
+  EngineTuning engine;
+  Precision precision;
+  Observability observability;
+  Scheduling scheduling;
+  // Partition spill directory; empty creates a private temp dir.
+  std::string work_dir;
+
+  // Returns one descriptive message per invalid setting ({} when the
+  // options are usable). Grapple's constructor fails on a non-empty result
+  // instead of silently clamping values.
+  std::vector<std::string> Validate() const;
+};
+
+// Transitional back-compat shim: the pre-session flat option bag.
+// Implicitly converts into the nested GrappleOptions, so call sites written
+// against the old API compile after a one-line change of the declared type
+// (GrappleOptions -> GrappleFlatOptions). New code should use the nested
+// groups directly.
+struct GrappleFlatOptions {
   size_t loop_unroll = 2;
-  // Engine memory budget; smaller values force more partitions and exercise
-  // the out-of-core machinery.
   uint64_t memory_budget_bytes = uint64_t{64} << 20;
   size_t num_threads = 1;
-  // Constraint-memoization LRU (Table 4). Disable to measure its benefit.
   bool enable_cache = true;
   size_t cache_capacity = size_t{1} << 16;
   size_t max_encoding_items = 64;
   size_t max_variants_per_triple = 8;
-  // Partition spill directory; empty creates a private temp dir.
   std::string work_dir;
   IcfetOptions icfet;
   SolverLimits solver_limits;
-  // Per-solve busy-wait (µs) modeling an external SMT solver's call cost;
-  // 0 = the built-in solver's native speed. See IntervalOracle::Options.
   uint32_t simulated_solve_latency_us = 0;
-  // Qualify each typestate event edge with the encoding of the
-  // object-to-receiver flow that makes it apply (extra precision: events
-  // whose aliasing is path-infeasible no longer fire). See
-  // TypestateGraph's constructor.
   bool qualify_events_with_alias_paths = true;
-  // How much derivation provenance to record and decode (GRAPPLE_WITNESS
-  // overrides the initial value at construction):
-  //   kOff  — no recording, reports carry no witnesses;
-  //   kBugs — record during typestate phases, decode per reported bug;
-  //   kFull — also record the alias phase and replay SMT at every step.
   obs::WitnessMode witness = obs::WitnessMode::kBugs;
+
+  operator GrappleOptions() const;  // NOLINT(google-explicit-constructor)
 };
 
 // Statistics of one engine run plus its graph generation.
@@ -105,13 +182,26 @@ struct GrappleResult {
 class Grapple {
  public:
   // Takes ownership of the program; loops are unrolled in place, then the
-  // call graph and ICFET are built (the "frontend").
+  // call graph and ICFET are built (the "frontend"). Checks the options
+  // (see GrappleOptions::Validate).
   explicit Grapple(Program program);
   Grapple(Program program, GrappleOptions options);
+  ~Grapple();
 
-  // Runs the full pipeline for the given property specs. Phase 1 runs once;
-  // phases 2-3 run per spec. May be called once per Grapple instance.
+  // Runs the pipeline for the given property specs and aggregates the
+  // results. Phase 1 (alias analysis) runs on the first call and is cached
+  // for the session; phases 2-3 run per spec — sequentially, or on a shared
+  // checker pool when scheduling.checker_parallelism > 1, with the engine
+  // memory budget split across concurrent runs by a BudgetArbiter.
+  // Reports, witnesses, and phase ordering are identical either way.
+  // May be called repeatedly.
   GrappleResult Check(const std::vector<FsmSpec>& specs);
+
+  // Runs phases 2-3 for a single spec against the cached alias analysis
+  // (computing it first if this is the session's first use). This is the
+  // same code path the concurrent scheduler runs per worker; it is safe to
+  // call from multiple threads.
+  CheckerRunResult CheckOne(const FsmSpec& spec);
 
   const Program& program() const { return *program_; }
   const Icfet& icfet() const { return icfet_; }
@@ -119,7 +209,20 @@ class Grapple {
   double frontend_seconds() const { return frontend_seconds_; }
 
  private:
+  // Cached phase-1 state, built once per session by EnsureAliasPhase().
+  struct AliasPhase;
+
+  const AliasPhase& EnsureAliasPhase();
+  // Phases 2-3 for one spec. `lease` (may be null) is the engine's slice of
+  // the shared memory budget; `phase_out` (may be null) receives the
+  // obs::PhaseReport for result aggregation.
+  CheckerRunResult CheckOne(const FsmSpec& spec, BudgetLease* lease, obs::PhaseReport* phase_out);
+
   std::string PhaseDir(const std::string& name);
+  // Work subdirectory for one checker run: "typestate-<name>" on the
+  // checker's first run in this session, "typestate-<name>-r<k>" on
+  // repeats. Thread-safe.
+  std::string CheckerDir(const std::string& checker_name);
 
   GrappleOptions options_;
   std::unique_ptr<Program> program_;
@@ -128,7 +231,11 @@ class Grapple {
   std::unique_ptr<CallGraph> call_graph_;
   Icfet icfet_;
   double frontend_seconds_ = 0;
-  bool used_ = false;
+
+  std::once_flag alias_once_;
+  std::unique_ptr<AliasPhase> alias_phase_;
+  std::mutex checker_dirs_mu_;
+  std::map<std::string, size_t> checker_dir_runs_;
 };
 
 }  // namespace grapple

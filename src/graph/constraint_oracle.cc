@@ -1,6 +1,8 @@
 #include "src/graph/constraint_oracle.h"
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "src/obs/trace.h"
 
@@ -67,9 +69,15 @@ SolveResult IntervalOracle::CheckEncodingLocked(const PathEncoding& enc, const s
   WallTimer solve_timer;
   SolveResult result = solver_.Solve(constraint);
   if (options_.simulated_solve_latency_us > 0) {
-    double target = options_.simulated_solve_latency_us * 1e-6;
-    while (solve_timer.ElapsedSeconds() < target) {
-      // busy-wait: models a blocking round trip to an external solver
+    if (options_.simulated_solve_blocks) {
+      // Sleep: an out-of-process solver holds the request; this core is
+      // free for other checkers' work meanwhile.
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_solve_latency_us));
+    } else {
+      double target = options_.simulated_solve_latency_us * 1e-6;
+      while (solve_timer.ElapsedSeconds() < target) {
+        // busy-wait: models an in-process solver burning this core
+      }
     }
   }
   uint64_t solve_nanos = solve_timer.ElapsedNanos();

@@ -75,11 +75,17 @@ class IntervalOracle : public ConstraintOracle {
     // Encoding-length cap handed to PathEncoding::Merge.
     size_t max_encoding_items = 64;
     SolverLimits solver_limits;
-    // Adds a busy-wait of this many microseconds to every actual solve,
-    // modeling the per-call cost of an out-of-process SMT solver (the paper
-    // used Z3); 0 disables. Used by the Figure-9 bench to reproduce the
-    // paper's cost profile (see DESIGN.md substitutions).
+    // Adds a wait of this many microseconds to every actual solve, modeling
+    // the per-call cost of an external SMT solver (the paper used Z3);
+    // 0 disables. Used by the Figure-9 bench to reproduce the paper's cost
+    // profile (see DESIGN.md substitutions).
     uint32_t simulated_solve_latency_us = 0;
+    // How the simulated latency spends its time. False (default): busy-wait,
+    // modeling an in-process solver that burns this core. True: sleep,
+    // modeling a round trip to an out-of-process solver endpoint — the CPU
+    // is free meanwhile, so concurrent checker runs overlap their solver
+    // waits (the scheduler speedup bench measures exactly this).
+    bool simulated_solve_blocks = false;
   };
 
   explicit IntervalOracle(const Icfet* icfet);

@@ -9,6 +9,7 @@
 
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/support/env.h"
 #include "src/support/logging.h"
 
 namespace grapple {
@@ -118,17 +119,24 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
       c_unsat_pruned_(metrics_.Counter("engine_unsat_pruned")),
       c_widened_triples_(metrics_.Counter("engine_widened_triples")),
       c_partition_splits_(metrics_.Counter("engine_partition_splits")),
+      c_budget_borrows_(metrics_.Counter("engine_budget_borrows")),
       c_preprocess_ns_(metrics_.Counter("engine_preprocess_ns")),
       c_compute_ns_(metrics_.Counter("engine_compute_ns")),
       h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
       c_witnesses_decoded_(metrics_.Counter("witnesses_decoded")),
       h_witness_decode_ns_(metrics_.Histogram("witness_decode_ns")),
       store_(options_.work_dir, &profiler_, &metrics_),
-      pool_(options_.num_threads == 0 ? 1 : options_.num_threads) {
+      pool_(ResolveThreadCount(options_.num_threads)) {
   obs::InitTracingFromEnv();
+  metrics_.SetGauge("engine_budget_bytes", static_cast<double>(BudgetBytes()));
   if (options_.record_provenance) {
     provenance_ = std::make_unique<obs::ProvenanceWriter>(store_.ProvenancePath(), &metrics_);
   }
+}
+
+uint64_t GraphEngine::BudgetBytes() const {
+  return options_.budget_lease != nullptr ? options_.budget_lease->bytes()
+                                          : options_.memory_budget_bytes;
 }
 
 void GraphEngine::ObserveWitnessDecode(uint64_t nanos) {
@@ -280,7 +288,7 @@ void GraphEngine::Finalize(VertexId num_vertices) {
   pending_base_.shrink_to_fit();
   stats_.base_edges = expanded.size();
   metrics_.Add(c_base_edges_, expanded.size());
-  store_.Initialize(std::move(expanded), num_vertices, options_.memory_budget_bytes / 4);
+  store_.Initialize(std::move(expanded), num_vertices, BudgetBytes() / 4);
   metrics_.AddNanos(c_preprocess_ns_, timer.ElapsedNanos());
   stats_.preprocess_seconds = timer.ElapsedSeconds();
   stats_.num_partitions = store_.NumPartitions();
@@ -598,16 +606,25 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
     for (uint32_t idx : frontier) {
       in_frontier[idx] = 1;
     }
-    // Eager memory guard: stop the local fixpoint early when the resident
-    // pair has outgrown the budget; write back (splitting) and reschedule.
-    if (pair.arena_bytes() > options_.memory_budget_bytes) {
-      complete = false;
-      break;
+    // Eager memory guard: when the resident pair has outgrown the budget,
+    // first try to borrow headroom from the shared arbiter (released by
+    // engines that already finished); only if that fails stop the local
+    // fixpoint early, write back (splitting), and reschedule.
+    metrics_.MaxGauge("engine_peak_resident_bytes", static_cast<double>(pair.arena_bytes()));
+    if (pair.arena_bytes() > BudgetBytes()) {
+      uint64_t want = pair.arena_bytes() + pair.arena_bytes() / 2;
+      if (options_.budget_lease != nullptr && options_.budget_lease->TryGrowTo(want)) {
+        metrics_.Add(c_budget_borrows_);
+        metrics_.SetGauge("engine_budget_bytes", static_cast<double>(BudgetBytes()));
+      } else {
+        complete = false;
+        break;
+      }
     }
   }
 
   // --- write back ---
-  uint64_t target = options_.memory_budget_bytes / 4;
+  uint64_t target = BudgetBytes() / 4;
   auto writeback = [&](size_t index_p, bool changed, VertexId lo, VertexId hi) {
     if (!changed) {
       return false;

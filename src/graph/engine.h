@@ -25,6 +25,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/provenance.h"
 #include "src/pathenc/path_encoding.h"
+#include "src/support/budget_arbiter.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timer.h"
 
@@ -37,7 +38,15 @@ struct EngineOptions {
   // partitions + induced edges). Partitions target budget/4 so that a pair
   // plus growth fits.
   uint64_t memory_budget_bytes = uint64_t{64} << 20;
-  // Worker threads for the join loop (1 = sequential).
+  // Non-owning; when set, the lease is the live memory budget instead of
+  // memory_budget_bytes: the engine reads its current size every time it
+  // checks the soft cap, and tries to borrow (grow the lease) before
+  // spilling early under memory pressure. Used by the facade's concurrent
+  // checker scheduler so N engines share one analysis-wide budget. The
+  // lease must outlive the engine and not be touched by other threads.
+  BudgetLease* budget_lease = nullptr;
+  // Worker threads for the join loop (1 = sequential, 0 = hardware
+  // concurrency; GRAPPLE_THREADS overrides — see support/env.h).
   size_t num_threads = 1;
   // Per-(src,dst,label) cap on distinct payload variants; reaching it
   // widens the triple to the always-true payload. Guarantees termination
@@ -156,6 +165,9 @@ class GraphEngine : public EdgeSink {
   class LoadedPair;
 
   void ProcessPair(size_t pi, size_t pj);
+  // Current soft memory cap: the lease size when scheduled under a budget
+  // arbiter, the static option otherwise.
+  uint64_t BudgetBytes() const;
   // Applies unary-production and mirror closure to an edge, collecting all
   // records (including the original, at index 0) into `out`. When
   // `parent_of` is non-null it receives, per record, the index into `out`
@@ -178,6 +190,7 @@ class GraphEngine : public EdgeSink {
   obs::MetricId c_unsat_pruned_;
   obs::MetricId c_widened_triples_;
   obs::MetricId c_partition_splits_;
+  obs::MetricId c_budget_borrows_;
   obs::MetricId c_preprocess_ns_;
   obs::MetricId c_compute_ns_;
   obs::MetricId h_join_round_joins_;

@@ -1,0 +1,111 @@
+#include "src/support/budget_arbiter.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+
+BudgetLease::~BudgetLease() { Release(); }
+
+BudgetLease::BudgetLease(BudgetLease&& other) noexcept
+    : arbiter_(other.arbiter_), bytes_(other.bytes_) {
+  other.arbiter_ = nullptr;
+  other.bytes_ = 0;
+}
+
+BudgetLease& BudgetLease::operator=(BudgetLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    arbiter_ = other.arbiter_;
+    bytes_ = other.bytes_;
+    other.arbiter_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+bool BudgetLease::TryGrowTo(uint64_t target_bytes) {
+  if (target_bytes <= bytes_) {
+    return true;
+  }
+  if (arbiter_ == nullptr) {
+    return false;
+  }
+  uint64_t extra = target_bytes - bytes_;
+  if (!arbiter_->TryGrow(extra)) {
+    return false;
+  }
+  bytes_ += extra;
+  return true;
+}
+
+void BudgetLease::Release() {
+  if (arbiter_ != nullptr && bytes_ > 0) {
+    arbiter_->Return(bytes_);
+  }
+  arbiter_ = nullptr;
+  bytes_ = 0;
+}
+
+BudgetArbiter::BudgetArbiter(uint64_t total_bytes) : total_(total_bytes) {
+  GRAPPLE_CHECK(total_bytes > 0) << "budget arbiter needs a positive total";
+}
+
+BudgetLease BudgetArbiter::Acquire(uint64_t bytes) {
+  bytes = std::min(bytes, total_);
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t ticket = next_ticket_++;
+  cv_.wait(lock, [&] { return serving_ == ticket && total_ - used_ >= bytes; });
+  ++serving_;
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+  // Wake the next ticket holder; it may be satisfiable already.
+  cv_.notify_all();
+  return BudgetLease(this, bytes);
+}
+
+uint64_t BudgetArbiter::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+uint64_t BudgetArbiter::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - used_;
+}
+
+uint64_t BudgetArbiter::peak_used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_used_;
+}
+
+bool BudgetArbiter::has_waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ticket_ != serving_;
+}
+
+bool BudgetArbiter::TryGrow(uint64_t extra) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Queued acquirers have first claim on free budget.
+  if (next_ticket_ != serving_) {
+    return false;
+  }
+  if (total_ - used_ < extra) {
+    return false;
+  }
+  used_ += extra;
+  peak_used_ = std::max(peak_used_, used_);
+  return true;
+}
+
+void BudgetArbiter::Return(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GRAPPLE_CHECK(bytes <= used_) << "budget lease returned more than acquired";
+    used_ -= bytes;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace grapple

@@ -1,0 +1,107 @@
+// Cross-engine memory-budget arbitration for concurrent checker runs.
+//
+// One Grapple analysis may run several graph engines at once (one per
+// property checker). Each engine treats its memory budget as a soft cap on
+// resident edge data; with N engines live the caps must not add up to more
+// than the analysis-wide budget. The arbiter owns that global number and
+// hands out leases:
+//
+//   BudgetArbiter arbiter(total_bytes);
+//   BudgetLease lease = arbiter.Acquire(slice_bytes);   // blocks until free
+//   ... run the engine against lease.bytes() ...
+//   lease.Release();                                    // or let it destruct
+//
+// Acquire is FIFO-fair: requests are granted in arrival order, so a large
+// request cannot be starved by a stream of small ones. A running engine
+// that outgrows its lease may TryGrowTo() — a non-blocking borrow that only
+// succeeds when headroom is free *and* no acquirer is queued (waiters have
+// first claim on released budget). The sum of live leases never exceeds the
+// total, which is how "N concurrent engines never exceed the analysis
+// budget" is enforced.
+#ifndef GRAPPLE_SRC_SUPPORT_BUDGET_ARBITER_H_
+#define GRAPPLE_SRC_SUPPORT_BUDGET_ARBITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace grapple {
+
+class BudgetArbiter;
+
+// One engine's slice of the global budget. Move-only; returns its bytes to
+// the arbiter on Release()/destruction. bytes() is stable except through
+// TryGrowTo(), so the owning engine may read it without synchronization;
+// leases must not be shared across threads.
+class BudgetLease {
+ public:
+  BudgetLease() = default;
+  ~BudgetLease();
+
+  BudgetLease(BudgetLease&& other) noexcept;
+  BudgetLease& operator=(BudgetLease&& other) noexcept;
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+
+  bool valid() const { return arbiter_ != nullptr; }
+  uint64_t bytes() const { return bytes_; }
+
+  // Non-blocking borrow: grows the lease until bytes() >= target_bytes.
+  // Returns true when the lease already covers the target or enough free
+  // headroom exists; false (lease unchanged) when the arbiter is committed
+  // elsewhere or an acquirer is waiting.
+  bool TryGrowTo(uint64_t target_bytes);
+
+  // Returns every byte to the arbiter and detaches the lease.
+  void Release();
+
+ private:
+  friend class BudgetArbiter;
+  BudgetLease(BudgetArbiter* arbiter, uint64_t bytes) : arbiter_(arbiter), bytes_(bytes) {}
+
+  BudgetArbiter* arbiter_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+class BudgetArbiter {
+ public:
+  // `total_bytes` must be positive.
+  explicit BudgetArbiter(uint64_t total_bytes);
+
+  BudgetArbiter(const BudgetArbiter&) = delete;
+  BudgetArbiter& operator=(const BudgetArbiter&) = delete;
+
+  // Blocks until `bytes` of budget are free and every earlier Acquire has
+  // been served. `bytes` is capped to the total (a request larger than the
+  // whole budget degrades to "the whole budget" rather than deadlocking).
+  BudgetLease Acquire(uint64_t bytes);
+
+  uint64_t total_bytes() const { return total_; }
+  uint64_t used_bytes() const;
+  uint64_t free_bytes() const;
+  // High-water mark of the sum of live leases (always <= total_bytes()).
+  uint64_t peak_used_bytes() const;
+  // True while any Acquire is queued. Momentarily true inside every Acquire;
+  // meaningful for observation (metrics, tests), not for flow control.
+  bool has_waiters() const;
+
+ private:
+  friend class BudgetLease;
+
+  // Called by BudgetLease. `extra` > 0.
+  bool TryGrow(uint64_t extra);
+  void Return(uint64_t bytes);
+
+  const uint64_t total_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t used_ = 0;
+  uint64_t peak_used_ = 0;
+  // FIFO ticket lock over Acquire: tickets are granted strictly in order.
+  uint64_t next_ticket_ = 0;
+  uint64_t serving_ = 0;
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_BUDGET_ARBITER_H_

@@ -1,7 +1,9 @@
 #include "src/support/env.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <thread>
 
 namespace grapple {
 
@@ -47,6 +49,18 @@ bool EnvBool(const char* name, bool default_value) {
     return false;
   }
   return default_value;
+}
+
+size_t HardwareThreads() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  int64_t forced = EnvInt64("GRAPPLE_THREADS", 0);
+  if (forced > 0) {
+    return static_cast<size_t>(forced);
+  }
+  return requested == 0 ? HardwareThreads() : requested;
 }
 
 }  // namespace grapple

@@ -14,6 +14,15 @@
 //                            to record and decode into per-bug witnesses
 //                            (obs/provenance.h; default bugs)
 //   GRAPPLE_SCALE            bench workload scale (read by bench_util.h)
+//   GRAPPLE_THREADS          positive integer: overrides every engine-level
+//                            worker-thread option (EngineOptions.num_threads,
+//                            GrappleOptions::Scheduling::num_threads) at the
+//                            point the pool is sized; see ResolveThreadCount
+//
+// Thread-count convention: a thread-count option of 0 means "use the
+// hardware concurrency" — uniformly, wherever a pool is sized. Call sites
+// resolve option values through ResolveThreadCount() so the env override
+// and the 0-means-hardware rule apply in exactly one place.
 #ifndef GRAPPLE_SRC_SUPPORT_ENV_H_
 #define GRAPPLE_SRC_SUPPORT_ENV_H_
 
@@ -32,6 +41,13 @@ int64_t EnvInt64(const char* name, int64_t default_value);
 
 // Truthy: "1", "true", "yes", "on" (case-insensitive).
 bool EnvBool(const char* name, bool default_value = false);
+
+// std::thread::hardware_concurrency(), never less than 1.
+size_t HardwareThreads();
+
+// Resolves a worker-thread-count option: GRAPPLE_THREADS (positive integer)
+// overrides `requested` outright; otherwise 0 selects HardwareThreads().
+size_t ResolveThreadCount(size_t requested);
 
 }  // namespace grapple
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "src/support/env.h"
+
 namespace grapple {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    num_threads = HardwareThreads();
   }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {

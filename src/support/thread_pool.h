@@ -18,7 +18,10 @@ namespace grapple {
 
 class ThreadPool {
  public:
-  // `num_threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  // `num_threads` == 0 selects the hardware concurrency (min 1), matching
+  // the repo-wide thread-count convention in support/env.h. The pool itself
+  // never consults GRAPPLE_THREADS — callers that want the env override
+  // resolve their option through ResolveThreadCount() first.
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
 

@@ -90,7 +90,7 @@ TEST(WitnessTest, BadExitStateWitnessEndsNonAccepting) {
 
 TEST(WitnessTest, OffModeRecordsNothing) {
   GrappleOptions options;
-  options.witness = obs::WitnessMode::kOff;
+  options.observability.witness = obs::WitnessMode::kOff;
   Grapple grapple(MustParse(kLockMisorder), options);
   GrappleResult result = grapple.Check({MakeLockCheckerSpec()});
   ASSERT_EQ(result.checkers[0].reports.size(), 1u);
@@ -103,7 +103,7 @@ TEST(WitnessTest, OffModeRecordsNothing) {
 
 TEST(WitnessTest, FullModeReplaysEveryStep) {
   GrappleOptions options;
-  options.witness = obs::WitnessMode::kFull;
+  options.observability.witness = obs::WitnessMode::kFull;
   Grapple grapple(MustParse(kLeakyWriter), options);
   GrappleResult result = grapple.Check({MakeIoCheckerSpec()});
   ASSERT_EQ(result.checkers[0].reports.size(), 1u);

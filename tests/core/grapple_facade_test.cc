@@ -43,10 +43,97 @@ TEST(GrappleFacadeTest, ExplicitWorkDirIsUsedAndKept) {
   EXPECT_TRUE(std::filesystem::exists(dir.path() + "/typestate-io"));
 }
 
-TEST(GrappleFacadeTest, CheckIsSingleUse) {
+TEST(GrappleFacadeTest, SessionIsReusable) {
   Grapple analyzer(MustParse(kSmall));
+  GrappleResult first = analyzer.Check({MakeIoCheckerSpec()});
+  GrappleResult second = analyzer.Check({MakeIoCheckerSpec()});
+  ASSERT_EQ(first.checkers.size(), 1u);
+  ASSERT_EQ(second.checkers.size(), 1u);
+  ASSERT_EQ(first.checkers[0].reports.size(), second.checkers[0].reports.size());
+  EXPECT_EQ(first.checkers[0].reports[0].ToString(), second.checkers[0].reports[0].ToString());
+  // Phase 1 ran once and was reused: identical alias stats, including the
+  // wall-clock second of the original run.
+  EXPECT_EQ(first.alias.seconds, second.alias.seconds);
+  EXPECT_EQ(first.alias_pairs, second.alias_pairs);
+}
+
+TEST(GrappleFacadeTest, CheckOneReusesCachedAliasPhase) {
+  Grapple analyzer(MustParse(kSmall));
+  GrappleResult all = analyzer.Check(AllBuiltinCheckers());
+  CheckerRunResult io = analyzer.CheckOne(MakeIoCheckerSpec());
+  EXPECT_EQ(io.checker, "io");
+  ASSERT_EQ(io.reports.size(), 1u);
+  EXPECT_EQ(io.reports[0].ToString(), all.checkers[0].reports[0].ToString());
+}
+
+TEST(GrappleFacadeTest, RepeatedRunsGetDistinctWorkDirs) {
+  TempDir dir("facade-rerun");
+  GrappleOptions options;
+  options.work_dir = dir.path();
+  Grapple analyzer(MustParse(kSmall), options);
   analyzer.Check({MakeIoCheckerSpec()});
-  EXPECT_DEATH(analyzer.Check({MakeIoCheckerSpec()}), "once per instance");
+  analyzer.CheckOne(MakeIoCheckerSpec());
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/typestate-io"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/typestate-io-r1"));
+}
+
+TEST(GrappleFacadeTest, ValidateRejectsBadOptionsWithDescriptiveErrors) {
+  GrappleOptions options;
+  options.precision.loop_unroll = 0;
+  options.engine.memory_budget_bytes = 0;
+  options.engine.cache_capacity = 0;
+  std::vector<std::string> errors = options.Validate();
+  ASSERT_EQ(errors.size(), 3u);
+  bool saw_unroll = false;
+  bool saw_budget = false;
+  bool saw_cache = false;
+  for (const auto& error : errors) {
+    saw_unroll |= error.find("loop_unroll") != std::string::npos;
+    saw_budget |= error.find("memory_budget_bytes") != std::string::npos;
+    saw_cache |= error.find("cache_capacity") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_unroll);
+  EXPECT_TRUE(saw_budget);
+  EXPECT_TRUE(saw_cache);
+  EXPECT_TRUE(GrappleOptions().Validate().empty());
+  // Zero cache capacity is fine with the cache off.
+  GrappleOptions no_cache;
+  no_cache.engine.enable_cache = false;
+  no_cache.engine.cache_capacity = 0;
+  EXPECT_TRUE(no_cache.Validate().empty());
+}
+
+TEST(GrappleFacadeTest, ConstructorDiesOnInvalidOptions) {
+  GrappleOptions options;
+  options.precision.loop_unroll = 0;
+  EXPECT_DEATH(Grapple(MustParse(kSmall), options), "invalid GrappleOptions.*loop_unroll");
+}
+
+TEST(GrappleFacadeTest, FlatOptionsShimMapsOntoNestedGroups) {
+  GrappleFlatOptions flat;
+  flat.loop_unroll = 3;
+  flat.memory_budget_bytes = 123;
+  flat.num_threads = 7;
+  flat.enable_cache = false;
+  flat.cache_capacity = 99;
+  flat.max_encoding_items = 11;
+  flat.max_variants_per_triple = 5;
+  flat.work_dir = "/tmp/x";
+  flat.qualify_events_with_alias_paths = false;
+  flat.witness = obs::WitnessMode::kOff;
+  GrappleOptions nested = flat;
+  EXPECT_EQ(nested.precision.loop_unroll, 3u);
+  EXPECT_EQ(nested.engine.memory_budget_bytes, 123u);
+  EXPECT_EQ(nested.scheduling.num_threads, 7u);
+  EXPECT_FALSE(nested.engine.enable_cache);
+  EXPECT_EQ(nested.engine.cache_capacity, 99u);
+  EXPECT_EQ(nested.engine.max_encoding_items, 11u);
+  EXPECT_EQ(nested.engine.max_variants_per_triple, 5u);
+  EXPECT_EQ(nested.work_dir, "/tmp/x");
+  EXPECT_FALSE(nested.precision.qualify_events_with_alias_paths);
+  EXPECT_EQ(nested.observability.witness, obs::WitnessMode::kOff);
+  // Defaults untouched by the flat bag stay at their nested defaults.
+  EXPECT_EQ(nested.scheduling.checker_parallelism, 1u);
 }
 
 TEST(GrappleFacadeTest, ResultAggregatesAcrossPhases) {
@@ -69,7 +156,7 @@ TEST(GrappleFacadeTest, ResultAggregatesAcrossPhases) {
 TEST(GrappleFacadeTest, MultiThreadedMatchesSequential) {
   auto run = [&](size_t threads) {
     GrappleOptions options;
-    options.num_threads = threads;
+    options.scheduling.num_threads = threads;
     Grapple analyzer(MustParse(kSmall), options);
     GrappleResult result = analyzer.Check(AllBuiltinCheckers());
     std::vector<std::string> reports;
@@ -86,7 +173,7 @@ TEST(GrappleFacadeTest, MultiThreadedMatchesSequential) {
 
 TEST(GrappleFacadeTest, TinyMemoryBudgetStillCorrect) {
   GrappleOptions options;
-  options.memory_budget_bytes = 4 << 10;  // pathological: forces max spilling
+  options.engine.memory_budget_bytes = 4 << 10;  // pathological: forces max spilling
   Grapple analyzer(MustParse(kSmall), options);
   GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
   ASSERT_EQ(result.checkers[0].reports.size(), 1u);

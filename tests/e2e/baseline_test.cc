@@ -160,7 +160,7 @@ TEST(TraditionalBaselineTest, GrappleHandlesWhatTraditionalCannot) {
   EXPECT_TRUE(trad.out_of_memory);
 
   GrappleOptions options;
-  options.memory_budget_bytes = 64 << 10;
+  options.engine.memory_budget_bytes = 64 << 10;
   Grapple grapple(std::move(workload.program), options);
   GrappleResult result = grapple.Check({MakeIoCheckerSpec()});
   Classification cls = ClassifyReports(workload, "io", result.checkers[0].reports);

@@ -52,7 +52,7 @@ size_t LeakReports(bool qualify) {
   ParseResult parsed = ParseProgram(kSharedCloser);
   EXPECT_TRUE(parsed.ok) << parsed.error;
   GrappleOptions options;
-  options.qualify_events_with_alias_paths = qualify;
+  options.precision.qualify_events_with_alias_paths = qualify;
   Grapple analyzer(std::move(parsed.program), options);
   GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
   size_t leaks = 0;
@@ -101,7 +101,7 @@ TEST(EventQualificationTest, AgreesWhenAliasingUnconditional) {
     ParseResult parsed = ParseProgram(kUnconditional);
     ASSERT_TRUE(parsed.ok);
     GrappleOptions options;
-    options.qualify_events_with_alias_paths = qualify;
+    options.precision.qualify_events_with_alias_paths = qualify;
     Grapple analyzer(std::move(parsed.program), options);
     GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
     ASSERT_EQ(result.checkers[0].reports.size(), 1u) << "qualify=" << qualify;

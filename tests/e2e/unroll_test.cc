@@ -18,7 +18,7 @@ Program MustParse(const std::string& text) {
 
 size_t IoReportsAtUnroll(const std::string& text, size_t unroll) {
   GrappleOptions options;
-  options.loop_unroll = unroll;
+  options.precision.loop_unroll = unroll;
   Grapple analyzer(MustParse(text), options);
   GrappleResult result = analyzer.Check({MakeIoCheckerSpec()});
   return result.checkers[0].reports.size();
