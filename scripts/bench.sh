@@ -47,8 +47,8 @@ git_sha="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
 trajectory="${out_dir}/BENCH_trajectory.json"
 {
   printf '{"schema":"grapple.bench_trajectory.v1","schema_version":1,'
-  printf '"git_sha":"%s","checker_parallelism":%s,"benches":[' \
-    "${git_sha}" "${GRAPPLE_CHECKER_PARALLELISM}"
+  printf '"git_sha":"%s","scale":%s,"checker_parallelism":%s,"benches":[' \
+    "${git_sha}" "${GRAPPLE_SCALE:-1}" "${GRAPPLE_CHECKER_PARALLELISM}"
   first=1
   for bench in "${benches[@]}"; do
     report="${out_dir}/BENCH_${bench}.json"

@@ -15,6 +15,17 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 mode="${1:-all}"
 
+# Builds with make's directory-change chatter filtered out. The filter runs
+# in a compound command whose `|| true` only absolves grep's "no lines
+# matched" exit — under pipefail the pipeline still carries the *build's*
+# exit status, so a compile error fails the script (a bare
+# `... | grep ... || true` would swallow it).
+build_filtered() {
+  local build_dir="$1"
+  cmake --build "${build_dir}" -j "${jobs}" -- --no-print-directory 2>&1 \
+    | { grep -Ev '^(make|gmake)\[' || true; }
+}
+
 run_pass() {
   local name="$1"
   shift
@@ -22,22 +33,36 @@ run_pass() {
   echo "==> [${name}] configure"
   cmake -S "${repo_root}" -B "${build_dir}" "$@" > /dev/null
   echo "==> [${name}] build"
-  cmake --build "${build_dir}" -j "${jobs}" -- --no-print-directory 2>&1 | grep -Ev '^(make|gmake)\[' || true
+  build_filtered "${build_dir}"
   echo "==> [${name}] test"
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 }
 
 # Smoke-scale bench sweep: every bench binary at a tiny GRAPPLE_SCALE, the
-# aggregated BENCH_trajectory.json, and one decoded-witness JSON report from
-# the example front door — the artifacts CI uploads.
+# aggregated BENCH_trajectory.json gated against the committed baseline,
+# and one decoded-witness JSON report from the example front door — the
+# artifacts CI uploads.
 run_bench_smoke() {
   local build_dir="${repo_root}/build-ci-release"
   local out_dir="${build_dir}/bench-reports"
   echo "==> [bench] configure + build"
   cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
-  cmake --build "${build_dir}" -j "${jobs}" -- --no-print-directory 2>&1 | grep -Ev '^(make|gmake)\[' || true
+  build_filtered "${build_dir}"
   echo "==> [bench] smoke sweep (GRAPPLE_SCALE=${GRAPPLE_SCALE:-0.1})"
   GRAPPLE_SCALE="${GRAPPLE_SCALE:-0.1}" "${repo_root}/scripts/bench.sh" "${build_dir}" "${out_dir}"
+  echo "==> [bench] perf-regression gate"
+  python3 "${repo_root}/scripts/check_bench.py" \
+    --baseline "${repo_root}/bench/BENCH_baseline.json" \
+    "${out_dir}/BENCH_trajectory.json"
+  # The gate must actually gate: an injected 2x regression has to fail.
+  if python3 "${repo_root}/scripts/check_bench.py" \
+      --baseline "${repo_root}/bench/BENCH_baseline.json" \
+      --inject-regression 2.0 \
+      "${out_dir}/BENCH_trajectory.json" > /dev/null 2>&1; then
+    echo "check_bench self-test FAILED: injected regression passed the gate" >&2
+    exit 1
+  fi
+  echo "==> [bench] gate self-test ok (injected regression rejected)"
   echo "==> [bench] sample witness report"
   GRAPPLE_WITNESS=bugs "${build_dir}/examples/analyze_file" \
     "${repo_root}/examples/testdata/leaky.grap" --json \

@@ -54,6 +54,7 @@ EngineOptions EngineOptionsFrom(const GrappleOptions& options) {
   engine_options.memory_budget_bytes = options.engine.memory_budget_bytes;
   engine_options.num_threads = options.scheduling.num_threads;
   engine_options.max_variants_per_triple = options.engine.max_variants_per_triple;
+  engine_options.io_pipeline = options.engine.io_pipeline;
   return engine_options;
 }
 

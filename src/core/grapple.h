@@ -71,6 +71,11 @@ struct GrappleOptions {
     // Simulated latency sleeps (out-of-process solver endpoint) instead of
     // busy-waiting (in-process solver). See IntervalOracle::Options.
     bool simulated_solve_blocks = false;
+    // Pipelined partition I/O: write-behind, schedule-driven prefetch, and
+    // the compact block file format (see EngineOptions.io_pipeline and
+    // DESIGN.md). Results are byte-identical either way; GRAPPLE_IO_PIPELINE
+    // overrides at engine construction.
+    bool io_pipeline = true;
   };
 
   // Precision/soundness trade-offs of the program abstraction.

@@ -18,7 +18,9 @@ bool DeserializeEdge(ByteReader* reader, EdgeRecord* edge) {
   edge->dst = static_cast<VertexId>(reader->GetVarint64());
   edge->label = static_cast<Label>(reader->GetVarint64());
   uint64_t len = reader->GetVarint64();
-  if (!reader->ok()) {
+  // Bounds-check before resize: a corrupt length varint must not drive a
+  // multi-gigabyte allocation.
+  if (!reader->ok() || len > reader->remaining()) {
     return false;
   }
   edge->payload.resize(len);

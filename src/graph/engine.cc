@@ -125,7 +125,9 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
       h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
       c_witnesses_decoded_(metrics_.Counter("witnesses_decoded")),
       h_witness_decode_ns_(metrics_.Histogram("witness_decode_ns")),
-      store_(options_.work_dir, &profiler_, &metrics_),
+      store_(options_.work_dir, &profiler_, &metrics_,
+             PartitionStorePipeline{ResolveIoPipeline(options_.io_pipeline),
+                                    options_.budget_lease, options_.memory_budget_bytes}),
       pool_(ResolveThreadCount(options_.num_threads)) {
   obs::InitTracingFromEnv();
   metrics_.SetGauge("engine_budget_bytes", static_cast<double>(BudgetBytes()));
@@ -326,8 +328,19 @@ void GraphEngine::Run() {
     if (!found) {
       break;
     }
+    // Read ahead: prefetch the pair the scan would pick next (exact when
+    // this pair converges without writes — the common case during the final
+    // fixpoint sweep) so its partitions load from cache.
+    size_t next_i = 0;
+    size_t next_j = 0;
+    if (store_.pipeline_enabled() && PredictNextPair(pick_i, pick_j, &next_i, &next_j)) {
+      store_.Hint({next_i, next_j});
+    }
     ProcessPair(pick_i, pick_j);
   }
+  // Write-behind barrier: the on-disk state must be complete when Run()
+  // returns (result iteration, witness decoding, external readers).
+  store_.Sync();
   if (provenance_ != nullptr) {
     provenance_->Flush();
   }
@@ -340,6 +353,27 @@ void GraphEngine::Run() {
   // truth; the legacy named fields become a view over it.
   stats_.metrics = Metrics();
   stats_.SyncFromMetrics();
+}
+
+bool GraphEngine::PredictNextPair(size_t pi, size_t pj, size_t* next_i, size_t* next_j) const {
+  // Mirror the Run() scan, starting just past (pi, pj): assuming that pair
+  // converges (no version bumps, no splits), the first stale pair after it
+  // is exactly what the scheduler picks next.
+  size_t n = store_.NumPartitions();
+  size_t i = pi;
+  size_t j = pj + 1;
+  for (; i < n; ++i, j = i) {
+    for (; j < n; ++j) {
+      auto versions = std::make_pair(store_.Info(i).version, store_.Info(j).version);
+      auto it = pair_done_.find({i, j});
+      if (it == pair_done_.end() || it->second != versions) {
+        *next_i = i;
+        *next_j = j;
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 obs::MetricsSnapshot GraphEngine::Metrics() const {

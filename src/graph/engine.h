@@ -48,6 +48,10 @@ struct EngineOptions {
   // Worker threads for the join loop (1 = sequential, 0 = hardware
   // concurrency; GRAPPLE_THREADS overrides — see support/env.h).
   size_t num_threads = 1;
+  // Pipelined partition I/O: write-behind, schedule-driven prefetch, and
+  // the compact block file format (see partition_store.h and DESIGN.md).
+  // Results are byte-identical either way; GRAPPLE_IO_PIPELINE overrides.
+  bool io_pipeline = true;
   // Per-(src,dst,label) cap on distinct payload variants; reaching it
   // widens the triple to the always-true payload. Guarantees termination
   // and bounds path-variant blow-up (engineering addition; see DESIGN.md).
@@ -165,6 +169,10 @@ class GraphEngine : public EdgeSink {
   class LoadedPair;
 
   void ProcessPair(size_t pi, size_t pj);
+  // The pair the Run() scheduler would pick next if processing (pi, pj)
+  // produces no writes: the first stale pair after it in scan order.
+  // Feeds the store's prefetcher; returns false when no such pair exists.
+  bool PredictNextPair(size_t pi, size_t pj, size_t* next_i, size_t* next_j) const;
   // Current soft memory cap: the lease size when scheduled under a budget
   // arbiter, the static option otherwise.
   uint64_t BudgetBytes() const;

@@ -1,15 +1,24 @@
 #include "src/graph/partition_store.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/graph/partition_codec.h"
 #include "src/obs/trace.h"
 #include "src/support/logging.h"
 
 namespace grapple {
 
+namespace {
+
+// Floor for the prefetch cache so tiny budgets still allow one read-ahead.
+constexpr uint64_t kMinCacheBytes = uint64_t{1} << 20;
+
+}  // namespace
+
 PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
-                               obs::MetricsRegistry* metrics)
-    : dir_(std::move(dir)), profiler_(profiler), metrics_(metrics) {
+                               obs::MetricsRegistry* metrics, PartitionStorePipeline pipeline)
+    : dir_(std::move(dir)), profiler_(profiler), metrics_(metrics), pipeline_(pipeline) {
   if (metrics_ != nullptr) {
     c_bytes_read_ = metrics_->Counter("io_bytes_read");
     c_bytes_written_ = metrics_->Counter("io_bytes_written");
@@ -17,6 +26,23 @@ PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
     c_writes_ = metrics_->Counter("io_partition_writes");
     c_appends_ = metrics_->Counter("io_partition_appends");
     c_splits_ = metrics_->Counter("io_partition_splits");
+    c_compressed_bytes_ = metrics_->Counter("io_compressed_bytes");
+    c_prefetch_hits_ = metrics_->Counter("io_prefetch_hits");
+    c_write_cache_hits_ = metrics_->Counter("io_write_cache_hits");
+    c_prefetch_wasted_ = metrics_->Counter("io_prefetch_wasted");
+    c_prefetch_issued_ = metrics_->Counter("io_prefetch_issued");
+    c_cache_borrows_ = metrics_->Counter("io_cache_budget_borrows");
+  }
+  if (pipeline_.enabled) {
+    io_pool_ = std::make_unique<ThreadPool>(1);
+  }
+}
+
+PartitionStore::~PartitionStore() {
+  if (io_pool_ != nullptr) {
+    // Drain write-behind so the on-disk state is complete before the pool
+    // (and the rest of the store) is torn down.
+    io_pool_->Wait();
   }
 }
 
@@ -24,19 +50,147 @@ std::string PartitionStore::FileFor(VertexId lo) const {
   return dir_ + "/part-" + std::to_string(lo) + "-" + std::to_string(file_counter_) + ".edges";
 }
 
-void PartitionStore::WriteEdges(const std::string& path, const std::vector<EdgeRecord>& edges,
-                                uint64_t* bytes) {
-  ScopedPhase phase(profiler_, "io");
-  obs::ScopedSpan span("partition_write", "io");
-  std::vector<uint8_t> buffer;
-  for (const auto& edge : edges) {
-    SerializeEdge(edge, &buffer);
+uint64_t PartitionStore::CacheCapacity() const {
+  uint64_t budget = pipeline_.budget_lease != nullptr ? pipeline_.budget_lease->bytes()
+                                                      : pipeline_.budget_bytes;
+  return std::max(budget / 4, kMinCacheBytes) + cache_borrowed_;
+}
+
+void PartitionStore::Enqueue(std::function<void()> fn) {
+  int64_t depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (metrics_ != nullptr) {
+    metrics_->MaxGauge("io_queue_depth_peak", static_cast<double>(depth));
   }
-  GRAPPLE_CHECK(WriteFileBytes(path, buffer)) << "failed to write partition " << path;
-  *bytes = buffer.size();
+  io_pool_->Schedule([this, fn = std::move(fn)] {
+    fn();
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  });
+}
+
+void PartitionStore::Sync() {
+  if (io_pool_ == nullptr) {
+    return;
+  }
+  ScopedPhase phase(profiler_, "io");
+  obs::ScopedSpan span("io_sync", "io");
+  io_pool_->Wait();
+}
+
+void PartitionStore::InvalidateCache(const std::string& path) {
+  if (io_pool_ == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(path);
+  if (it == cache_.end()) {
+    return;
+  }
+  // Only a hint-initiated read that was never consumed counts as wasted
+  // prefetch work; write-back entries cost nothing extra to install.
+  if (it->second.from_prefetch && it->second.hits == 0 && metrics_ != nullptr) {
+    metrics_->Add(c_prefetch_wasted_);
+  }
+  cache_bytes_ -= it->second.charge;
+  cache_.erase(it);
+}
+
+void PartitionStore::CachePut(const std::string& path, uint64_t version, uint64_t charge,
+                              std::shared_ptr<const std::vector<EdgeRecord>> content) {
+  if (io_pool_ == nullptr || content == nullptr) {
+    return;
+  }
+  charge = std::max<uint64_t>(charge, 1);
+  if (cache_bytes_ + charge > CacheCapacity()) {
+    return;  // no room: the partition stays disk-only until hinted
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // The caller invalidated any previous entry for this path, so this insert
+  // is fresh.
+  CacheEntry& entry = cache_[path];
+  entry.version = version;
+  entry.charge = charge;
+  entry.ready = true;
+  entry.failed = false;
+  entry.from_prefetch = false;
+  entry.hits = 0;
+  entry.edges = std::move(content);
+  cache_bytes_ += charge;
+}
+
+std::vector<EdgeRecord> PartitionStore::DecodeOrDie(const std::string& path,
+                                                    const std::vector<uint8_t>& bytes,
+                                                    uint64_t edges_hint) const {
+  std::vector<EdgeRecord> edges;
+  edges.reserve(edges_hint);
+  PartitionDecodeStatus status = DecodePartitionBytes(path, bytes, &edges);
+  GRAPPLE_CHECK(status.ok) << "partition file corrupt: " << status.error;
+  return edges;
+}
+
+uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeRecord> edges,
+                                      bool rewrite, const char* span_name,
+                                      std::shared_ptr<const std::vector<EdgeRecord>>* content) {
+  ScopedPhase phase(profiler_, "io");
+  obs::ScopedSpan span(span_name, "io");
+  if (!pipeline_.enabled) {
+    std::vector<uint8_t> buffer;
+    for (const auto& edge : edges) {
+      SerializeEdge(edge, &buffer);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add(c_bytes_written_, buffer.size());
+    }
+    bool ok = rewrite ? WriteFileBytes(path, buffer) : AppendFileBytes(path, buffer);
+    GRAPPLE_CHECK(ok) << "failed to " << (rewrite ? "write" : "append to") << " partition "
+                      << path;
+    return buffer.size();
+  }
+  // Write-behind: the caller only pays for handing the edges over; the block
+  // encode and the file write both run on the I/O worker. Ownership is
+  // shared between the queued task and the caller's write-back cache entry,
+  // so no copy is made on either side. Metadata is charged the raw-format
+  // size so partition layout decisions are identical to the synchronous
+  // path.
+  uint64_t raw_bytes = RawFormatBytes(edges);
+  auto shared = std::make_shared<const std::vector<EdgeRecord>>(std::move(edges));
+  if (content != nullptr) {
+    *content = shared;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++pending_writes_[path];
+  }
+  Enqueue([this, path, rewrite, edges = std::move(shared)] {
+    obs::ScopedSpan flush_span(rewrite ? "partition_flush_write" : "partition_flush_append",
+                               "io");
+    std::vector<uint8_t> buffer;
+    if (rewrite) {
+      AppendBlockFileHeader(&buffer);
+    }
+    AppendEdgeBlock(*edges, &buffer, nullptr);
+    if (metrics_ != nullptr) {
+      // Thread-sharded counters; safe off the foreground thread.
+      metrics_->Add(c_compressed_bytes_, buffer.size());
+      metrics_->Add(c_bytes_written_, buffer.size());
+    }
+    bool ok = rewrite ? WriteFileBytes(path, buffer) : AppendFileBytes(path, buffer);
+    GRAPPLE_CHECK(ok) << "failed to " << (rewrite ? "write" : "append to") << " partition "
+                      << path;
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = pending_writes_.find(path);
+    if (it != pending_writes_.end() && --it->second == 0) {
+      pending_writes_.erase(it);
+    }
+  });
+  return raw_bytes;
+}
+
+void PartitionStore::WriteEdges(const std::string& path, std::vector<EdgeRecord> edges,
+                                uint64_t* bytes,
+                                std::shared_ptr<const std::vector<EdgeRecord>>* content) {
+  *bytes = WriteOrQueue(path, std::move(edges), /*rewrite=*/true, "partition_write", content);
   if (metrics_ != nullptr) {
     metrics_->Add(c_writes_);
-    metrics_->Add(c_bytes_written_, buffer.size());
   }
 }
 
@@ -79,10 +233,12 @@ void PartitionStore::Initialize(std::vector<EdgeRecord> edges, VertexId num_vert
     info.path = FileFor(info.lo);
     std::vector<EdgeRecord> chunk(edges.begin() + static_cast<ptrdiff_t>(begin),
                                   edges.begin() + static_cast<ptrdiff_t>(end));
-    WriteEdges(info.path, chunk, &info.bytes);
     info.edges = chunk.size();
+    std::shared_ptr<const std::vector<EdgeRecord>> content;
+    WriteEdges(info.path, std::move(chunk), &info.bytes, &content);
     info.version = 1;
     info.segments = {{1, info.edges}};
+    CachePut(info.path, info.version, info.bytes, std::move(content));
     partitions_.push_back(std::move(info));
     begin = end;
     interval_lo = partitions_.back().hi;
@@ -114,55 +270,164 @@ size_t PartitionStore::PartitionOf(VertexId v) const {
   return 0;
 }
 
+void PartitionStore::Hint(const std::vector<size_t>& next_indices) {
+  if (io_pool_ == nullptr) {
+    return;
+  }
+  obs::ScopedSpan span("partition_hint", "io");
+  for (size_t index : next_indices) {
+    if (index >= partitions_.size()) {
+      continue;
+    }
+    const PartitionInfo& info = partitions_[index];
+    uint64_t need = std::max<uint64_t>(info.bytes, 1);
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(info.path);
+      if (it != cache_.end() && it->second.version == info.version) {
+        continue;  // already cached or in flight
+      }
+    }
+    if (cache_bytes_ + need > CacheCapacity()) {
+      // Try to borrow headroom from the shared budget before giving up on
+      // the read-ahead. The lease is only ever touched from this thread.
+      BudgetLease* lease = pipeline_.budget_lease;
+      if (lease == nullptr || !lease->TryGrowTo(lease->bytes() + need)) {
+        continue;
+      }
+      cache_borrowed_ += need;
+      if (metrics_ != nullptr) {
+        metrics_->Add(c_cache_borrows_);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      CacheEntry& entry = cache_[info.path];
+      entry.version = info.version;
+      entry.charge = need;
+      entry.ready = false;
+      entry.failed = false;
+      entry.from_prefetch = true;
+      entry.hits = 0;
+      entry.edges.reset();
+      cache_bytes_ += need;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Add(c_prefetch_issued_);
+    }
+    // The read queues behind every pending write (1-thread FIFO), so it
+    // observes the partition exactly as a foreground load would.
+    Enqueue([this, path = info.path, version = info.version, edges_hint = info.edges] {
+      obs::ScopedSpan prefetch_span("partition_prefetch", "io");
+      std::vector<uint8_t> bytes;
+      bool read_ok = ReadFileBytes(path, &bytes);
+      if (read_ok && metrics_ != nullptr) {
+        metrics_->Add(c_bytes_read_, bytes.size());
+      }
+      std::vector<EdgeRecord> edges;
+      edges.reserve(edges_hint);
+      bool decode_ok =
+          read_ok && DecodePartitionBytes(path, bytes, &edges).ok;
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(path);
+      if (it == cache_.end() || it->second.version != version) {
+        return;  // invalidated while in flight; drop the result
+      }
+      it->second.ready = true;
+      if (decode_ok) {
+        it->second.edges = std::make_shared<const std::vector<EdgeRecord>>(std::move(edges));
+      } else {
+        // Leave diagnosis to the foreground fallback, which re-reads and
+        // fails with the full decode error.
+        it->second.failed = true;
+      }
+    });
+  }
+}
+
 std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
   ScopedPhase phase(profiler_, "io");
   obs::ScopedSpan span("partition_load", "io");
+  const PartitionInfo& info = partitions_[index];
+  if (io_pool_ != nullptr) {
+    bool pending = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(info.path);
+      if (it != cache_.end() && it->second.version == info.version) {
+        if (it->second.ready && !it->second.failed) {
+          ++it->second.hits;
+          if (metrics_ != nullptr) {
+            metrics_->Add(it->second.from_prefetch ? c_prefetch_hits_ : c_write_cache_hits_);
+            metrics_->Add(c_loads_);
+          }
+          return *it->second.edges;  // copy; the entry stays until stale
+        }
+        pending = !it->second.ready;
+      }
+    }
+    if (pending) {
+      // The prefetch read is queued (or running); wait it out instead of
+      // issuing a duplicate foreground read.
+      io_pool_->Wait();
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(info.path);
+      if (it != cache_.end() && it->second.version == info.version && it->second.ready &&
+          !it->second.failed) {
+        ++it->second.hits;
+        if (metrics_ != nullptr) {
+          metrics_->Add(c_prefetch_hits_);
+          metrics_->Add(c_loads_);
+        }
+        return *it->second.edges;
+      }
+    }
+    // Miss (or failed prefetch): read in the foreground. The queue only has
+    // to drain when this file itself has unfinished queued writes — other
+    // files' pending work cannot affect what this read returns.
+    bool pending_write;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      pending_write = pending_writes_.count(info.path) > 0;
+    }
+    if (pending_write) {
+      io_pool_->Wait();
+    }
+  }
   std::vector<uint8_t> bytes;
-  GRAPPLE_CHECK(ReadFileBytes(partitions_[index].path, &bytes))
-      << "failed to read partition " << partitions_[index].path;
+  GRAPPLE_CHECK(ReadFileBytes(info.path, &bytes)) << "failed to read partition " << info.path;
   if (metrics_ != nullptr) {
     metrics_->Add(c_loads_);
     metrics_->Add(c_bytes_read_, bytes.size());
   }
-  std::vector<EdgeRecord> edges;
-  edges.reserve(partitions_[index].edges);
-  ByteReader reader(bytes);
-  EdgeRecord edge;
-  while (DeserializeEdge(&reader, &edge)) {
-    edges.push_back(std::move(edge));
-    edge = EdgeRecord();
-  }
-  return edges;
+  return DecodeOrDie(info.path, bytes, info.edges);
 }
 
 void PartitionStore::Rewrite(size_t index, const std::vector<EdgeRecord>& edges) {
   PartitionInfo& info = partitions_[index];
-  WriteEdges(info.path, edges, &info.bytes);
+  InvalidateCache(info.path);
+  std::shared_ptr<const std::vector<EdgeRecord>> content;
+  WriteEdges(info.path, edges, &info.bytes, &content);
   info.edges = edges.size();
   ++info.version;
   // Rewrites preserve the prefix order of previously recorded edges (the
   // engine serializes its loaded set in load order), so older segment
   // boundaries stay valid.
   info.segments.emplace_back(info.version, info.edges);
+  CachePut(info.path, info.version, info.bytes, std::move(content));
 }
 
 void PartitionStore::Append(size_t index, const std::vector<EdgeRecord>& edges) {
   if (edges.empty()) {
     return;
   }
-  ScopedPhase phase(profiler_, "io");
-  obs::ScopedSpan span("partition_append", "io");
-  std::vector<uint8_t> buffer;
-  for (const auto& edge : edges) {
-    SerializeEdge(edge, &buffer);
-  }
   PartitionInfo& info = partitions_[index];
-  GRAPPLE_CHECK(AppendFileBytes(info.path, buffer)) << "failed to append to " << info.path;
+  InvalidateCache(info.path);
+  uint64_t bytes = WriteOrQueue(info.path, edges, /*rewrite=*/false, "partition_append");
   if (metrics_ != nullptr) {
     metrics_->Add(c_appends_);
-    metrics_->Add(c_bytes_written_, buffer.size());
   }
-  info.bytes += buffer.size();
+  info.bytes += bytes;
   info.edges += edges.size();
   ++info.version;
   info.segments.emplace_back(info.version, info.edges);
@@ -224,14 +489,22 @@ size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edg
   if (metrics_ != nullptr) {
     metrics_->Add(c_splits_);
   }
-  RemoveFile(original.path);
+  InvalidateCache(original.path);
+  if (pipeline_.enabled) {
+    // Queued so the removal happens after any pending append to the file.
+    Enqueue([path = original.path] { RemoveFile(path); });
+  } else {
+    RemoveFile(original.path);
+  }
   for (size_t i = 0; i < pieces.size(); ++i) {
     ++file_counter_;
     pieces[i].path = FileFor(pieces[i].lo);
-    WriteEdges(pieces[i].path, piece_edges[i], &pieces[i].bytes);
     pieces[i].edges = piece_edges[i].size();
+    std::shared_ptr<const std::vector<EdgeRecord>> content;
+    WriteEdges(pieces[i].path, std::move(piece_edges[i]), &pieces[i].bytes, &content);
     pieces[i].version = original.version + 1;
     pieces[i].segments = {{pieces[i].version, pieces[i].edges}};
+    CachePut(pieces[i].path, pieces[i].version, pieces[i].bytes, std::move(content));
   }
   partitions_.erase(partitions_.begin() + static_cast<ptrdiff_t>(index));
   partitions_.insert(partitions_.begin() + static_cast<ptrdiff_t>(index), pieces.begin(),

@@ -6,15 +6,38 @@
 // partition that is not loaded are appended as deltas; rewriting a partition
 // compacts base + deltas. Oversized partitions are split ("repartitioning")
 // so that any two partitions still fit the memory budget together.
+//
+// Pipelined mode (see DESIGN.md, "Pipelined partition I/O"): when enabled,
+// every disk operation runs on a single background I/O worker in program
+// order — Rewrite/Append/SplitAndRewrite hand their edges to the worker,
+// which encodes them (compact block format, src/graph/partition_codec.h)
+// and writes the file (write-behind); Hint() queues read-ahead of upcoming
+// partitions into a budget-bounded cache — the same cache that retains
+// just-written partition images (write-back), so a Load of recently
+// written or hinted data never touches disk; a cold miss reads in the
+// foreground, draining the queue first only when the file itself has
+// queued writes (tracked per path). Because the worker is a
+// 1-thread FIFO, a queued read always observes every earlier queued write,
+// so results are byte-identical to the synchronous path. Metadata
+// (bytes/edges/version/segments) is updated at enqueue time on the caller's
+// thread — charged at raw-format size in both modes, so partition layout
+// decisions are mode-independent — and is never touched by the worker.
 #ifndef GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_
 #define GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/graph/edge.h"
 #include "src/obs/metrics.h"
+#include "src/support/budget_arbiter.h"
+#include "src/support/thread_pool.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -32,12 +55,31 @@ struct PartitionInfo {
   std::vector<std::pair<uint64_t, uint64_t>> segments;
 };
 
+// Pipelining knobs, normally filled in from EngineOptions. Default
+// construction means fully synchronous legacy behavior (raw record files,
+// no worker thread) — what existing tests construct.
+struct PartitionStorePipeline {
+  // Enables write-behind + prefetch + the compact block format.
+  bool enabled = false;
+  // Optional shared budget (must outlive the store; only ever touched from
+  // the store's owning thread): the prefetch cache tries to grow the lease
+  // before turning a Hint away. May be null even when enabled.
+  BudgetLease* budget_lease = nullptr;
+  // Fallback budget when no lease is present. The prefetch cache is sized
+  // at budget/4 — one partition-target's worth of read-ahead.
+  uint64_t budget_bytes = uint64_t{64} << 20;
+};
+
 class PartitionStore {
  public:
-  // `dir` must exist; `profiler` (optional) receives "io" time; `metrics`
-  // (optional) receives io_* counters (bytes and operation counts).
+  // `dir` must exist; `profiler` (optional) receives "io" time (foreground
+  // blocking time only — background worker time is deliberately excluded);
+  // `metrics` (optional) receives io_* counters (bytes and operation
+  // counts), which keep their on-disk meaning in both modes.
   PartitionStore(std::string dir, PhaseProfiler* profiler,
-                 obs::MetricsRegistry* metrics = nullptr);
+                 obs::MetricsRegistry* metrics = nullptr,
+                 PartitionStorePipeline pipeline = {});
+  ~PartitionStore();
 
   // Creates the initial layout from base edges, targeting `target_bytes`
   // per partition. Consumes `edges`.
@@ -46,6 +88,7 @@ class PartitionStore {
   size_t NumPartitions() const { return partitions_.size(); }
   const PartitionInfo& Info(size_t index) const { return partitions_[index]; }
   VertexId num_vertices() const { return num_vertices_; }
+  bool pipeline_enabled() const { return pipeline_.enabled; }
 
   // Where the engine's derivation-provenance log lives: next to the
   // partition files, so one work dir holds a run's full on-disk state.
@@ -54,7 +97,9 @@ class PartitionStore {
   // Index of the partition owning vertex `v`.
   size_t PartitionOf(VertexId v) const;
 
-  // Reads a partition (base file including appended deltas).
+  // Reads a partition (base file including appended deltas). In pipelined
+  // mode the prefetch cache is consulted first; a miss drains the I/O queue
+  // (so pending writes to the file land) and reads in the foreground.
   std::vector<EdgeRecord> Load(size_t index);
 
   // Rewrites a partition's file with exactly `edges`.
@@ -70,6 +115,17 @@ class PartitionStore {
   // interval now spans.
   size_t SplitAndRewrite(size_t index, std::vector<EdgeRecord> edges, uint64_t target_bytes);
 
+  // Read-ahead hint: the engine expects to Load these partitions soon.
+  // Queues background reads (behind all pending writes, so they see current
+  // data) into the cache, as capacity — possibly borrowed from the budget
+  // lease — allows. No-op when pipelining is off.
+  void Hint(const std::vector<size_t>& next_indices);
+
+  // Barrier: blocks until every queued write/read has hit the filesystem
+  // or the cache. Cheap when the queue is empty. No-op when pipelining is
+  // off. Counted as foreground "io" time.
+  void Sync();
+
   // Cumulative edge count of partition `index` as of `version` (0 when the
   // partition's history does not reach back that far, e.g. after a split).
   uint64_t EdgesAtVersion(size_t index, uint64_t version) const;
@@ -78,8 +134,52 @@ class PartitionStore {
   uint64_t TotalEdges() const;
 
  private:
+  // A cached partition image, keyed by file path. Two origins: write-back
+  // (Rewrite/Initialize/Split install the just-written content, sharing the
+  // vector with the queued encode+write — no copy) and prefetch (Hint
+  // queues a read; the worker fills `edges` and flips `ready`). The
+  // foreground invalidates entries whose source file is mutated or
+  // replaced; the shared_ptr keeps a vector alive for an in-flight encode
+  // even after its entry is gone.
+  struct CacheEntry {
+    uint64_t version = 0;        // partition version captured at insert
+    uint64_t charge = 0;         // bytes charged against the cache budget
+    bool ready = false;          // content present (always true: write-back)
+    bool failed = false;         // prefetch read/decode failed; Load falls back
+    bool from_prefetch = false;  // attributes hits/waste to the right counter
+    uint64_t hits = 0;
+    std::shared_ptr<const std::vector<EdgeRecord>> edges;
+  };
+
   std::string FileFor(VertexId lo) const;
-  void WriteEdges(const std::string& path, const std::vector<EdgeRecord>& edges, uint64_t* bytes);
+  // Writes `edges` to the file (`rewrite` truncates, else appends) — either
+  // synchronously in raw format, or queued to the worker which encodes the
+  // block format and writes behind the caller's back. Returns the
+  // raw-format byte count in both modes (the metadata charge), so layout
+  // decisions never depend on the mode; on-disk counters (io_bytes_written,
+  // io_compressed_bytes) are bumped where the write actually happens.
+  // `content` (optional, pipelined mode only) receives shared ownership of
+  // the written edges, for the caller to install as a write-back cache
+  // entry once it knows the new partition version.
+  uint64_t WriteOrQueue(const std::string& path, std::vector<EdgeRecord> edges, bool rewrite,
+                        const char* span_name,
+                        std::shared_ptr<const std::vector<EdgeRecord>>* content = nullptr);
+  void WriteEdges(const std::string& path, std::vector<EdgeRecord> edges, uint64_t* bytes,
+                  std::shared_ptr<const std::vector<EdgeRecord>>* content = nullptr);
+  // Installs a ready write-back entry for `path` at `version`, if the cache
+  // has room. No-op in legacy mode or when `content` is null.
+  void CachePut(const std::string& path, uint64_t version, uint64_t charge,
+                std::shared_ptr<const std::vector<EdgeRecord>> content);
+  // Queues `fn` on the I/O worker, maintaining the queue-depth gauge.
+  void Enqueue(std::function<void()> fn);
+  // Drops the cache entry for `path` (if any), counting it as wasted when
+  // it was never consumed. Caller holds no locks.
+  void InvalidateCache(const std::string& path);
+  // Decodes partition bytes, failing the process with the decoded
+  // diagnostic on corruption.
+  std::vector<EdgeRecord> DecodeOrDie(const std::string& path, const std::vector<uint8_t>& bytes,
+                                      uint64_t edges_hint) const;
+  uint64_t CacheCapacity() const;
 
   std::string dir_;
   PhaseProfiler* profiler_;
@@ -90,9 +190,31 @@ class PartitionStore {
   obs::MetricId c_writes_ = obs::kInvalidMetric;
   obs::MetricId c_appends_ = obs::kInvalidMetric;
   obs::MetricId c_splits_ = obs::kInvalidMetric;
+  obs::MetricId c_compressed_bytes_ = obs::kInvalidMetric;
+  obs::MetricId c_prefetch_hits_ = obs::kInvalidMetric;
+  obs::MetricId c_write_cache_hits_ = obs::kInvalidMetric;
+  obs::MetricId c_prefetch_wasted_ = obs::kInvalidMetric;
+  obs::MetricId c_prefetch_issued_ = obs::kInvalidMetric;
+  obs::MetricId c_cache_borrows_ = obs::kInvalidMetric;
+  PartitionStorePipeline pipeline_;
   VertexId num_vertices_ = 0;
   std::vector<PartitionInfo> partitions_;  // sorted by lo, contiguous
   uint64_t file_counter_ = 0;
+
+  // --- pipelined-mode state. `cache_mutex_` guards `cache_` and
+  // `pending_writes_`; everything else below is foreground-only. The worker
+  // pool is the last member so its destructor drains the queue while the
+  // rest of the store is alive.
+  std::mutex cache_mutex_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  // Count of queued-but-unfinished writes per file. A Load miss only has to
+  // drain the I/O queue when its file appears here; otherwise the on-disk
+  // bytes are complete and the read can proceed immediately.
+  std::unordered_map<std::string, uint64_t> pending_writes_;
+  uint64_t cache_bytes_ = 0;     // foreground-only: sum of charges
+  uint64_t cache_borrowed_ = 0;  // capacity borrowed from the lease
+  std::atomic<int64_t> queue_depth_{0};
+  std::unique_ptr<ThreadPool> io_pool_;  // 1 thread => FIFO program order
 };
 
 }  // namespace grapple

@@ -63,4 +63,6 @@ size_t ResolveThreadCount(size_t requested) {
   return requested == 0 ? HardwareThreads() : requested;
 }
 
+bool ResolveIoPipeline(bool requested) { return EnvBool("GRAPPLE_IO_PIPELINE", requested); }
+
 }  // namespace grapple

@@ -18,6 +18,12 @@
 //                            worker-thread option (EngineOptions.num_threads,
 //                            GrappleOptions::Scheduling::num_threads) at the
 //                            point the pool is sized; see ResolveThreadCount
+//   GRAPPLE_IO_PIPELINE      on|off: overrides the pipelined-partition-I/O
+//                            option (EngineOptions.io_pipeline) outright at
+//                            the point the store is built; results are
+//                            byte-identical either way — the knob exists for
+//                            A/B timing and for disabling the background I/O
+//                            thread; see ResolveIoPipeline
 //
 // Thread-count convention: a thread-count option of 0 means "use the
 // hardware concurrency" — uniformly, wherever a pool is sized. Call sites
@@ -48,6 +54,10 @@ size_t HardwareThreads();
 // Resolves a worker-thread-count option: GRAPPLE_THREADS (positive integer)
 // overrides `requested` outright; otherwise 0 selects HardwareThreads().
 size_t ResolveThreadCount(size_t requested);
+
+// Resolves the pipelined-I/O option: GRAPPLE_IO_PIPELINE (on/off) overrides
+// `requested` outright when set.
+bool ResolveIoPipeline(bool requested);
 
 }  // namespace grapple
 
