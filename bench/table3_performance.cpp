@@ -12,6 +12,8 @@
 
 #include "bench/bench_util.h"
 #include "src/checker/report_json.h"
+#include "src/support/byte_io.h"
+#include "src/support/env.h"
 
 namespace grapple {
 namespace {
@@ -248,6 +250,105 @@ void RunIoPipelineComparison(obs::BenchReport* bench, const WorkloadConfig& pres
   bench->Add(std::move(pipeline));
 }
 
+// A/B of crash-safe checkpointing (DESIGN.md §11) against a plain run on
+// one spilling subject. The checkpointing run quiesces I/O and publishes a
+// manifest every kDefaultCheckpointInterval partition pairs plus once at
+// the fixpoint; the gate is the fraction of its wall time spent inside the
+// "ckpt" phase (quiesce + encode + fsync + rename + GC), which must stay
+// under 5% — the wall-clock A/B delta is recorded alongside but jitters too
+// much at smoke scale to gate. Reports must be byte-identical across modes.
+// GRAPPLE_CHECKPOINT / GRAPPLE_CHECKPOINT_INTERVAL override the option at
+// engine construction, so both are unset around the runs and restored.
+void RunCheckpointOverhead(obs::BenchReport* bench, const WorkloadConfig& preset) {
+  const char* saved_names[] = {"GRAPPLE_CHECKPOINT", "GRAPPLE_CHECKPOINT_INTERVAL",
+                               "GRAPPLE_CHECKPOINT_SPACING"};
+  std::string saved_values[3];
+  bool had_env[3] = {false, false, false};
+  for (int i = 0; i < 3; ++i) {
+    const char* env = std::getenv(saved_names[i]);
+    if (env != nullptr) {
+      had_env[i] = true;
+      saved_values[i] = env;
+      unsetenv(saved_names[i]);
+    }
+  }
+
+  GrappleOptions options;
+  options.engine.memory_budget_bytes = EnvSize("GRAPPLE_IO_BUDGET_BYTES", size_t{1} << 14);
+  Workload workload = GenerateWorkload(preset);
+
+  struct ModeRun {
+    GrappleResult result;
+    double total_seconds = 0;
+    double ckpt_seconds = 0;
+    double ckpt_written = 0;
+    double ckpt_bytes = 0;
+  };
+  auto run_mode = [&](uint32_t interval) {
+    TempDir work_dir("bench-ckpt");
+    GrappleOptions mode_options = options;
+    mode_options.work_dir = work_dir.path();
+    mode_options.robustness.checkpoint_interval = interval;
+    Program program = workload.program;
+    ModeRun run;
+    WallTimer timer;
+    Grapple grapple(std::move(program), mode_options);
+    run.result = grapple.Check(AllBuiltinCheckers());
+    run.total_seconds = timer.ElapsedSeconds();
+    run.ckpt_seconds = SumCounter(run.result, "phase_ckpt_ns") / 1e9;
+    run.ckpt_written = static_cast<double>(SumCounter(run.result, "ckpt_written"));
+    run.ckpt_bytes = static_cast<double>(SumCounter(run.result, "ckpt_bytes"));
+    return run;
+  };
+
+  ModeRun off = run_mode(0);
+  ModeRun on = run_mode(kDefaultCheckpointInterval);
+  for (int i = 0; i < 3; ++i) {
+    if (had_env[i]) {
+      setenv(saved_names[i], saved_values[i].c_str(), 1);
+    }
+  }
+
+  bool identical = ReportFingerprint(off.result) == ReportFingerprint(on.result);
+  double phase_fraction = on.total_seconds > 0 ? on.ckpt_seconds / on.total_seconds : 0;
+  double wall_overhead =
+      off.total_seconds > 0 ? on.total_seconds / off.total_seconds - 1.0 : 0;
+
+  PrintHeaderLine("Checkpointing: off vs every-8-pairs manifests");
+  std::printf("%-11s %9s %9s %8s %9s %8s %9s %10s\n", "Subject", "tt(off)", "tt(on)",
+              "ckpt", "manifests", "MB", "fraction", "identical");
+  std::printf("%-11s %9s %9s %8s %9.0f %8.2f %8.2f%% %10s\n", preset.name.c_str(),
+              FormatDuration(off.total_seconds).c_str(),
+              FormatDuration(on.total_seconds).c_str(),
+              FormatDuration(on.ckpt_seconds).c_str(), on.ckpt_written,
+              on.ckpt_bytes / (1024.0 * 1024.0), 100.0 * phase_fraction,
+              identical ? "yes" : "NO");
+  std::printf("ckpt is time inside the checkpoint phase (quiesce, encode, fsync, rename,\n");
+  std::printf("GC); fraction = ckpt / tt(on) is the gated overhead (< 5%%). The wall A/B\n");
+  std::printf("delta was %+.1f%% this run (informational; jitters at smoke scale).\n",
+              100.0 * wall_overhead);
+
+  obs::RunReport report;
+  report.subject = "checkpointing";
+  report.total_seconds = off.total_seconds + on.total_seconds;
+  obs::PhaseReport phase;
+  phase.name = "checkpointing";
+  phase.seconds = on.ckpt_seconds;
+  phase.metrics.gauges["ckpt_total_seconds_off"] = off.total_seconds;
+  phase.metrics.gauges["ckpt_total_seconds_on"] = on.total_seconds;
+  phase.metrics.gauges["ckpt_seconds"] = on.ckpt_seconds;
+  phase.metrics.gauges["ckpt_phase_fraction"] = phase_fraction;
+  phase.metrics.gauges["ckpt_per_manifest_seconds"] =
+      on.ckpt_written > 0 ? on.ckpt_seconds / on.ckpt_written : 0;
+  phase.metrics.gauges["ckpt_wall_overhead"] = wall_overhead;
+  phase.metrics.gauges["ckpt_manifests_written"] = on.ckpt_written;
+  phase.metrics.gauges["ckpt_manifest_bytes"] = on.ckpt_bytes;
+  phase.metrics.gauges["ckpt_interval"] = static_cast<double>(kDefaultCheckpointInterval);
+  phase.metrics.gauges["ckpt_reports_identical"] = identical ? 1 : 0;
+  report.phases.push_back(std::move(phase));
+  bench->Add(std::move(report));
+}
+
 int Main() {
   double scale = ScaleFromEnv(1.0);
   obs::BenchReport bench("table3_performance");
@@ -277,6 +378,7 @@ int Main() {
               obs::WitnessModeName(obs::WitnessModeFromEnv()));
   RunSchedulerSpeedup(&bench, SchedulerSubject(scale));
   RunIoPipelineComparison(&bench, ZooKeeperPreset(scale));
+  RunCheckpointOverhead(&bench, ZooKeeperPreset(scale));
   bench.Write();
   return 0;
 }

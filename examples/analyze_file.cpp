@@ -3,6 +3,7 @@
 //
 //   $ ./analyze_file program.grap [io|lock|except|socket ...]
 //                    [--fsm spec.fsm] [--stats] [--json] [--explain]
+//                    [--work-dir dir]
 //
 // With no checker arguments, all four built-in checkers run; --fsm adds a
 // property defined in the text format of src/checker/fsm_parser.h; --stats
@@ -10,8 +11,16 @@
 // renders each bug's decoded derivation witness — the step-by-step
 // counterexample trace recovered from edge-induction provenance, annotated
 // with FSM states, source lines, and the path constraint that makes the
-// trace feasible. The program input uses the IR text format (see
-// src/ir/parser.h for the grammar); example files live in examples/testdata/.
+// trace feasible. --work-dir keeps partition spills (and, with
+// GRAPPLE_CHECKPOINT=on, checkpoint manifests — a killed run rerun with the
+// same arguments resumes; see DESIGN.md §11) in a persistent directory
+// instead of a private temp dir. The program input uses the IR text format
+// (see src/ir/parser.h for the grammar); example files live in
+// examples/testdata/.
+//
+// Exit codes: 0 no warnings, 1 warnings, 2 usage/parse error, 3 (--explain
+// only) a witness could not be decoded (witness_unavailable degradation) or
+// a checker run was degraded by an I/O failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,7 +51,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <program.grap> [io|lock|except|socket ...] [--fsm spec.fsm] "
-                 "[--stats] [--json] [--explain]\n",
+                 "[--stats] [--json] [--explain] [--work-dir dir]\n",
                  argv[0]);
     return 2;
   }
@@ -62,6 +71,7 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   bool print_json = false;
   bool explain = false;
+  std::string work_dir;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
@@ -73,6 +83,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       print_json = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--work-dir") == 0 && i + 1 < argc) {
+      work_dir = argv[++i];
       continue;
     }
     if (std::strcmp(argv[i], "--fsm") == 0 && i + 1 < argc) {
@@ -111,18 +125,31 @@ int main(int argc, char** argv) {
   std::FILE* chatter = print_json ? stderr : stdout;
   std::fprintf(chatter, "analyzing %s (%zu methods, %zu statements)\n", argv[1],
                parsed.program.NumMethods(), parsed.program.TotalStatements());
-  grapple::Grapple analyzer(std::move(parsed.program));
+  grapple::GrappleOptions options;
+  options.work_dir = work_dir;
+  grapple::Grapple analyzer(std::move(parsed.program), options);
   grapple::GrappleResult result = analyzer.Check(specs);
 
   size_t total = 0;
+  bool degraded = false;
   std::vector<grapple::BugReport> all_reports;
   for (const auto& checker : result.checkers) {
+    if (checker.degraded) {
+      degraded = true;
+      std::fprintf(chatter, "checker %s degraded: %s\n", checker.checker.c_str(),
+                   checker.degraded_reason.c_str());
+    }
     for (const auto& report : checker.reports) {
+      if (!report.witness_error.empty()) {
+        degraded = true;
+      }
       if (!print_json) {
         std::printf("%s\n", report.ToString().c_str());
         if (explain) {
           if (report.has_witness) {
             std::printf("%s\n", report.witness.ToString().c_str());
+          } else if (!report.witness_error.empty()) {
+            std::printf("  (%s)\n", report.witness_error.c_str());
           } else {
             std::printf("  (no witness: run with GRAPPLE_WITNESS=bugs or full)\n");
           }
@@ -144,6 +171,12 @@ int main(int argc, char** argv) {
                    checker.checker.c_str(), checker.tracked_objects,
                    checker.typestate.engine.ToString().c_str());
     }
+  }
+  // Degradation (an undecodable witness, a checker isolated after an I/O
+  // failure) is only an *error* when the caller asked for explanations —
+  // plain report listings still carry every bug.
+  if (explain && degraded) {
+    return 3;
   }
   return total == 0 ? 0 : 1;
 }

@@ -20,6 +20,7 @@ Baseline schema (grapple.bench_baseline.v1):
          "direction": "higher_is_better",   # or lower_is_better
          "min"?: 1.0,                        # optional hard floor
          "max"?: 0.0,                        # optional hard ceiling
+         "min_scale"?: 1.0,                  # skip below this GRAPPLE_SCALE
          "tolerance"?: 0.5}                  # optional per-key override
       ]
     }
@@ -91,6 +92,44 @@ DEFAULT_WATCH = [
         "direction": "lower_is_better",
         "tolerance": 1.0,
     },
+    {
+        # Acceptance criterion of the checkpoint/resume work: time inside
+        # the checkpoint phase (quiesce + manifest encode + fsync + rename
+        # + GC) must stay under 5% of the checkpointing run's wall time.
+        # A full-scale property — smoke runs finish in tens of milliseconds
+        # and are dominated by the fixed per-manifest fsync — so the entry
+        # only applies from scale 1.0 up (the nightly sweep); see
+        # ckpt_per_manifest_seconds for the smoke-scale guard.
+        "key": "table3_performance/checkpointing/checkpointing/gauge:ckpt_phase_fraction",
+        "direction": "lower_is_better",
+        "max": 0.05,
+        "min_scale": 1.0,
+        "tolerance": 2.0,
+    },
+    {
+        # Scale-independent smoke guard for the same subsystem: publishing
+        # one manifest (quiesce + encode + fsync + rename + GC, amortized)
+        # is a few milliseconds; an order-of-magnitude regression (e.g. an
+        # encode that stopped being incremental) trips the ceiling.
+        "key": "table3_performance/checkpointing/checkpointing/gauge:ckpt_per_manifest_seconds",
+        "direction": "lower_is_better",
+        "max": 0.05,
+        "tolerance": 2.0,
+    },
+    {
+        "key": "table3_performance/checkpointing/checkpointing/gauge:ckpt_reports_identical",
+        "direction": "higher_is_better",
+        "min": 1.0,
+    },
+    {
+        # A checkpointing run must actually publish manifests (at least the
+        # final fixpoint manifest per engine) or the overhead gate above is
+        # gating nothing.
+        "key": "table3_performance/checkpointing/checkpointing/gauge:ckpt_manifests_written",
+        "direction": "higher_is_better",
+        "min": 1.0,
+        "tolerance": 1.0,
+    },
 ]
 
 
@@ -124,7 +163,7 @@ def trajectory_gauges(trajectory):
     return flat
 
 
-def check(baseline, gauges, inject=None):
+def check(baseline, gauges, inject=None, scale=None, only=None):
     if baseline.get("schema") != BASELINE_SCHEMA:
         sys.exit(
             f"check_bench: unexpected baseline schema "
@@ -137,6 +176,13 @@ def check(baseline, gauges, inject=None):
         key = watch["key"]
         direction = watch.get("direction", "higher_is_better")
         tolerance = float(watch.get("tolerance", default_tolerance))
+        if only is not None and only not in key:
+            continue
+        # Entries can declare the smallest GRAPPLE_SCALE at which they are
+        # meaningful (e.g. wall-time fractions that fixed per-run costs
+        # dominate at smoke scale); below it they are skipped, not failed.
+        if scale is not None and scale < float(watch.get("min_scale", 0)):
+            continue
         if key not in gauges:
             failures.append(f"{key}: missing from trajectory (dropped metric)")
             continue
@@ -214,6 +260,12 @@ def main():
         metavar="FACTOR",
         help="self-test: degrade every watched value by FACTOR before checking",
     )
+    parser.add_argument(
+        "--only",
+        metavar="SUBSTR",
+        help="check only watch entries whose key contains SUBSTR "
+        "(e.g. 'checkpointing' for the nightly full-scale gate)",
+    )
     args = parser.parse_args()
 
     trajectory = load_json(args.trajectory)
@@ -226,7 +278,14 @@ def main():
     if not args.baseline:
         parser.error("--baseline or --write-baseline is required")
     baseline = load_json(args.baseline)
-    checked, failures = check(baseline, gauges, inject=args.inject_regression)
+    scale = trajectory.get("scale")
+    checked, failures = check(
+        baseline,
+        gauges,
+        inject=args.inject_regression,
+        scale=float(scale) if scale is not None else None,
+        only=args.only,
+    )
     if failures:
         print(f"check_bench: FAIL ({len(failures)} of {checked + len(failures)} checks):")
         for failure in failures:

@@ -9,6 +9,15 @@
 #                            # workload under GRAPPLE_CHECKER_PARALLELISM=4
 #   scripts/ci.sh bench      # smoke-scale bench sweep + trajectory report
 #                            # plus a sample witness report (bench-reports/)
+#   scripts/ci.sh recovery   # crash/resume smoke: kill the example pipeline
+#                            # at a checkpoint crash point (simulated kill
+#                            # -9), resume it, and require byte-identical
+#                            # report JSON; plus the full in-tree crash
+#                            # sweep (recovery_test)
+#   scripts/ci.sh soak       # recovery soak: repeated kill -9 at every
+#                            # registered crash point and escalating
+#                            # ordinals against the example pipeline, each
+#                            # resumed and byte-compared (nightly)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -72,6 +81,102 @@ run_bench_smoke() {
   echo "==> [bench] reports in ${out_dir}"
 }
 
+# One run of the example front door with checkpointing at every pair.
+# Args: expected exit code, GRAPPLE_FAULTS spec ('' = none), output JSON
+# path, work dir. Reads ${build_dir} from the caller's scope. Echoes the
+# actual exit code on stdout so callers can branch on "crashed vs
+# completed"; fails when the code matches neither expectation.
+recovery_run() {
+  local expect="$1" faults="$2" out="$3" work="$4" alt_expect="${5:-}"
+  local status=0
+  GRAPPLE_FAULTS="${faults}" GRAPPLE_CHECKPOINT_INTERVAL=1 \
+    GRAPPLE_CHECKPOINT_SPACING=0 GRAPPLE_WITNESS=bugs \
+    "${build_dir}/examples/analyze_file" \
+    "${repo_root}/examples/testdata/leaky.grap" --json --work-dir "${work}" \
+    > "${out}" 2> /dev/null || status=$?
+  if [[ "${status}" -ne "${expect}" && "${status}" != "${alt_expect}" ]]; then
+    echo "recovery: expected exit ${expect}${alt_expect:+ or ${alt_expect}}," \
+      "got ${status} (faults='${faults}')" >&2
+    return 1
+  fi
+  echo "${status}"
+}
+
+# Crash/resume smoke: the in-tree sweep (fork-based recovery_test +
+# checkpoint/corruption suites), then the same acceptance criterion
+# end-to-end through the CLI: a run killed by a simulated kill -9 right
+# after publishing a manifest, resumed with the same arguments, must emit
+# byte-identical report JSON (witnesses included).
+run_recovery() {
+  local build_dir="${repo_root}/build-ci-release"
+  echo "==> [recovery] configure + build"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  build_filtered "${build_dir}"
+  echo "==> [recovery] in-tree crash sweep and corruption suites"
+  ctest --test-dir "${build_dir}" --output-on-failure \
+    -R '^(recovery_test|checkpoint_test|partition_corruption_test)$'
+  local scratch="${build_dir}/recovery-smoke"
+  rm -rf "${scratch}"
+  mkdir -p "${scratch}"
+  echo "==> [recovery] reference run (uninterrupted)"
+  recovery_run 1 "" "${scratch}/ref.json" "${scratch}/work-ref" > /dev/null
+  grep -q '"witness"' "${scratch}/ref.json"
+  echo "==> [recovery] kill -9 at ckpt_published, then resume"
+  recovery_run 137 "crash@ckpt_published#1" "${scratch}/crash.json" \
+    "${scratch}/work-crash" > /dev/null
+  recovery_run 1 "" "${scratch}/resumed.json" "${scratch}/work-crash" > /dev/null
+  cmp "${scratch}/ref.json" "${scratch}/resumed.json"
+  echo "==> [recovery] resumed report byte-identical to the uninterrupted run"
+}
+
+# Recovery soak (nightly): kill -9 at every registered crash point, at
+# escalating ordinals per round, resume each victim and byte-compare; one
+# double-kill (a crash during the resume itself) closes each round. A
+# crash clause whose point fires fewer than <ordinal> times lets the run
+# complete — then its own output must already match the reference.
+run_soak() {
+  local build_dir="${repo_root}/build-ci-release"
+  echo "==> [soak] configure + build"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  build_filtered "${build_dir}"
+  local scratch="${build_dir}/recovery-soak"
+  rm -rf "${scratch}"
+  mkdir -p "${scratch}"
+  recovery_run 1 "" "${scratch}/ref.json" "${scratch}/work-ref" > /dev/null
+  # Keep in sync with fault::AllCrashPoints() (fault_injection.cc); the
+  # in-tree sweep already fails if a point is added without coverage.
+  local points=(finalize_done run_pair_done ckpt_begin ckpt_temp_written
+    ckpt_published ckpt_gc_done run_complete)
+  local rounds="${GRAPPLE_SOAK_ROUNDS:-5}"
+  local total=0 crashed=0
+  for round in $(seq 1 "${rounds}"); do
+    local ordinal=$((2 * round - 1))
+    for point in "${points[@]}"; do
+      local work="${scratch}/work-${point}-${round}"
+      local out="${scratch}/out-${point}-${round}.json"
+      local code
+      code="$(recovery_run 137 "crash@${point}#${ordinal}" "${out}" "${work}" 1)"
+      total=$((total + 1))
+      if [[ "${code}" -eq 137 ]]; then
+        crashed=$((crashed + 1))
+        recovery_run 1 "" "${out}" "${work}" > /dev/null
+      fi
+      cmp "${scratch}/ref.json" "${out}" || {
+        echo "soak: divergent report after crash@${point}#${ordinal}" >&2
+        return 1
+      }
+    done
+    # Double kill: die during the resume of a crashed run, then finish.
+    local work="${scratch}/work-double-${round}"
+    recovery_run 137 "crash@ckpt_published#${ordinal}" /dev/null "${work}" > /dev/null
+    recovery_run 137 "crash@run_pair_done#1" /dev/null "${work}" 1 > /dev/null
+    recovery_run 1 "" "${scratch}/double-${round}.json" "${work}" > /dev/null
+    cmp "${scratch}/ref.json" "${scratch}/double-${round}.json"
+  done
+  echo "==> [soak] ${total} kills attempted, ${crashed} mid-run crashes," \
+    "every resume byte-identical"
+}
+
 # ThreadSanitizer pass: the whole suite runs under TSan (the scheduler,
 # arbiter, and engine tests all spin up real thread contention), then the
 # parallel pipeline is exercised end-to-end on a generated workload via the
@@ -100,13 +205,19 @@ case "${mode}" in
   tsan)
     run_tsan
     ;;
+  recovery)
+    run_recovery
+    ;;
+  soak)
+    run_soak
+    ;;
   all)
     run_pass release -DCMAKE_BUILD_TYPE=Release
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|all]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|all]" >&2
     exit 2
     ;;
 esac

@@ -77,16 +77,29 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
   // hashed when it recorded the edge.
   std::unique_ptr<obs::ProvenanceReader> prov_reader;
   std::unique_ptr<WitnessDecoder> witness_decoder;
+  // Degradation marker: when non-empty, witnesses could not (or might not)
+  // be decoded for the reason given; reports carry it as `witness_error`
+  // instead of silently lacking a witness.
+  std::string witness_unavailable;
   if (engine->has_provenance() && witness_mode != obs::WitnessMode::kOff) {
     auto reader = std::make_unique<obs::ProvenanceReader>();
-    if (reader->Open(engine->provenance_path()) || reader->NumRecords() > 0) {
+    bool clean = reader->Open(engine->provenance_path());
+    if (clean || reader->NumRecords() > 0) {
+      if (!clean) {
+        witness_unavailable = "witness_unavailable: provenance log " +
+                              engine->provenance_path() +
+                              " is corrupt past a readable prefix";
+        GRAPPLE_LOG(WARNING) << witness_unavailable;
+      }
       prov_reader = std::move(reader);
       WitnessDecoder::Options wopts;
       wopts.replay_steps = witness_mode == obs::WitnessMode::kFull;
       witness_decoder =
           std::make_unique<WitnessDecoder>(&alias_graph.icfet(), prov_reader.get(), wopts);
     } else {
-      GRAPPLE_LOG(WARNING) << "provenance log unreadable: " << engine->provenance_path();
+      witness_unavailable = "witness_unavailable: provenance log " +
+                            engine->provenance_path() + " is missing or corrupt";
+      GRAPPLE_LOG(WARNING) << witness_unavailable;
     }
   }
 
@@ -127,6 +140,7 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
 
   auto attach_witness = [&](BugReport* report, const StateFact& fact) {
     if (witness_decoder == nullptr) {
+      report->witness_error = witness_unavailable;
       return;
     }
     WallTimer timer;
@@ -134,6 +148,10 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
                                     fact.payload.data(), fact.payload.size());
     DerivationChain chain = witness_decoder->Decode(hash);
     if (chain.empty()) {
+      report->witness_error =
+          witness_unavailable.empty()
+              ? "witness_unavailable: no derivation record for the violating edge"
+              : witness_unavailable;
       return;
     }
     report->witness = BuildWitness(chain, fsm, labels, ts);

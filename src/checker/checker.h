@@ -54,6 +54,11 @@ struct BugReport {
   // GRAPPLE_WITNESS != off): the step-by-step counterexample.
   bool has_witness = false;
   Witness witness;
+  // Graceful degradation: witness decoding was expected but impossible
+  // (provenance log missing, corrupt, or lacking the violating edge's
+  // record). Non-empty => has_witness is false and this says why; the bug
+  // itself is still reported.
+  std::string witness_error;
 
   std::string ToString() const;
 };

@@ -24,6 +24,9 @@ std::string ReportToJson(const BugReport& report) {
   w.Key("state").String(report.state);
   w.Key("constraint").String(report.constraint);
   w.Key("witness_path").String(report.witness_path);
+  if (!report.witness_error.empty()) {
+    w.Key("witness_error").String(report.witness_error);
+  }
   if (report.has_witness) {
     const Witness& witness = report.witness;
     w.Key("witness");

@@ -1,6 +1,7 @@
 #include "src/core/grapple.h"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <unordered_set>
 
@@ -55,6 +56,8 @@ EngineOptions EngineOptionsFrom(const GrappleOptions& options) {
   engine_options.num_threads = options.scheduling.num_threads;
   engine_options.max_variants_per_triple = options.engine.max_variants_per_triple;
   engine_options.io_pipeline = options.engine.io_pipeline;
+  engine_options.checkpoint_interval = options.robustness.checkpoint_interval;
+  engine_options.checkpoint_min_spacing_seconds = options.robustness.checkpoint_min_spacing_s;
   return engine_options;
 }
 
@@ -81,6 +84,24 @@ std::vector<std::string> GrappleOptions::Validate() const {
   if (precision.loop_unroll == 0) {
     errors.push_back("precision.loop_unroll must be >= 1 (§3.1: loops are unrolled a bounded "
                      "number of times; 0 iterations would drop loop bodies entirely)");
+  }
+  if (robustness.max_io_retries > 100) {
+    errors.push_back("robustness.max_io_retries must be <= 100; retries bound transient-fault "
+                     "absorption, they are not a hang-forever switch");
+  }
+  if (robustness.backoff_base_us > 1'000'000) {
+    errors.push_back("robustness.backoff_base_us must be <= 1000000 (1s); the backoff doubles "
+                     "per retry, so larger bases stall the analysis for minutes");
+  }
+  if (robustness.checkpoint_min_spacing_s < 0 ||
+      !std::isfinite(robustness.checkpoint_min_spacing_s)) {
+    errors.push_back("robustness.checkpoint_min_spacing_s must be a finite value >= 0 "
+                     "(seconds between interval-triggered checkpoint manifests)");
+  }
+  if (robustness.checkpoint_interval > 0 && work_dir.empty()) {
+    errors.push_back("robustness.checkpoint_interval needs a persistent work_dir: with the "
+                     "default private temp dir, checkpoints are deleted with the session and "
+                     "a rerun could never resume from them");
   }
   return errors;
 }
@@ -181,6 +202,12 @@ Grapple::Grapple(Program program, GrappleOptions options)
   obs::InitTracingFromEnv();
   // The environment knob wins when set; the caller's option is the fallback.
   options_.observability.witness = obs::WitnessModeFromEnv(options_.observability.witness);
+  IoRetryPolicy io_policy = GetIoRetryPolicy();
+  io_policy.max_retries = static_cast<uint32_t>(std::max<int64_t>(
+      0, EnvInt64("GRAPPLE_IO_RETRIES", options_.robustness.max_io_retries)));
+  io_policy.backoff_base_us = static_cast<uint32_t>(std::max<int64_t>(
+      0, EnvInt64("GRAPPLE_IO_BACKOFF_US", options_.robustness.backoff_base_us)));
+  SetIoRetryPolicy(io_policy);
   obs::ScopedSpan span("frontend", "phase");
   WallTimer timer;
   UnrollLoops(program_.get(), options_.precision.loop_unroll);
@@ -339,13 +366,37 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
   // to the sequential run regardless of completion order.
   std::vector<CheckerRunResult> runs(specs.size());
   std::vector<obs::PhaseReport> phases(specs.size());
+  // Failure isolation: one checker's engine dying on an I/O error (disk
+  // full, corrupt partition, failed checkpoint) becomes a degraded result
+  // slot, not the end of the whole multi-checker run. Workers must never
+  // leak exceptions (a throw escaping a pool task would terminate), so the
+  // parallel path always isolates and the no-isolation policy is applied
+  // after the barrier.
+  auto run_isolated = [&](size_t i, BudgetLease* lease) {
+    try {
+      runs[i] = CheckOne(specs[i], lease, &phases[i]);
+    } catch (const std::exception& e) {
+      runs[i] = CheckerRunResult();
+      runs[i].checker = specs[i].fsm.name();
+      runs[i].degraded = true;
+      runs[i].degraded_reason = e.what();
+      phases[i] = obs::PhaseReport();
+      phases[i].name = "typestate:" + specs[i].fsm.name();
+      GRAPPLE_LOG(ERROR) << "checker " << runs[i].checker
+                         << " failed; continuing without it: " << e.what();
+    }
+  };
   size_t parallelism = options_.scheduling.checker_parallelism == 0
                            ? HardwareThreads()
                            : options_.scheduling.checker_parallelism;
   parallelism = std::min(parallelism, specs.size());
   if (parallelism <= 1) {
     for (size_t i = 0; i < specs.size(); ++i) {
-      runs[i] = CheckOne(specs[i], nullptr, &phases[i]);
+      if (options_.robustness.isolate_checker_failures) {
+        run_isolated(i, nullptr);
+      } else {
+        runs[i] = CheckOne(specs[i], nullptr, &phases[i]);
+      }
     }
   } else {
     // Each concurrent engine leases an equal slice of the analysis-wide
@@ -355,12 +406,19 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     uint64_t slice = std::max<uint64_t>(1, arbiter.total_bytes() / parallelism);
     ThreadPool scheduler(parallelism);
     for (size_t i = 0; i < specs.size(); ++i) {
-      scheduler.Schedule([this, &specs, &runs, &phases, &arbiter, slice, i] {
+      scheduler.Schedule([&run_isolated, &arbiter, slice, i] {
         BudgetLease lease = arbiter.Acquire(slice);
-        runs[i] = CheckOne(specs[i], &lease, &phases[i]);
+        run_isolated(i, &lease);
       });
     }
     scheduler.Wait();
+    if (!options_.robustness.isolate_checker_failures) {
+      for (const auto& run : runs) {
+        if (run.degraded) {
+          throw IoError("checker " + run.checker + " failed: " + run.degraded_reason);
+        }
+      }
+    }
   }
   for (size_t i = 0; i < specs.size(); ++i) {
     result.checkers.push_back(std::move(runs[i]));

@@ -112,10 +112,42 @@ struct GrappleOptions {
     size_t num_threads = 1;
   };
 
+  // Crash safety and I/O fault tolerance (DESIGN.md §11).
+  struct Robustness {
+    // Checkpoint the out-of-core fixpoint every N processed partition pairs
+    // (0 = off). With a persistent `work_dir`, an analysis killed mid-run
+    // and rerun over the same program and options resumes each engine from
+    // its last published manifest and produces byte-identical reports and
+    // witnesses. GRAPPLE_CHECKPOINT / GRAPPLE_CHECKPOINT_INTERVAL override
+    // at engine construction (support/env.h).
+    uint32_t checkpoint_interval = 0;
+    // Minimum wall-clock seconds between interval-triggered manifests.
+    // Each manifest re-encodes the engine's full resume state, so on
+    // workloads whose pairs drain faster than the interval this throttle is
+    // what keeps checkpoint overhead bounded (roughly manifest-cost /
+    // spacing) instead of proportional to pair throughput. Completion
+    // manifests ignore it. 0 = checkpoint on every interval hit (tests use
+    // this for dense crash-point coverage). GRAPPLE_CHECKPOINT_SPACING
+    // overrides.
+    double checkpoint_min_spacing_s = 1.0;
+    // Bounded retries for transient I/O failures (EINTR, EAGAIN, short
+    // reads/writes) in the byte-I/O layer; GRAPPLE_IO_RETRIES overrides.
+    uint32_t max_io_retries = 4;
+    // Base microseconds of the exponential backoff between those retries
+    // (0 = retry immediately); GRAPPLE_IO_BACKOFF_US overrides.
+    uint32_t backoff_base_us = 50;
+    // When a checker's engine run dies with an I/O error, Check() records a
+    // degraded CheckerRunResult (degraded/degraded_reason set, no reports)
+    // and keeps running the remaining checkers instead of propagating the
+    // exception. Disable to fail the whole Check() on the first error.
+    bool isolate_checker_failures = true;
+  };
+
   EngineTuning engine;
   Precision precision;
   Observability observability;
   Scheduling scheduling;
+  Robustness robustness;
   // Partition spill directory; empty creates a private temp dir.
   std::string work_dir;
 
@@ -162,6 +194,12 @@ struct CheckerRunResult {
   size_t tracked_objects = 0;
   std::vector<BugReport> reports;
   PhaseStats typestate;
+  // Robustness degradation (GrappleOptions::Robustness
+  // isolate_checker_failures): this checker's engine run failed with the
+  // recorded reason; `reports` and `typestate` are empty, the other
+  // checkers' results are unaffected.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 struct GrappleResult {
@@ -199,7 +237,10 @@ class Grapple {
   // checker pool when scheduling.checker_parallelism > 1, with the engine
   // memory budget split across concurrent runs by a BudgetArbiter.
   // Reports, witnesses, and phase ordering are identical either way.
-  // May be called repeatedly.
+  // May be called repeatedly. A checker whose engine run fails with an I/O
+  // error yields a degraded result slot (see CheckerRunResult) unless
+  // Robustness::isolate_checker_failures is off, in which case the IoError
+  // propagates.
   GrappleResult Check(const std::vector<FsmSpec>& specs);
 
   // Runs phases 2-3 for a single spec against the cached alias analysis

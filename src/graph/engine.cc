@@ -7,9 +7,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/graph/checkpoint.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/support/byte_io.h"
 #include "src/support/env.h"
+#include "src/support/fault_injection.h"
 #include "src/support/logging.h"
 
 namespace grapple {
@@ -125,6 +128,9 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
       h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
       c_witnesses_decoded_(metrics_.Counter("witnesses_decoded")),
       h_witness_decode_ns_(metrics_.Histogram("witness_decode_ns")),
+      c_ckpt_written_(metrics_.Counter("ckpt_written")),
+      c_ckpt_bytes_(metrics_.Counter("ckpt_bytes")),
+      c_runs_resumed_(metrics_.Counter("runs_resumed")),
       store_(options_.work_dir, &profiler_, &metrics_,
              PartitionStorePipeline{ResolveIoPipeline(options_.io_pipeline),
                                     options_.budget_lease, options_.memory_budget_bytes}),
@@ -133,6 +139,12 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
   metrics_.SetGauge("engine_budget_bytes", static_cast<double>(BudgetBytes()));
   if (options_.record_provenance) {
     provenance_ = std::make_unique<obs::ProvenanceWriter>(store_.ProvenancePath(), &metrics_);
+  }
+  options_.checkpoint_interval = ResolveCheckpointInterval(options_.checkpoint_interval);
+  options_.checkpoint_min_spacing_seconds =
+      ResolveCheckpointSpacing(options_.checkpoint_min_spacing_seconds);
+  if (options_.checkpoint_interval > 0) {
+    store_.SetCheckpointMode(true);
   }
 }
 
@@ -252,8 +264,38 @@ void GraphEngine::Finalize(VertexId num_vertices) {
   finalized_ = true;
   obs::ScopedSpan span("finalize", "engine");
   WallTimer timer;
-  // Expand unary/mirror closures and dedup.
   index_ = std::make_unique<GraphEngineIndexHolder>();
+  if (options_.checkpoint_interval > 0) {
+    // Fingerprint the input (base edges + vertex count) so a manifest left
+    // behind by a run over *different* inputs is rejected, not resumed.
+    uint64_t fp = 1469598103934665603ULL;
+    auto mix = [&fp](uint64_t v) {
+      fp ^= v;
+      fp *= 1099511628211ULL;
+    };
+    mix(num_vertices);
+    for (const auto& edge : pending_base_) {
+      mix(EdgeContentHash(edge.src, edge.dst, edge.label, edge.payload.data(),
+                          edge.payload.size()));
+    }
+    base_fingerprint_ = fp;
+    if (TryResume(num_vertices)) {
+      pending_base_.clear();
+      pending_base_.shrink_to_fit();
+      metrics_.AddNanos(c_preprocess_ns_, timer.ElapsedNanos());
+      stats_.preprocess_seconds = timer.ElapsedSeconds();
+      stats_.num_partitions = store_.NumPartitions();
+      stats_.peak_partitions = store_.NumPartitions();
+      metrics_.SetGauge("engine_num_partitions", static_cast<double>(store_.NumPartitions()));
+      metrics_.MaxGauge("engine_peak_partitions", static_cast<double>(store_.NumPartitions()));
+      fault::CrashPoint("finalize_done");
+      return;
+    }
+    // No usable manifest: scrub any leftovers of a dead run from the work
+    // dir so stale partition bytes cannot leak into this run's state.
+    store_.CleanWorkDirForFreshStart();
+  }
+  // Expand unary/mirror closures and dedup.
   std::vector<EdgeRecord> expanded;
   expanded.reserve(pending_base_.size() * 2);
   for (const auto& edge : pending_base_) {
@@ -297,6 +339,120 @@ void GraphEngine::Finalize(VertexId num_vertices) {
   stats_.peak_partitions = store_.NumPartitions();
   metrics_.SetGauge("engine_num_partitions", static_cast<double>(store_.NumPartitions()));
   metrics_.MaxGauge("engine_peak_partitions", static_cast<double>(store_.NumPartitions()));
+  fault::CrashPoint("finalize_done");
+}
+
+bool GraphEngine::TryResume(VertexId num_vertices) {
+  CheckpointManifest manifest;
+  std::string error;
+  if (!LoadCheckpointManifest(options_.work_dir, &manifest, &error)) {
+    if (!error.empty()) {
+      GRAPPLE_LOG(WARNING) << "ignoring checkpoint in " << options_.work_dir << ": " << error
+                           << "; starting fresh";
+    }
+    return false;
+  }
+  if (manifest.num_vertices != num_vertices || manifest.base_fingerprint != base_fingerprint_) {
+    GRAPPLE_LOG(WARNING) << "checkpoint in " << options_.work_dir
+                         << " was produced by a different input; starting fresh";
+    return false;
+  }
+  if (manifest.has_provenance != (provenance_ != nullptr)) {
+    GRAPPLE_LOG(WARNING) << "checkpoint in " << options_.work_dir
+                         << " was recorded with provenance "
+                         << (manifest.has_provenance ? "on" : "off")
+                         << " but this run has it " << (provenance_ != nullptr ? "on" : "off")
+                         << "; starting fresh";
+    return false;
+  }
+  // Validate the provenance log up front, before any state is mutated, so
+  // most failures leave the engine pristine for the fresh-start path.
+  const std::string prov_path = store_.ProvenancePath();
+  if (manifest.has_provenance && manifest.provenance_bytes > 0) {
+    int64_t on_disk = FileSizeBytes(prov_path);
+    if (on_disk < 0 || static_cast<uint64_t>(on_disk) < manifest.provenance_bytes) {
+      GRAPPLE_LOG(WARNING) << "provenance log " << prov_path << " is "
+                           << (on_disk < 0 ? "missing" : "shorter than the checkpoint recorded")
+                           << "; starting fresh";
+      return false;
+    }
+  }
+  if (!store_.RestoreFromCheckpoint(manifest.partitions, manifest.file_counter, num_vertices,
+                                    &error)) {
+    GRAPPLE_LOG(WARNING) << "checkpoint restore failed: " << error << "; starting fresh";
+    return false;
+  }
+  if (manifest.has_provenance) {
+    // Drop log bytes the dead run appended past the manifest's high-water
+    // mark; the resumed run re-derives (and re-records) everything after it.
+    if (FileExists(prov_path) && !TruncateFile(prov_path, manifest.provenance_bytes, &error)) {
+      GRAPPLE_LOG(WARNING) << "could not truncate provenance log: " << error
+                           << "; starting fresh";
+      return false;  // caller scrubs the work dir; Initialize() rebuilds the store
+    }
+    provenance_->ResumeAt(manifest.provenance_bytes, manifest.provenance_records);
+  }
+  index_->content.reserve(manifest.dedup_hashes.size());
+  index_->content.insert(manifest.dedup_hashes.begin(), manifest.dedup_hashes.end());
+  index_->variants.reserve(manifest.variants.size());
+  for (const auto& [triple, count] : manifest.variants) {
+    index_->variants[triple] = count;
+  }
+  for (const CheckpointManifest::PairDone& pd : manifest.pair_done) {
+    pair_done_[{static_cast<size_t>(pd.i), static_cast<size_t>(pd.j)}] = {pd.vi, pd.vj};
+  }
+  stats_.base_edges = manifest.base_edges;
+  metrics_.Add(c_base_edges_, manifest.base_edges);
+  metrics_.Add(c_runs_resumed_);
+  GRAPPLE_LOG(INFO) << "resumed from checkpoint in " << options_.work_dir << " ("
+                    << manifest.partitions.size() << " partitions, "
+                    << manifest.dedup_hashes.size() << " unique edges)";
+  return true;
+}
+
+void GraphEngine::WriteCheckpoint() {
+  fault::CrashPoint("ckpt_begin");
+  ScopedPhase ckpt_phase(&profiler_, "ckpt");
+  obs::ScopedSpan span("checkpoint", "engine");
+  // Quiesce: every queued write must be on disk (well, in the page cache —
+  // the threat model is process death, see checkpoint.h) before the
+  // manifest that references those bytes is published.
+  store_.Sync();
+  if (provenance_ != nullptr) {
+    provenance_->Flush();
+  }
+  CheckpointManifest manifest;
+  manifest.num_vertices = store_.num_vertices();
+  manifest.base_fingerprint = base_fingerprint_;
+  manifest.base_edges = stats_.base_edges;
+  manifest.file_counter = store_.file_counter();
+  manifest.partitions = store_.SnapshotForCheckpoint();
+  manifest.pair_done.reserve(pair_done_.size());
+  for (const auto& [pair, versions] : pair_done_) {
+    manifest.pair_done.push_back({pair.first, pair.second, versions.first, versions.second});
+  }
+  manifest.dedup_hashes.assign(index_->content.begin(), index_->content.end());
+  std::sort(manifest.dedup_hashes.begin(), manifest.dedup_hashes.end());
+  manifest.variants.assign(index_->variants.begin(), index_->variants.end());
+  std::sort(manifest.variants.begin(), manifest.variants.end());
+  if (provenance_ != nullptr) {
+    manifest.has_provenance = true;
+    manifest.provenance_bytes = provenance_->bytes_written();
+    manifest.provenance_records = provenance_->records_written();
+  }
+  uint64_t bytes = 0;
+  std::string error;
+  if (!SaveCheckpointManifest(options_.work_dir, manifest, &bytes, &error)) {
+    throw IoError("checkpoint publish failed: " + error);
+  }
+  metrics_.Add(c_ckpt_written_);
+  metrics_.Add(c_ckpt_bytes_, bytes);
+  since_last_checkpoint_.Reset();
+  store_.MarkCheckpointPublished();
+  // The files retired since the previous manifest are no longer referenced
+  // by anything on disk; now they can actually go.
+  store_.CollectGarbage();
+  fault::CrashPoint("ckpt_gc_done");
 }
 
 void GraphEngine::Run() {
@@ -337,12 +493,28 @@ void GraphEngine::Run() {
       store_.Hint({next_i, next_j});
     }
     ProcessPair(pick_i, pick_j);
+    fault::CrashPoint("run_pair_done");
+    // Interval reached AND the spacing window elapsed; otherwise the
+    // counter stays saturated and the next pair re-checks the clock.
+    if (options_.checkpoint_interval > 0 &&
+        ++pairs_since_checkpoint_ >= options_.checkpoint_interval &&
+        since_last_checkpoint_.ElapsedSeconds() >= options_.checkpoint_min_spacing_seconds) {
+      WriteCheckpoint();
+      pairs_since_checkpoint_ = 0;
+    }
   }
   // Write-behind barrier: the on-disk state must be complete when Run()
   // returns (result iteration, witness decoding, external readers).
   store_.Sync();
   if (provenance_ != nullptr) {
     provenance_->Flush();
+  }
+  if (options_.checkpoint_interval > 0) {
+    // Final manifest: a kill between here and the caller consuming results
+    // resumes into an already-converged fixpoint (the scheduler finds no
+    // stale pair) and regenerates identical reports.
+    WriteCheckpoint();
+    fault::CrashPoint("run_complete");
   }
   metrics_.AddNanos(c_compute_ns_, timer.ElapsedNanos());
   metrics_.Add(c_final_edges_, store_.TotalEdges());
@@ -383,6 +555,11 @@ obs::MetricsSnapshot GraphEngine::Metrics() const {
     snapshot.counters[std::string(obs::kPhaseNsPrefix) + name + obs::kPhaseNsSuffix] += nanos;
   }
   snapshot.Merge(oracle_->Metrics());
+  // Process-wide robustness gauges (byte_io retries, fault shim). Gauges,
+  // not counters: several engines in one process observe the same totals,
+  // and snapshot merges take the max rather than double-counting.
+  snapshot.gauges["io_retries"] = static_cast<double>(IoRetriesTotal());
+  snapshot.gauges["faults_injected"] = static_cast<double>(fault::InjectedCount());
   return snapshot;
 }
 

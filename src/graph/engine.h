@@ -64,6 +64,22 @@ struct EngineOptions {
   // join, rewrite) into <work_dir>/provenance.bin so witnesses can be
   // decoded after the run. See src/obs/provenance.h and GRAPPLE_WITNESS.
   bool record_provenance = false;
+  // Crash-safe checkpoint/resume (DESIGN.md §11): when > 0, Run() publishes
+  // a checkpoint manifest into work_dir every `checkpoint_interval`
+  // processed pairs (plus one at completion), and Finalize() resumes from a
+  // valid manifest instead of starting over — a run killed at any point and
+  // rerun with the same inputs and work_dir produces byte-identical
+  // results. 0 disables. GRAPPLE_CHECKPOINT / GRAPPLE_CHECKPOINT_INTERVAL
+  // override (see support/env.h).
+  uint32_t checkpoint_interval = 0;
+  // Wall-clock throttle on interval-triggered manifests: once the pair
+  // interval is reached, the checkpoint still waits until this many seconds
+  // have passed since the last manifest. Bounds checkpoint overhead at
+  // roughly (manifest cost / spacing) regardless of how fast pairs drain —
+  // without it, cheap pairs at a small interval can spend >20% of the run
+  // re-encoding manifests. Completion manifests are never throttled. 0 =
+  // checkpoint on every interval hit. GRAPPLE_CHECKPOINT_SPACING overrides.
+  double checkpoint_min_spacing_seconds = 1.0;
 };
 
 // Engine run statistics. The metrics registry is the source of truth; the
@@ -183,6 +199,14 @@ class GraphEngine : public EdgeSink {
   // caller can emit rewrite provenance.
   void ExpandEdge(const EdgeRecord& edge, std::vector<EdgeRecord>* out,
                   std::vector<int>* parent_of) const;
+  // Attempts to restore scheduler/dedup/store/provenance state from the
+  // work dir's checkpoint manifest. False (with the engine still pristine)
+  // when no manifest exists, it fails validation, or it was produced by a
+  // different input (fingerprint mismatch) — the caller starts fresh.
+  bool TryResume(VertexId num_vertices);
+  // Quiesces the I/O worker, publishes a manifest of the current state
+  // (atomic temp + fsync + rename), then deletes retired partition files.
+  void WriteCheckpoint();
 
   const Grammar* grammar_;
   ConstraintOracle* oracle_;
@@ -204,6 +228,9 @@ class GraphEngine : public EdgeSink {
   obs::MetricId h_join_round_joins_;
   obs::MetricId c_witnesses_decoded_;
   obs::MetricId h_witness_decode_ns_;
+  obs::MetricId c_ckpt_written_;
+  obs::MetricId c_ckpt_bytes_;
+  obs::MetricId c_runs_resumed_;
   PartitionStore store_;
   std::unique_ptr<obs::ProvenanceWriter> provenance_;
   ThreadPool pool_;
@@ -215,6 +242,11 @@ class GraphEngine : public EdgeSink {
 
   // Pair-scheduling bookkeeping: versions of (pi, pj) when last processed.
   std::map<std::pair<size_t, size_t>, std::pair<uint64_t, uint64_t>> pair_done_;
+
+  // Checkpoint bookkeeping (only used when options_.checkpoint_interval>0).
+  uint64_t base_fingerprint_ = 0;  // identifies the input; pinned in manifests
+  uint32_t pairs_since_checkpoint_ = 0;
+  WallTimer since_last_checkpoint_;
 };
 
 }  // namespace grapple

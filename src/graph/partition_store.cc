@@ -1,6 +1,8 @@
 #include "src/graph/partition_store.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <unordered_set>
 #include <utility>
 
 #include "src/graph/partition_codec.h"
@@ -68,12 +70,31 @@ void PartitionStore::Enqueue(std::function<void()> fn) {
 }
 
 void PartitionStore::Sync() {
-  if (io_pool_ == nullptr) {
-    return;
+  if (io_pool_ != nullptr) {
+    ScopedPhase phase(profiler_, "io");
+    obs::ScopedSpan span("io_sync", "io");
+    io_pool_->Wait();
   }
-  ScopedPhase phase(profiler_, "io");
-  obs::ScopedSpan span("io_sync", "io");
-  io_pool_->Wait();
+  ThrowIfIoError();
+}
+
+void PartitionStore::RecordIoError(const std::string& message) {
+  std::lock_guard<std::mutex> lock(io_error_mutex_);
+  if (io_error_.empty()) {
+    io_error_ = message;
+  }
+  GRAPPLE_LOG(ERROR) << message;
+}
+
+void PartitionStore::ThrowIfIoError() {
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(io_error_mutex_);
+    message = io_error_;
+  }
+  if (!message.empty()) {
+    throw IoError(message);
+  }
 }
 
 void PartitionStore::InvalidateCache(const std::string& path) {
@@ -117,13 +138,15 @@ void PartitionStore::CachePut(const std::string& path, uint64_t version, uint64_
   cache_bytes_ += charge;
 }
 
-std::vector<EdgeRecord> PartitionStore::DecodeOrDie(const std::string& path,
-                                                    const std::vector<uint8_t>& bytes,
-                                                    uint64_t edges_hint) const {
+std::vector<EdgeRecord> PartitionStore::DecodeOrThrow(const std::string& path,
+                                                      const std::vector<uint8_t>& bytes,
+                                                      uint64_t edges_hint) const {
   std::vector<EdgeRecord> edges;
   edges.reserve(edges_hint);
   PartitionDecodeStatus status = DecodePartitionBytes(path, bytes, &edges);
-  GRAPPLE_CHECK(status.ok) << "partition file corrupt: " << status.error;
+  if (!status.ok) {
+    throw IoError("partition file corrupt: " + status.error);
+  }
   return edges;
 }
 
@@ -140,9 +163,12 @@ uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeR
     if (metrics_ != nullptr) {
       metrics_->Add(c_bytes_written_, buffer.size());
     }
-    bool ok = rewrite ? WriteFileBytes(path, buffer) : AppendFileBytes(path, buffer);
-    GRAPPLE_CHECK(ok) << "failed to " << (rewrite ? "write" : "append to") << " partition "
-                      << path;
+    std::string error;
+    bool ok = rewrite ? WriteFileBytes(path, buffer, &error) : AppendFileBytes(path, buffer, &error);
+    if (!ok) {
+      throw IoError("partition " + std::string(rewrite ? "write" : "append") + " failed: " +
+                    error);
+    }
     return buffer.size();
   }
   // Write-behind: the caller only pays for handing the edges over; the block
@@ -173,9 +199,16 @@ uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeR
       metrics_->Add(c_compressed_bytes_, buffer.size());
       metrics_->Add(c_bytes_written_, buffer.size());
     }
-    bool ok = rewrite ? WriteFileBytes(path, buffer) : AppendFileBytes(path, buffer);
-    GRAPPLE_CHECK(ok) << "failed to " << (rewrite ? "write" : "append to") << " partition "
-                      << path;
+    std::string error;
+    bool ok = rewrite ? WriteFileBytes(path, buffer, &error) : AppendFileBytes(path, buffer, &error);
+    if (!ok) {
+      // Worker thread: aborting here would take down the whole process for
+      // one checker's disk problem, and silently dropping the failure would
+      // let the run "complete" against missing bytes. Record it; the next
+      // foreground barrier (Sync/Load) rethrows it on the engine's thread.
+      RecordIoError("background partition " + std::string(rewrite ? "write" : "append") +
+                    " failed: " + error);
+    }
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = pending_writes_.find(path);
     if (it != pending_writes_.end() && --it->second == 0) {
@@ -348,6 +381,7 @@ void PartitionStore::Hint(const std::vector<size_t>& next_indices) {
 std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
   ScopedPhase phase(profiler_, "io");
   obs::ScopedSpan span("partition_load", "io");
+  ThrowIfIoError();
   const PartitionInfo& info = partitions_[index];
   if (io_pool_ != nullptr) {
     bool pending = false;
@@ -392,20 +426,34 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
     }
     if (pending_write) {
       io_pool_->Wait();
+      ThrowIfIoError();
     }
   }
   std::vector<uint8_t> bytes;
-  GRAPPLE_CHECK(ReadFileBytes(info.path, &bytes)) << "failed to read partition " << info.path;
+  std::string error;
+  if (!ReadFileBytes(info.path, &bytes, &error)) {
+    throw IoError("partition load failed: " + error);
+  }
   if (metrics_ != nullptr) {
     metrics_->Add(c_loads_);
     metrics_->Add(c_bytes_read_, bytes.size());
   }
-  return DecodeOrDie(info.path, bytes, info.edges);
+  return DecodeOrThrow(info.path, bytes, info.edges);
 }
 
 void PartitionStore::Rewrite(size_t index, const std::vector<EdgeRecord>& edges) {
   PartitionInfo& info = partitions_[index];
   InvalidateCache(info.path);
+  if (checkpoint_mode_ && pinned_.count(info.path) > 0) {
+    // Never overwrite a file the last published manifest references:
+    // rewrite into a fresh generation and retire the old file until the
+    // next manifest (which references the new path) is published.
+    // Unpinned files rewrite in place — a crash can only corrupt state no
+    // manifest describes, which recovery deletes unread.
+    retired_.push_back(info.path);
+    ++file_counter_;
+    info.path = FileFor(info.lo);
+  }
   std::shared_ptr<const std::vector<EdgeRecord>> content;
   WriteEdges(info.path, edges, &info.bytes, &content);
   info.edges = edges.size();
@@ -490,7 +538,10 @@ size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edg
     metrics_->Add(c_splits_);
   }
   InvalidateCache(original.path);
-  if (pipeline_.enabled) {
+  if (checkpoint_mode_ && pinned_.count(original.path) > 0) {
+    // Deferred: the last published manifest still references this file.
+    retired_.push_back(original.path);
+  } else if (pipeline_.enabled) {
     // Queued so the removal happens after any pending append to the file.
     Enqueue([path = original.path] { RemoveFile(path); });
   } else {
@@ -523,6 +574,109 @@ uint64_t PartitionStore::EdgesAtVersion(size_t index, uint64_t version) const {
     }
   }
   return count;
+}
+
+std::vector<CheckpointPartition> PartitionStore::SnapshotForCheckpoint() const {
+  std::vector<CheckpointPartition> snapshot;
+  snapshot.reserve(partitions_.size());
+  for (const PartitionInfo& info : partitions_) {
+    CheckpointPartition cp;
+    cp.lo = info.lo;
+    cp.hi = info.hi;
+    size_t slash = info.path.rfind('/');
+    cp.file = slash == std::string::npos ? info.path : info.path.substr(slash + 1);
+    cp.bytes = info.bytes;
+    cp.edges = info.edges;
+    cp.version = info.version;
+    int64_t disk = FileSizeBytes(info.path);
+    cp.disk_bytes = disk < 0 ? 0 : static_cast<uint64_t>(disk);
+    cp.segments = info.segments;
+    snapshot.push_back(std::move(cp));
+  }
+  return snapshot;
+}
+
+bool PartitionStore::RestoreFromCheckpoint(const std::vector<CheckpointPartition>& partitions,
+                                           uint64_t file_counter, VertexId num_vertices,
+                                           std::string* error) {
+  partitions_.clear();
+  num_vertices_ = num_vertices;
+  file_counter_ = file_counter;
+  retired_.clear();
+  std::unordered_set<std::string> referenced;
+  for (const CheckpointPartition& cp : partitions) {
+    std::string path = dir_ + "/" + cp.file;
+    int64_t size = FileSizeBytes(path);
+    if (size < 0 || static_cast<uint64_t>(size) < cp.disk_bytes) {
+      partitions_.clear();
+      if (error != nullptr) {
+        *error = "checkpointed partition " + path + " is " +
+                 (size < 0 ? "missing" : "shorter than the recorded " +
+                                             std::to_string(cp.disk_bytes) + " bytes");
+      }
+      return false;
+    }
+    // Generation truncation: bytes past the manifest's recorded size were
+    // written by the dead run after the manifest published; drop them so
+    // the file is exactly the state the manifest describes.
+    if (static_cast<uint64_t>(size) > cp.disk_bytes &&
+        !TruncateFile(path, cp.disk_bytes, error)) {
+      partitions_.clear();
+      return false;
+    }
+    PartitionInfo info;
+    info.lo = cp.lo;
+    info.hi = cp.hi;
+    info.path = path;
+    info.bytes = cp.bytes;
+    info.edges = cp.edges;
+    info.version = cp.version;
+    info.segments = cp.segments;
+    partitions_.push_back(std::move(info));
+    referenced.insert(cp.file);
+  }
+  // The manifest that described these files is still the live one on disk;
+  // until the next publish supersedes it, they must stay byte-stable.
+  MarkCheckpointPublished();
+  // Strays: partition files the dead run created after the manifest (new
+  // generations, split pieces) or retired files it never got to delete.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("part-", 0) == 0 && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".edges") == 0 && referenced.count(name) == 0) {
+      RemoveFile(entry.path().string());
+    }
+  }
+  return true;
+}
+
+void PartitionStore::MarkCheckpointPublished() {
+  pinned_.clear();
+  for (const PartitionInfo& info : partitions_) {
+    pinned_.insert(info.path);
+  }
+}
+
+void PartitionStore::CollectGarbage() {
+  for (const std::string& path : retired_) {
+    RemoveFile(path);
+  }
+  retired_.clear();
+}
+
+void PartitionStore::CleanWorkDirForFreshStart() {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    bool stale = (name.rfind("part-", 0) == 0 && name.size() > 6 &&
+                  name.compare(name.size() - 6, 6, ".edges") == 0) ||
+                 name == "checkpoint.manifest" || name == "checkpoint.manifest.tmp" ||
+                 name == "provenance.bin";
+    if (stale) {
+      RemoveFile(entry.path().string());
+    }
+  }
 }
 
 uint64_t PartitionStore::TotalBytes() const {

@@ -32,8 +32,10 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "src/graph/checkpoint.h"
 #include "src/graph/edge.h"
 #include "src/obs/metrics.h"
 #include "src/support/budget_arbiter.h"
@@ -123,8 +125,57 @@ class PartitionStore {
 
   // Barrier: blocks until every queued write/read has hit the filesystem
   // or the cache. Cheap when the queue is empty. No-op when pipelining is
-  // off. Counted as foreground "io" time.
+  // off. Counted as foreground "io" time. Throws IoError if any background
+  // write failed since the last barrier (see also Load).
   void Sync();
+
+  // --- checkpoint / recovery support (DESIGN.md §11) ---
+
+  // Must be called before Initialize()/RestoreFromCheckpoint(). In
+  // checkpoint mode, Rewrite and SplitAndRewrite never mutate or delete a
+  // file the last published manifest references (see
+  // MarkCheckpointPublished): such files are replaced by fresh generations
+  // and retired, deleted only by CollectGarbage() once the next manifest —
+  // which no longer references them — has been published. Files no
+  // manifest points at are rewritten in place: a crash can only corrupt
+  // state recovery never reads (restore deletes unreferenced strays), and
+  // skipping the generation churn keeps checkpoint-mode rewrites at
+  // non-checkpoint cost between manifests.
+  void SetCheckpointMode(bool enabled) { checkpoint_mode_ = enabled; }
+
+  // Pins the current partition files as "referenced by a published
+  // manifest". The engine calls this right after a manifest naming exactly
+  // these files lands on disk (no mutations happen between the snapshot
+  // and the publish). RestoreFromCheckpoint pins the restored files for
+  // the same reason: the manifest that described them is still live.
+  void MarkCheckpointPublished();
+
+  uint64_t file_counter() const { return file_counter_; }
+
+  // Captures the current layout for a manifest, including each file's
+  // on-disk size (the truncation point for recovery). Caller must Sync()
+  // first so the sizes are final.
+  std::vector<CheckpointPartition> SnapshotForCheckpoint() const;
+
+  // Rebuilds the layout from a manifest: truncates every referenced file
+  // back to its recorded size (dropping bytes a crashed run appended past
+  // the manifest), deletes unreferenced part-*.edges strays, and restores
+  // the counters. On failure (referenced file missing or shorter than
+  // recorded) the store is left empty and *error describes the problem —
+  // the caller falls back to a clean start.
+  bool RestoreFromCheckpoint(const std::vector<CheckpointPartition>& partitions,
+                             uint64_t file_counter, VertexId num_vertices, std::string* error);
+
+  // Deletes files retired since the last call. Only valid right after a
+  // Sync() + manifest publish: retired paths must have no queued writes,
+  // and must no longer be referenced by the on-disk manifest.
+  void CollectGarbage();
+
+  // Removes all engine-owned state from the work dir (partition files,
+  // manifest + temp, provenance log) so a fresh run cannot be confused by
+  // a dead run's leftovers. The fresh-start path when no usable manifest
+  // exists.
+  void CleanWorkDirForFreshStart();
 
   // Cumulative edge count of partition `index` as of `version` (0 when the
   // partition's history does not reach back that far, e.g. after a split).
@@ -175,11 +226,16 @@ class PartitionStore {
   // Drops the cache entry for `path` (if any), counting it as wasted when
   // it was never consumed. Caller holds no locks.
   void InvalidateCache(const std::string& path);
-  // Decodes partition bytes, failing the process with the decoded
-  // diagnostic on corruption.
-  std::vector<EdgeRecord> DecodeOrDie(const std::string& path, const std::vector<uint8_t>& bytes,
-                                      uint64_t edges_hint) const;
+  // Decodes partition bytes, throwing IoError with the decoded diagnostic
+  // on corruption.
+  std::vector<EdgeRecord> DecodeOrThrow(const std::string& path,
+                                        const std::vector<uint8_t>& bytes,
+                                        uint64_t edges_hint) const;
   uint64_t CacheCapacity() const;
+  // Records the first background write failure; surfaced by Sync()/Load().
+  void RecordIoError(const std::string& message);
+  // Throws IoError carrying the first recorded background failure, if any.
+  void ThrowIfIoError();
 
   std::string dir_;
   PhaseProfiler* profiler_;
@@ -200,6 +256,17 @@ class PartitionStore {
   VertexId num_vertices_ = 0;
   std::vector<PartitionInfo> partitions_;  // sorted by lo, contiguous
   uint64_t file_counter_ = 0;
+  bool checkpoint_mode_ = false;
+  // Paths replaced while in checkpoint mode, awaiting CollectGarbage().
+  std::vector<std::string> retired_;
+  // Paths the last published manifest references (foreground-only, like
+  // all partition metadata). Only these need copy-on-write rewrites.
+  std::unordered_set<std::string> pinned_;
+  // First background-write failure message, surfaced at the next barrier
+  // instead of being dropped on the worker thread. Guarded by its mutex
+  // (the worker writes, the foreground reads).
+  std::mutex io_error_mutex_;
+  std::string io_error_;
 
   // --- pipelined-mode state. `cache_mutex_` guards `cache_` and
   // `pending_writes_`; everything else below is foreground-only. The worker

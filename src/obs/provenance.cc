@@ -123,6 +123,18 @@ void ProvenanceWriter::RecordRewrite(uint64_t hash, const ProvEdge& edge,
   Put(ProvKind::kRewrite, hash, edge, payload, len, parent, parent_edge, 0, ProvEdge(), false);
 }
 
+void ProvenanceWriter::ResumeAt(uint64_t bytes, uint64_t records) {
+  buffer_.clear();
+  bytes_ = bytes;
+  records_ = records;
+  // The on-disk prefix is live: later flushes must append, never truncate.
+  file_started_ = true;
+  if (metrics_ != nullptr) {
+    metrics_->Add(c_records_, records);
+    metrics_->Add(c_bytes_, bytes);
+  }
+}
+
 bool ProvenanceWriter::Flush() {
   if (buffer_.empty()) {
     // A phase that recorded nothing still leaves an (empty) log behind, so

@@ -99,6 +99,12 @@ class ProvenanceWriter {
   // (also logged; recording continues best-effort).
   bool Flush();
 
+  // Checkpoint-resume support: declares that `bytes`/`records` of log are
+  // already on disk (the caller truncated the file to that high-water mark),
+  // so subsequent flushes append after them instead of truncating. Must be
+  // called before the first Record*.
+  void ResumeAt(uint64_t bytes, uint64_t records);
+
   uint64_t records_written() const { return records_; }
   uint64_t bytes_written() const { return bytes_; }
 

@@ -8,10 +8,41 @@
 #define GRAPPLE_SRC_SUPPORT_BYTE_IO_H_
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace grapple {
+
+// Unrecoverable I/O failure after retries are exhausted. The file helpers
+// below report errors via bool + message; layers that cannot continue in
+// place (partition store, engine) rethrow the message as IoError so the
+// core facade can isolate the failing checker instead of aborting the
+// whole process.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Retry policy for transient I/O failures (EINTR/EAGAIN, short writes,
+// short reads, injected faults): up to `max_retries` additional attempts,
+// exponential backoff starting at `backoff_base_us` with deterministic
+// jitter drawn from a splitmix64 stream seeded by `jitter_seed`.
+// `backoff_base_us = 0` disables sleeping (tests). Installed process-wide
+// by GrappleOptions::Robustness (GRAPPLE_IO_RETRIES / GRAPPLE_IO_BACKOFF_US
+// override).
+struct IoRetryPolicy {
+  uint32_t max_retries = 4;
+  uint32_t backoff_base_us = 50;
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+void SetIoRetryPolicy(const IoRetryPolicy& policy);
+IoRetryPolicy GetIoRetryPolicy();
+
+// Process-wide count of retried I/O attempts, exported as the io_retries
+// gauge by the engine.
+uint64_t IoRetriesTotal();
 
 // Appends an unsigned LEB128 varint.
 void PutVarint64(std::vector<uint8_t>* out, uint64_t value);
@@ -52,10 +83,23 @@ class ByteReader {
   bool ok_ = true;
 };
 
-// Whole-file helpers (binary). Return false on I/O errors.
-bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
-bool AppendFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
-bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes);
+// Whole-file helpers (binary). Return false on I/O errors; when `error` is
+// non-null it receives a message naming the operation and the file.
+// Transient failures retry per the installed IoRetryPolicy; all of them
+// consult the fault-injection shim once per attempt.
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes,
+                    std::string* error = nullptr);
+bool AppendFileBytes(const std::string& path, const std::vector<uint8_t>& bytes,
+                     std::string* error = nullptr);
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes,
+                   std::string* error = nullptr);
+// Truncates (or extends with zeros) to exactly `size` bytes. Recovery uses
+// this to drop partition bytes written past the last checkpoint manifest.
+bool TruncateFile(const std::string& path, uint64_t size, std::string* error = nullptr);
+// fsync() the file contents (not the containing directory).
+bool SyncFile(const std::string& path, std::string* error = nullptr);
+// rename(2); atomic within a filesystem. The manifest publish step.
+bool RenameFile(const std::string& from, const std::string& to, std::string* error = nullptr);
 bool FileExists(const std::string& path);
 int64_t FileSizeBytes(const std::string& path);
 bool RemoveFile(const std::string& path);

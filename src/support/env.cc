@@ -65,4 +65,29 @@ size_t ResolveThreadCount(size_t requested) {
 
 bool ResolveIoPipeline(bool requested) { return EnvBool("GRAPPLE_IO_PIPELINE", requested); }
 
+uint32_t ResolveCheckpointInterval(uint32_t requested) {
+  int64_t forced = EnvInt64("GRAPPLE_CHECKPOINT_INTERVAL", 0);
+  if (forced > 0) {
+    return static_cast<uint32_t>(forced);
+  }
+  bool enabled = EnvBool("GRAPPLE_CHECKPOINT", requested > 0);
+  if (!enabled) {
+    return 0;
+  }
+  return requested > 0 ? requested : kDefaultCheckpointInterval;
+}
+
+double ResolveCheckpointSpacing(double requested) {
+  const char* value = EnvRaw("GRAPPLE_CHECKPOINT_SPACING");
+  if (value == nullptr) {
+    return requested;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || (end != nullptr && *end != '\0') || parsed < 0) {
+    return requested;
+  }
+  return parsed;
+}
+
 }  // namespace grapple

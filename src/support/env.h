@@ -24,6 +24,26 @@
 //                            byte-identical either way — the knob exists for
 //                            A/B timing and for disabling the background I/O
 //                            thread; see ResolveIoPipeline
+//   GRAPPLE_CHECKPOINT       on|off: overrides whether crash-safe
+//                            checkpointing is enabled (DESIGN.md §11). "on"
+//                            with no interval configured selects the default
+//                            cadence; see ResolveCheckpointInterval
+//   GRAPPLE_CHECKPOINT_INTERVAL
+//                            positive integer: checkpoint every N processed
+//                            partition pairs, overriding the option outright
+//   GRAPPLE_CHECKPOINT_SPACING
+//                            non-negative seconds: minimum wall-clock gap
+//                            between interval-triggered manifests (bounds
+//                            checkpoint overhead when pairs are cheap);
+//                            0 = publish on every interval hit
+//   GRAPPLE_IO_RETRIES       non-negative integer: overrides the bounded
+//                            retry count for transient I/O failures
+//                            (support/byte_io.h IoRetryPolicy.max_retries)
+//   GRAPPLE_IO_BACKOFF_US    non-negative integer: base microseconds of the
+//                            exponential backoff between I/O retries
+//                            (IoRetryPolicy.backoff_base_us; 0 = no sleep)
+//   GRAPPLE_FAULTS           fault-injection spec (tests/CI only): see
+//                            support/fault_injection.h for the grammar
 //
 // Thread-count convention: a thread-count option of 0 means "use the
 // hardware concurrency" — uniformly, wherever a pool is sized. Call sites
@@ -58,6 +78,19 @@ size_t ResolveThreadCount(size_t requested);
 // Resolves the pipelined-I/O option: GRAPPLE_IO_PIPELINE (on/off) overrides
 // `requested` outright when set.
 bool ResolveIoPipeline(bool requested);
+
+// Resolves the checkpoint cadence (0 = disabled):
+// GRAPPLE_CHECKPOINT_INTERVAL (positive integer) overrides `requested`
+// outright; else GRAPPLE_CHECKPOINT=on enables the default cadence
+// (kDefaultCheckpointInterval) when `requested` is 0, and =off forces 0.
+inline constexpr uint32_t kDefaultCheckpointInterval = 8;
+uint32_t ResolveCheckpointInterval(uint32_t requested);
+
+// Resolves the minimum wall-clock spacing (seconds) between
+// interval-triggered checkpoint manifests: GRAPPLE_CHECKPOINT_SPACING
+// (non-negative seconds, fractions allowed) overrides `requested` when set
+// and parseable.
+double ResolveCheckpointSpacing(double requested);
 
 }  // namespace grapple
 

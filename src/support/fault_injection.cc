@@ -1,0 +1,309 @@
+#include "src/support/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "src/support/logging.h"
+
+namespace grapple {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+enum class ClauseKind : uint8_t { kCrash, kFail, kShortWrite, kFlip, kTorn };
+
+struct Clause {
+  ClauseKind kind;
+  // kCrash: the crash-point name; otherwise unused.
+  std::string point;
+  Op op = Op::kWrite;
+  uint64_t ordinal = 1;      // 1-based attempt/hit number
+  bool from_ordinal_on = false;  // `#N+`: every attempt from the Nth
+  uint64_t arg = 0;          // shortwrite byte count / flip byte index
+  std::string path_substr;   // empty = match any path
+  std::atomic<uint64_t> hits{0};
+
+  Clause() = default;
+  Clause(const Clause& other)
+      : kind(other.kind),
+        point(other.point),
+        op(other.op),
+        ordinal(other.ordinal),
+        from_ordinal_on(other.from_ordinal_on),
+        arg(other.arg),
+        path_substr(other.path_substr),
+        hits(other.hits.load(std::memory_order_relaxed)) {}
+};
+
+struct Plan {
+  std::vector<Clause> clauses;
+};
+
+std::mutex g_mutex;
+Plan* g_plan = nullptr;  // guarded by g_mutex, as are all clause counters
+std::atomic<uint64_t> g_injected{0};
+
+bool ParseOp(const std::string& s, Op* op) {
+  if (s == "read") {
+    *op = Op::kRead;
+  } else if (s == "write") {
+    *op = Op::kWrite;
+  } else if (s == "fsync") {
+    *op = Op::kFsync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// Splits off a trailing `:path=<substr>` filter, if present.
+void TakePathFilter(std::string* body, std::string* path_substr) {
+  size_t at = body->rfind(":path=");
+  if (at != std::string::npos) {
+    *path_substr = body->substr(at + 6);
+    body->resize(at);
+  }
+}
+
+bool ParseClause(const std::string& text, Clause* clause, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "bad fault clause '" + text + "': " + why;
+    }
+    return false;
+  };
+  size_t at = text.find('@');
+  if (at == std::string::npos) {
+    return fail("missing '@'");
+  }
+  std::string verb = text.substr(0, at);
+  std::string body = text.substr(at + 1);
+  TakePathFilter(&body, &clause->path_substr);
+
+  // body is now <target>[#N[+]][:arg]
+  std::string target = body;
+  std::string ordinal_text;
+  std::string arg_text;
+  size_t hash = body.find('#');
+  if (hash != std::string::npos) {
+    target = body.substr(0, hash);
+    ordinal_text = body.substr(hash + 1);
+    size_t colon = ordinal_text.find(':');
+    if (colon != std::string::npos) {
+      arg_text = ordinal_text.substr(colon + 1);
+      ordinal_text.resize(colon);
+    }
+    if (!ordinal_text.empty() && ordinal_text.back() == '+') {
+      clause->from_ordinal_on = true;
+      ordinal_text.pop_back();
+    }
+    if (!ParseUint(ordinal_text, &clause->ordinal) || clause->ordinal == 0) {
+      return fail("ordinal must be a positive integer");
+    }
+  }
+
+  if (verb == "crash") {
+    clause->kind = ClauseKind::kCrash;
+    clause->point = target;
+    bool known = false;
+    for (const std::string& p : AllCrashPoints()) {
+      known = known || p == target;
+    }
+    if (!known) {
+      return fail("unknown crash point '" + target + "'");
+    }
+    return true;
+  }
+  if (!ParseOp(target, &clause->op)) {
+    return fail("op must be read|write|fsync");
+  }
+  if (verb == "fail") {
+    clause->kind = ClauseKind::kFail;
+    return true;
+  }
+  if (verb == "shortwrite") {
+    clause->kind = ClauseKind::kShortWrite;
+    if (clause->op != Op::kWrite || !ParseUint(arg_text, &clause->arg)) {
+      return fail("expected shortwrite@write#N:K");
+    }
+    return true;
+  }
+  if (verb == "flip") {
+    clause->kind = ClauseKind::kFlip;
+    if (clause->op != Op::kRead || !ParseUint(arg_text, &clause->arg)) {
+      return fail("expected flip@read#N:B");
+    }
+    return true;
+  }
+  if (verb == "torn") {
+    clause->kind = ClauseKind::kTorn;
+    if (clause->op != Op::kWrite) {
+      return fail("torn applies to write only");
+    }
+    return true;
+  }
+  return fail("unknown verb '" + verb + "'");
+}
+
+// True when this attempt/hit (1-based `count`) matches the clause ordinal.
+bool OrdinalMatches(const Clause& clause, uint64_t count) {
+  return clause.from_ordinal_on ? count >= clause.ordinal : count == clause.ordinal;
+}
+
+// Applies GRAPPLE_FAULTS exactly once, before main() runs, so the plan is in
+// place before any engine thread starts and Enabled() never races a writer.
+const bool g_env_applied = [] {
+  const char* spec = std::getenv("GRAPPLE_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    std::string error;
+    if (!Configure(spec, &error)) {
+      std::fprintf(stderr, "GRAPPLE_FAULTS: %s\n", error.c_str());
+      std::abort();
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+Action OnIo(Op op, const std::string& path) {
+  Action action;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_plan == nullptr) {
+    return action;
+  }
+  for (Clause& clause : g_plan->clauses) {
+    if (clause.kind == ClauseKind::kCrash || clause.op != op) {
+      continue;
+    }
+    if (!clause.path_substr.empty() && path.find(clause.path_substr) == std::string::npos) {
+      continue;
+    }
+    uint64_t count = clause.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!OrdinalMatches(clause, count)) {
+      continue;
+    }
+    switch (clause.kind) {
+      case ClauseKind::kFail:
+        action.kind = Action::Kind::kFail;
+        break;
+      case ClauseKind::kShortWrite:
+        action.kind = Action::Kind::kShortWrite;
+        action.arg = clause.arg;
+        break;
+      case ClauseKind::kFlip:
+        action.kind = Action::Kind::kFlipBit;
+        action.arg = clause.arg;
+        break;
+      case ClauseKind::kTorn:
+        action.kind = Action::Kind::kTorn;
+        break;
+      case ClauseKind::kCrash:
+        break;
+    }
+    if (action.kind != Action::Kind::kNone) {
+      g_injected.fetch_add(1, std::memory_order_relaxed);
+      return action;  // first matching clause wins
+    }
+  }
+  return action;
+}
+
+void CrashPoint(const char* name) {
+  if (!Enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_plan == nullptr) {
+    return;
+  }
+  for (Clause& clause : g_plan->clauses) {
+    if (clause.kind != ClauseKind::kCrash || clause.point != name) {
+      continue;
+    }
+    uint64_t count = clause.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (OrdinalMatches(clause, count)) {
+      g_injected.fetch_add(1, std::memory_order_relaxed);
+      // Simulated kill -9: no stack unwinding, no atexit, no flushing —
+      // exactly the state a real SIGKILL leaves behind.
+      _exit(kCrashExitCode);
+    }
+  }
+}
+
+const std::vector<std::string>& AllCrashPoints() {
+  static const std::vector<std::string> kPoints = {
+      "finalize_done",       // base edges expanded, store initialized
+      "run_pair_done",       // one partition pair fully processed
+      "ckpt_begin",          // checkpoint started, store not yet quiesced
+      "ckpt_temp_written",   // manifest temp file written + fsynced
+      "ckpt_published",      // manifest renamed into place
+      "ckpt_gc_done",        // retired partition files deleted
+      "run_complete",        // fixpoint reached, final manifest published
+  };
+  return kPoints;
+}
+
+uint64_t InjectedCount() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+bool Configure(const std::string& spec, std::string* error) {
+  auto plan = std::make_unique<Plan>();
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string text =
+        comma == std::string::npos ? spec.substr(start) : spec.substr(start, comma - start);
+    if (!text.empty()) {
+      Clause clause;
+      if (!ParseClause(text, &clause, error)) {
+        return false;
+      }
+      plan->clauses.push_back(clause);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  delete g_plan;
+  g_plan = plan->clauses.empty() ? nullptr : plan.release();
+  internal::g_enabled.store(g_plan != nullptr, std::memory_order_relaxed);
+  return true;
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  delete g_plan;
+  g_plan = nullptr;
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace grapple

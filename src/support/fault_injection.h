@@ -1,0 +1,98 @@
+// Deterministic fault injection for the I/O stack.
+//
+// Recovery correctness cannot be tested by hoping for real disk errors, so
+// every byte_io file operation and every engine crash point consults this
+// shim. A fault plan is a comma-separated spec, normally supplied via the
+// GRAPPLE_FAULTS environment variable (parsed once at process start) or via
+// Configure() in tests:
+//
+//   crash@<point>[#N]            _exit(137) at the Nth hit of a named crash
+//                                point (default N=1), simulating `kill -9`
+//   fail@<op>#N[+]               fail the Nth <op> attempt (with `+`: every
+//                                attempt from the Nth on, so retries exhaust)
+//   shortwrite@write#N:K         the Nth write attempt persists only K bytes
+//   flip@read#N:B                flip one bit of byte B (mod size) in the
+//                                result of the Nth read
+//   torn@write#N                 persist half the bytes of the Nth write,
+//                                then _exit(137) (a torn write under power
+//                                loss)
+//
+// <op> is one of read|write|fsync. Any clause may end with `:path=<substr>`
+// to apply only to files whose path contains the substring; attempts that do
+// not match the filter do not advance that clause's counter. Example:
+//
+//   GRAPPLE_FAULTS='fail@write#2,crash@ckpt_published#1:path=typestate-io'
+//
+// Counters are per-clause and process-global (atomic). Ordinals are counted
+// per *attempt* (one syscall round inside byte_io's retry loop), which makes
+// `fail@<op>#N` a transient error absorbed by the retry path and
+// `fail@<op>#N+` a hard failure that exhausts it.
+//
+// Cost when disabled: Enabled() is a single relaxed atomic load, so hot
+// read/write paths pay one predicted branch and nothing else.
+#ifndef GRAPPLE_SRC_SUPPORT_FAULT_INJECTION_H_
+#define GRAPPLE_SRC_SUPPORT_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grapple {
+namespace fault {
+
+// Exit code used by injected crashes; matches the shell's code for a process
+// killed by SIGKILL so scripted harnesses can treat both the same way.
+inline constexpr int kCrashExitCode = 137;
+
+enum class Op : uint8_t { kRead = 0, kWrite = 1, kFsync = 2 };
+
+// Decision for one I/O attempt. kFail means "pretend the syscall failed with
+// a transient errno"; kShortWrite means "persist only `arg` bytes"; kFlipBit
+// means "corrupt bit 0 of byte `arg` (mod size) of the data read"; kTorn
+// means "persist half, then crash".
+struct Action {
+  enum class Kind : uint8_t { kNone, kFail, kShortWrite, kFlipBit, kTorn };
+  Kind kind = Kind::kNone;
+  uint64_t arg = 0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// True when a fault plan is active. The only cost on hot paths.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Consulted once per I/O attempt; returns the injected action, if any.
+// Callers must check Enabled() first. Thread-safe.
+Action OnIo(Op op, const std::string& path);
+
+// Named crash point: calls _exit(kCrashExitCode) when a matching crash@
+// clause reaches its ordinal. The name must be registered in
+// AllCrashPoints(). No-op (one predicted branch) when disabled.
+void CrashPoint(const char* name);
+
+// The canonical list of registered crash points, in the order the engine
+// reaches them. Recovery sweep tests iterate this list so a newly added
+// point is automatically covered.
+const std::vector<std::string>& AllCrashPoints();
+
+// Process-wide count of non-kNone decisions handed out (exported as the
+// faults_injected gauge).
+uint64_t InjectedCount();
+
+// (Re)installs a fault plan; an empty spec disables injection. Returns false
+// and sets *error on a malformed spec. Intended for tests; production runs
+// configure via GRAPPLE_FAULTS, applied automatically at process start.
+bool Configure(const std::string& spec, std::string* error = nullptr);
+
+// Disables injection and clears all counters.
+void Reset();
+
+}  // namespace fault
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_FAULT_INJECTION_H_

@@ -1,0 +1,184 @@
+// The deterministic fault-injection shim (support/fault_injection.h) and
+// its integration with byte_io's bounded-retry loops: spec parsing,
+// per-attempt ordinal counting, path filters, and the distinction between
+// transient faults (absorbed by retries) and hard faults (exhausting them).
+#include <gtest/gtest.h>
+
+#include "src/support/byte_io.h"
+#include "src/support/fault_injection.h"
+
+namespace grapple {
+namespace {
+
+// Every test leaves the process fault-free and with immediate (sleepless)
+// retries, so suites sharing the binary are unaffected.
+class FaultInjectionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Reset();
+    IoRetryPolicy policy;
+    policy.backoff_base_us = 0;
+    SetIoRetryPolicy(policy);
+  }
+  void TearDown() override {
+    fault::Reset();
+    SetIoRetryPolicy(IoRetryPolicy());
+  }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(FaultInjectionTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(fault::Configure("bogus", &error));
+  EXPECT_NE(error.find("missing '@'"), std::string::npos) << error;
+  EXPECT_FALSE(fault::Configure("fail@chmod#1", &error));
+  EXPECT_NE(error.find("read|write|fsync"), std::string::npos) << error;
+  EXPECT_FALSE(fault::Configure("crash@no_such_point#1", &error));
+  EXPECT_NE(error.find("unknown crash point"), std::string::npos) << error;
+  EXPECT_FALSE(fault::Configure("fail@write#0", &error));
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+  EXPECT_FALSE(fault::Configure("shortwrite@read#1:4", &error));
+  EXPECT_FALSE(fault::Configure("flip@write#1:0", &error));
+  // A failed Configure must not leave a plan half-installed.
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisables) {
+  ASSERT_TRUE(fault::Configure("fail@read#1"));
+  EXPECT_TRUE(fault::Enabled());
+  ASSERT_TRUE(fault::Configure(""));
+  EXPECT_FALSE(fault::Enabled());
+}
+
+TEST_F(FaultInjectionTest, OrdinalSelectsExactlyTheNthAttempt) {
+  ASSERT_TRUE(fault::Configure("fail@read#2"));
+  EXPECT_EQ(fault::OnIo(fault::Op::kRead, "f").kind, fault::Action::Kind::kNone);
+  EXPECT_EQ(fault::OnIo(fault::Op::kRead, "f").kind, fault::Action::Kind::kFail);
+  EXPECT_EQ(fault::OnIo(fault::Op::kRead, "f").kind, fault::Action::Kind::kNone);
+  EXPECT_EQ(fault::InjectedCount(), 1u);
+}
+
+TEST_F(FaultInjectionTest, PlusMeansEveryAttemptFromTheNthOn) {
+  ASSERT_TRUE(fault::Configure("fail@write#2+"));
+  EXPECT_EQ(fault::OnIo(fault::Op::kWrite, "f").kind, fault::Action::Kind::kNone);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fault::OnIo(fault::Op::kWrite, "f").kind, fault::Action::Kind::kFail);
+  }
+  EXPECT_EQ(fault::InjectedCount(), 5u);
+}
+
+TEST_F(FaultInjectionTest, OtherOpsDoNotAdvanceTheCounter) {
+  ASSERT_TRUE(fault::Configure("fail@fsync#1"));
+  EXPECT_EQ(fault::OnIo(fault::Op::kRead, "f").kind, fault::Action::Kind::kNone);
+  EXPECT_EQ(fault::OnIo(fault::Op::kWrite, "f").kind, fault::Action::Kind::kNone);
+  EXPECT_EQ(fault::OnIo(fault::Op::kFsync, "f").kind, fault::Action::Kind::kFail);
+}
+
+TEST_F(FaultInjectionTest, PathFilterSkipsWithoutConsuming) {
+  ASSERT_TRUE(fault::Configure("fail@write#1:path=alpha"));
+  // Non-matching paths neither fire nor burn the ordinal.
+  EXPECT_EQ(fault::OnIo(fault::Op::kWrite, "/tmp/beta/part-0.edges").kind,
+            fault::Action::Kind::kNone);
+  EXPECT_EQ(fault::OnIo(fault::Op::kWrite, "/tmp/alpha/part-0.edges").kind,
+            fault::Action::Kind::kFail);
+}
+
+TEST_F(FaultInjectionTest, ShortWriteAndFlipCarryTheirArgument) {
+  ASSERT_TRUE(fault::Configure("shortwrite@write#1:3,flip@read#1:7"));
+  fault::Action w = fault::OnIo(fault::Op::kWrite, "f");
+  EXPECT_EQ(w.kind, fault::Action::Kind::kShortWrite);
+  EXPECT_EQ(w.arg, 3u);
+  fault::Action r = fault::OnIo(fault::Op::kRead, "f");
+  EXPECT_EQ(r.kind, fault::Action::Kind::kFlipBit);
+  EXPECT_EQ(r.arg, 7u);
+}
+
+TEST_F(FaultInjectionTest, CrashPointsAreRegistered) {
+  // The recovery sweep iterates AllCrashPoints(); the contract is that each
+  // is a valid crash@ target.
+  ASSERT_FALSE(fault::AllCrashPoints().empty());
+  for (const std::string& point : fault::AllCrashPoints()) {
+    ASSERT_TRUE(fault::Configure("crash@" + point + "#1000000"))
+        << "crash point not accepted: " << point;
+  }
+}
+
+// --- byte_io integration: the retry loop absorbs transients, reports hard
+// failures with the operation and file name, and counts retries. ---
+
+TEST_F(FaultInjectionTest, TransientWriteFailureIsRetriedAndAbsorbed) {
+  TempDir dir("fault-io");
+  uint64_t retries_before = IoRetriesTotal();
+  ASSERT_TRUE(fault::Configure("fail@write#1"));
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::string error;
+  ASSERT_TRUE(WriteFileBytes(dir.File("a.bin"), payload, &error)) << error;
+  EXPECT_GE(IoRetriesTotal(), retries_before + 1);
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(ReadFileBytes(dir.File("a.bin"), &back));
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(FaultInjectionTest, ShortWritesCompleteAcrossRetries) {
+  TempDir dir("fault-io");
+  // Every write attempt persists at most 2 bytes; the loop must still land
+  // the full payload, in order.
+  ASSERT_TRUE(fault::Configure("shortwrite@write#1+:2"));
+  std::vector<uint8_t> payload = {9, 8, 7, 6, 5, 4, 3};
+  IoRetryPolicy policy;
+  policy.max_retries = 16;
+  policy.backoff_base_us = 0;
+  SetIoRetryPolicy(policy);
+  ASSERT_TRUE(WriteFileBytes(dir.File("short.bin"), payload));
+  fault::Reset();  // reads below must not be interfered with
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(ReadFileBytes(dir.File("short.bin"), &back));
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(FaultInjectionTest, HardWriteFailureNamesOperationAndFile) {
+  TempDir dir("fault-io");
+  ASSERT_TRUE(fault::Configure("fail@write#1+"));
+  std::string error;
+  EXPECT_FALSE(WriteFileBytes(dir.File("dead.bin"), {1, 2, 3}, &error));
+  EXPECT_NE(error.find("write"), std::string::npos) << error;
+  EXPECT_NE(error.find("dead.bin"), std::string::npos) << error;
+  EXPECT_NE(error.find("retries"), std::string::npos) << error;
+}
+
+TEST_F(FaultInjectionTest, BitFlipCorruptsExactlyOneReadByte) {
+  TempDir dir("fault-io");
+  std::vector<uint8_t> payload = {0x10, 0x20, 0x30, 0x40};
+  ASSERT_TRUE(WriteFileBytes(dir.File("flip.bin"), payload));
+  ASSERT_TRUE(fault::Configure("flip@read#1:2"));
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(ReadFileBytes(dir.File("flip.bin"), &back));
+  ASSERT_EQ(back.size(), payload.size());
+  EXPECT_EQ(back[2], payload[2] ^ 0x01);
+  back[2] = payload[2];
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(FaultInjectionTest, HardFsyncFailureSurfaces) {
+  TempDir dir("fault-io");
+  ASSERT_TRUE(WriteFileBytes(dir.File("s.bin"), {1}));
+  ASSERT_TRUE(fault::Configure("fail@fsync#1+"));
+  std::string error;
+  EXPECT_FALSE(SyncFile(dir.File("s.bin"), &error));
+  EXPECT_NE(error.find("s.bin"), std::string::npos) << error;
+}
+
+TEST_F(FaultInjectionTest, ResetClearsPlanAndCounters) {
+  ASSERT_TRUE(fault::Configure("fail@read#1"));
+  fault::OnIo(fault::Op::kRead, "f");
+  EXPECT_GE(fault::InjectedCount(), 1u);
+  fault::Reset();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_EQ(fault::InjectedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace grapple
