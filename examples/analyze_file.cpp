@@ -18,6 +18,13 @@
 // (see src/ir/parser.h for the grammar); example files live in
 // examples/testdata/.
 //
+// A separate post-mortem mode skips analysis entirely:
+//
+//   $ ./analyze_file --flightrec <work-dir>/flightrec.bin
+//
+// decodes a flight-recorder crash dump (DESIGN.md §12) and prints it as
+// JSON — the same output as `grapple-flightrec --json`.
+//
 // Exit codes: 0 no warnings, 1 warnings, 2 usage/parse error, 3 (--explain
 // only) a witness could not be decoded (witness_unavailable degradation) or
 // a checker run was degraded by an I/O failure.
@@ -31,6 +38,7 @@
 #include "src/checker/report_json.h"
 #include "src/core/grapple.h"
 #include "src/ir/parser.h"
+#include "src/obs/event_log.h"
 
 namespace {
 
@@ -48,10 +56,25 @@ bool ReadFile(const char* path, std::string* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--flightrec") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --flightrec <flightrec.bin>\n", argv[0]);
+      return 2;
+    }
+    grapple::obs::FlightRecording recording;
+    std::string flightrec_error;
+    if (!grapple::obs::DecodeFlightRecording(argv[2], &recording, &flightrec_error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[2], flightrec_error.c_str());
+      return 2;
+    }
+    std::printf("%s\n", grapple::obs::FlightRecordingToJson(recording).c_str());
+    return 0;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <program.grap> [io|lock|except|socket ...] [--fsm spec.fsm] "
-                 "[--stats] [--json] [--explain] [--work-dir dir]\n",
+                 "[--stats] [--json] [--explain] [--work-dir dir] "
+                 "[--flightrec flightrec.bin]\n",
                  argv[0]);
     return 2;
   }

@@ -41,8 +41,24 @@ for bench in "${benches[@]}"; do
   "${build_dir}/bench/${bench}"
 done
 
-# Aggregate: each BENCH_<name>.json is itself valid JSON, so the trajectory
-# file just embeds them as array elements (no jq/python dependency).
+# Validate every report before embedding it: the trajectory file is built
+# by concatenation, so one malformed BENCH_<name>.json would poison the
+# whole artifact and only surface later (in check_bench or a dashboard).
+# Fail loudly here instead, naming the offending file.
+for bench in "${benches[@]}"; do
+  report="${out_dir}/BENCH_${bench}.json"
+  if [[ ! -f "${report}" ]]; then
+    echo "missing bench report: ${report}" >&2
+    exit 1
+  fi
+  if ! python3 -m json.tool "${report}" > /dev/null 2>&1; then
+    echo "malformed bench report: ${report}" >&2
+    exit 1
+  fi
+done
+
+# Aggregate: each BENCH_<name>.json was validated above, so the trajectory
+# file just embeds them as array elements.
 git_sha="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
 trajectory="${out_dir}/BENCH_trajectory.json"
 {
@@ -52,15 +68,16 @@ trajectory="${out_dir}/BENCH_trajectory.json"
   first=1
   for bench in "${benches[@]}"; do
     report="${out_dir}/BENCH_${bench}.json"
-    if [[ ! -f "${report}" ]]; then
-      echo "missing bench report: ${report}" >&2
-      exit 1
-    fi
     if [[ "${first}" -eq 0 ]]; then printf ','; fi
     first=0
     cat "${report}"
   done
   printf ']}\n'
 } > "${trajectory}"
+
+if ! python3 -m json.tool "${trajectory}" > /dev/null 2>&1; then
+  echo "malformed bench report: ${trajectory}" >&2
+  exit 1
+fi
 
 echo "==> wrote ${trajectory} ($(wc -c < "${trajectory}") bytes, sha ${git_sha})"

@@ -130,6 +130,25 @@ DEFAULT_WATCH = [
         "min": 1.0,
         "tolerance": 1.0,
     },
+    {
+        # Acceptance criterion of the observability work: flight recorder +
+        # metrics sampler together cost at most 2% wall time. A full-scale
+        # property — smoke runs are dominated by scheduler jitter — so the
+        # ceiling applies from scale 1.0 up (the nightly sweep). The gauge
+        # is clamped at zero (negative A/B deltas are jitter).
+        "key": "table3_performance/obs_overhead/observability/gauge:obs_overhead",
+        "direction": "lower_is_better",
+        "max": 0.02,
+        "min_scale": 1.0,
+        "tolerance": 2.0,
+    },
+    {
+        # Reports must stay byte-identical with the recorder on, at any
+        # scale.
+        "key": "table3_performance/obs_overhead/observability/gauge:obs_reports_identical",
+        "direction": "higher_is_better",
+        "min": 1.0,
+    },
 ]
 
 

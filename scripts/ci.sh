@@ -18,6 +18,10 @@
 #                            # registered crash point and escalating
 #                            # ordinals against the example pipeline, each
 #                            # resumed and byte-compared (nightly)
+#   scripts/ci.sh obs        # live-introspection smoke: a scale-0.3 bench
+#                            # run with GRAPPLE_STATUSZ on, all four
+#                            # endpoints (/healthz /statusz /metricsz
+#                            # /tracez) scraped and validated mid-run
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -177,6 +181,74 @@ run_soak() {
     "every resume byte-identical"
 }
 
+# One HTTP GET against the statusz listener; body on stdout, nonzero exit
+# when the listener is down or the response is not 200. python3 stands in
+# for curl so the smoke has no dependencies beyond what check_bench needs.
+obs_get() {
+  python3 - "$1" <<'PY'
+import sys
+import urllib.request
+
+try:
+    with urllib.request.urlopen(sys.argv[1], timeout=2) as response:
+        if response.status != 200:
+            sys.exit(1)
+        sys.stdout.buffer.write(response.read())
+except Exception:
+    sys.exit(1)
+PY
+}
+
+# Live-introspection smoke: run the bench at scale 0.3 with GRAPPLE_STATUSZ
+# set and scrape all four endpoints over real HTTP *while it runs*, then
+# validate every payload. The listener is owned by the analysis session of
+# the moment (it stops between sessions), so each scrape round retries
+# until a session is up; the round must land before the bench exits.
+run_obs_smoke() {
+  local build_dir="${repo_root}/build-ci-release"
+  echo "==> [obs] configure + build"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  build_filtered "${build_dir}"
+  local port="${GRAPPLE_STATUSZ_PORT:-8931}"
+  local out_dir="${build_dir}/obs-smoke"
+  rm -rf "${out_dir}"
+  mkdir -p "${out_dir}"
+  echo "==> [obs] scale-0.3 bench run with statusz on 127.0.0.1:${port}"
+  GRAPPLE_SCALE=0.3 GRAPPLE_STATUSZ="${port}" GRAPPLE_SAMPLE_INTERVAL_MS=25 \
+    GRAPPLE_REPORT_DIR="${out_dir}" \
+    "${build_dir}/bench/table3_performance" > "${out_dir}/bench.log" 2>&1 &
+  local bench_pid=$!
+  local base="http://127.0.0.1:${port}"
+  local scraped=0
+  for _ in $(seq 1 600); do
+    if ! kill -0 "${bench_pid}" 2> /dev/null; then
+      break
+    fi
+    if obs_get "${base}/healthz" > "${out_dir}/healthz.txt" \
+        && obs_get "${base}/statusz" > "${out_dir}/statusz.json" \
+        && obs_get "${base}/metricsz" > "${out_dir}/metricsz.txt" \
+        && obs_get "${base}/tracez" > "${out_dir}/tracez.json"; then
+      scraped=1
+      break
+    fi
+    sleep 0.1
+  done
+  wait "${bench_pid}" || {
+    echo "obs: bench run failed (see ${out_dir}/bench.log)" >&2
+    return 1
+  }
+  if [[ "${scraped}" -ne 1 ]]; then
+    echo "obs: never reached all four endpoints while the bench ran" >&2
+    return 1
+  fi
+  grep -qx 'ok' "${out_dir}/healthz.txt"
+  python3 -m json.tool "${out_dir}/statusz.json" > /dev/null
+  python3 -m json.tool "${out_dir}/tracez.json" > /dev/null
+  grep -q '^# TYPE grapple_' "${out_dir}/metricsz.txt"
+  grep -q '^grapple_' "${out_dir}/metricsz.txt"
+  echo "==> [obs] all four endpoints scraped and validated mid-run"
+}
+
 # ThreadSanitizer pass: the whole suite runs under TSan (the scheduler,
 # arbiter, and engine tests all spin up real thread contention), then the
 # parallel pipeline is exercised end-to-end on a generated workload via the
@@ -211,13 +283,16 @@ case "${mode}" in
   soak)
     run_soak
     ;;
+  obs)
+    run_obs_smoke
+    ;;
   all)
     run_pass release -DCMAKE_BUILD_TYPE=Release
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|all]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|obs|all]" >&2
     exit 2
     ;;
 esac

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/pathenc/witness_decoder.h"
+#include "src/support/event_hook.h"
 #include "src/support/logging.h"
 #include "src/support/timer.h"
 
@@ -156,7 +157,9 @@ std::vector<BugReport> ExtractReports(const std::string& checker_name, const Fsm
     }
     report->witness = BuildWitness(chain, fsm, labels, ts);
     report->has_witness = !report->witness.empty();
-    engine->ObserveWitnessDecode(timer.ElapsedNanos());
+    uint64_t decode_nanos = timer.ElapsedNanos();
+    engine->ObserveWitnessDecode(decode_nanos);
+    evt::Emit(evt::kWitnessDecode, decode_nanos);
   };
 
   // Pass 2: classify.

@@ -8,8 +8,12 @@
 #include "src/cfg/loop_unroll.h"
 #include "src/grammar/pointsto_grammar.h"
 #include "src/grammar/typestate_grammar.h"
+#include "src/obs/event_log.h"
+#include "src/obs/json.h"
+#include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 #include "src/support/env.h"
+#include "src/support/event_hook.h"
 #include "src/support/logging.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timer.h"
@@ -102,6 +106,20 @@ std::vector<std::string> GrappleOptions::Validate() const {
     errors.push_back("robustness.checkpoint_interval needs a persistent work_dir: with the "
                      "default private temp dir, checkpoints are deleted with the session and "
                      "a rerun could never resume from them");
+  }
+  if (observability.event_log_capacity < 64 ||
+      observability.event_log_capacity > (size_t{1} << 20)) {
+    errors.push_back("observability.event_log_capacity must be in [64, 1048576] events per "
+                     "thread; below that a crash dump is useless, above it the rings stop "
+                     "being bounded-overhead");
+  }
+  if (observability.sample_interval_ms < 10 || observability.sample_interval_ms > 600'000) {
+    errors.push_back("observability.sample_interval_ms must be in [10, 600000]; faster "
+                     "sampling contends with the workload it is measuring");
+  }
+  if (observability.statusz_port < -1 || observability.statusz_port > 65535) {
+    errors.push_back("observability.statusz_port must be -1 (off), 0 (ephemeral), or a valid "
+                     "TCP port <= 65535");
   }
   return errors;
 }
@@ -220,9 +238,61 @@ Grapple::Grapple(Program program, GrappleOptions options)
   } else {
     work_dir_ = options_.work_dir;
   }
+
+  // Flight recorder: always on (bounded overhead), dumped to the session's
+  // work dir on crash paths. The facade claims the dump path outright;
+  // engines only fill it in when nobody else has (only_if_unset).
+  obs::EventLogInstall();
+  obs::EventLogSetCapacity(static_cast<size_t>(std::max<int64_t>(
+      1, EnvInt64("GRAPPLE_EVENTLOG_EVENTS",
+                  static_cast<int64_t>(options_.observability.event_log_capacity)))));
+  obs::EventLogSetCrashDumpPath(work_dir_ + "/flightrec.bin");
+
+  // Live introspection endpoint: off unless the option or GRAPPLE_STATUSZ
+  // asks for a port. The listener and sampler are process-wide; the first
+  // session to start them owns their shutdown.
+  int statusz_port = static_cast<int>(
+      EnvInt64("GRAPPLE_STATUSZ", options_.observability.statusz_port));
+  if (statusz_port >= 0 && !obs::StatuszRunning()) {
+    std::string statusz_error;
+    if (obs::StartStatusz(statusz_port, &statusz_error)) {
+      owns_statusz_ = true;
+      uint32_t interval_ms = static_cast<uint32_t>(std::max<int64_t>(
+          1, EnvInt64("GRAPPLE_SAMPLE_INTERVAL_MS",
+                      options_.observability.sample_interval_ms)));
+      obs::Sampler::Get().Start(interval_ms);
+      GRAPPLE_LOG(INFO) << "statusz listening on 127.0.0.1:" << obs::StatuszPort();
+    } else {
+      GRAPPLE_LOG(WARNING) << "statusz disabled: " << statusz_error;
+    }
+  }
+
+  introspect_session_ = obs::Introspection::RegisterStatusSource("session", [this] {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("work_dir").String(work_dir_);
+    w.Key("frontend_seconds").Double(frontend_seconds_);
+    w.Key("witness_mode").String(obs::WitnessModeName(options_.observability.witness));
+    w.Key("checkers").BeginObject();
+    {
+      std::lock_guard<std::mutex> lock(live_mu_);
+      for (const auto& [name, state] : live_checkers_) {
+        w.Key(name).String(state);
+      }
+    }
+    w.EndObject();
+    w.EndObject();
+    return w.Take();
+  });
 }
 
-Grapple::~Grapple() = default;
+Grapple::~Grapple() {
+  introspect_session_.Release();
+  if (owns_statusz_) {
+    obs::Sampler::Get().Stop();
+    obs::StopStatusz();
+  }
+}
 
 std::string Grapple::PhaseDir(const std::string& name) {
   std::string dir = work_dir_ + "/" + name;
@@ -304,6 +374,12 @@ CheckerRunResult Grapple::CheckOne(const FsmSpec& spec, BudgetLease* lease,
   CheckerRunResult checker_result;
   checker_result.checker = spec.fsm.name();
   obs::ScopedSpan checker_span(obs::InternSpanName("typestate:" + spec.fsm.name()), "phase");
+  uint32_t name_id = obs::EventLogInternString(spec.fsm.name());
+  evt::Emit(evt::kCheckerStart, name_id);
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_checkers_[spec.fsm.name()] = "running";
+  }
 
   std::unordered_set<std::string> types(spec.tracked_types.begin(), spec.tracked_types.end());
   std::vector<uint32_t> tracked;
@@ -348,6 +424,12 @@ CheckerRunResult Grapple::CheckOne(const FsmSpec& spec, BudgetLease* lease,
     // on final edges is included.
     phase_out->metrics = ts_engine.Metrics();
   }
+  evt::Emit(evt::kCheckerDone, name_id, checker_result.reports.size());
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_checkers_[spec.fsm.name()] =
+        "done (" + std::to_string(checker_result.reports.size()) + " reports)";
+  }
   return checker_result;
 }
 
@@ -382,6 +464,11 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
       runs[i].degraded_reason = e.what();
       phases[i] = obs::PhaseReport();
       phases[i].name = "typestate:" + specs[i].fsm.name();
+      evt::Emit(evt::kCheckerDegraded, obs::EventLogInternString(runs[i].checker));
+      {
+        std::lock_guard<std::mutex> lock(live_mu_);
+        live_checkers_[runs[i].checker] = "degraded: " + runs[i].degraded_reason;
+      }
       GRAPPLE_LOG(ERROR) << "checker " << runs[i].checker
                          << " failed; continuing without it: " << e.what();
     }
@@ -404,6 +491,11 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     // headroom as siblings finish.
     BudgetArbiter arbiter(options_.engine.memory_budget_bytes);
     uint64_t slice = std::max<uint64_t>(1, arbiter.total_bytes() / parallelism);
+    // Scoped to the parallel section: the handle unregisters (and with it
+    // any in-flight scrape completes) before the arbiter goes away.
+    obs::Introspection::Handle arbiter_gauge = obs::Introspection::RegisterGaugeSource(
+        "budget_arbiter_waiters",
+        [&arbiter] { return static_cast<double>(arbiter.waiter_count()); });
     ThreadPool scheduler(parallelism);
     for (size_t i = 0; i < specs.size(); ++i) {
       scheduler.Schedule([&run_isolated, &arbiter, slice, i] {

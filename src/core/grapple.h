@@ -38,6 +38,7 @@
 #include "src/ir/ir.h"
 #include "src/obs/provenance.h"
 #include "src/obs/report.h"
+#include "src/obs/statusz.h"
 #include "src/smt/solver.h"
 #include "src/support/budget_arbiter.h"
 #include "src/support/byte_io.h"
@@ -98,6 +99,20 @@ struct GrappleOptions {
     //   kBugs — record during typestate phases, decode per reported bug;
     //   kFull — also record the alias phase and replay SMT at every step.
     obs::WitnessMode witness = obs::WitnessMode::kBugs;
+    // Flight-recorder ring size, in events per thread (DESIGN.md §12). The
+    // ring overwrites oldest-first, so this bounds both memory (32 bytes per
+    // slot per thread) and how far back a crash dump reaches. Range
+    // [64, 1M]; GRAPPLE_EVENTLOG_EVENTS overrides at construction.
+    size_t event_log_capacity = 4096;
+    // Cadence of the background metrics sampler that feeds /varz time
+    // series. Only consulted when the statusz endpoint is on. Range
+    // [10ms, 10min]; GRAPPLE_SAMPLE_INTERVAL_MS overrides.
+    uint32_t sample_interval_ms = 250;
+    // Live introspection HTTP listener (loopback only): -1 = off,
+    // 0 = pick an ephemeral port (see obs::StatuszPort()), else the literal
+    // port. Serves /healthz, /statusz, /metricsz, /tracez, /varz.
+    // GRAPPLE_STATUSZ overrides at construction.
+    int statusz_port = -1;
   };
 
   // How much hardware one Check() call may use. Thread-count convention
@@ -282,6 +297,17 @@ class Grapple {
   std::unique_ptr<AliasPhase> alias_phase_;
   std::mutex checker_dirs_mu_;
   std::map<std::string, size_t> checker_dir_runs_;
+
+  // Live per-checker state for the /statusz "session" source. Guarded by
+  // live_mu_; written by checker workers, read by the scrape thread.
+  mutable std::mutex live_mu_;
+  std::map<std::string, std::string> live_checkers_;
+  // True when this session started the process-wide statusz listener /
+  // sampler (and so stops them on destruction).
+  bool owns_statusz_ = false;
+  // Declared last so it unregisters (blocking out in-flight scrapes) before
+  // any state its callback reads is torn down.
+  obs::Introspection::Handle introspect_session_;
 };
 
 }  // namespace grapple

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/byte_io.h"
+#include "src/support/event_hook.h"
 #include "src/support/fault_injection.h"
 
 namespace grapple {
@@ -250,6 +251,7 @@ bool SaveCheckpointManifest(const std::string& work_dir, const CheckpointManifes
     return false;
   }
   fault::CrashPoint("ckpt_published");
+  evt::Emit(evt::kCheckpointPublish, encoded.size());
   return true;
 }
 

@@ -18,11 +18,11 @@ uint64_t SecondsToNanos(double seconds) {
 
 obs::MetricsSnapshot OracleStats::ToSnapshot() const {
   obs::MetricsSnapshot snapshot;
-  snapshot.counters["oracle_merges"] = merges;
-  snapshot.counters["oracle_constraints_checked"] = constraints_checked;
-  snapshot.counters["oracle_cache_hits"] = cache_hits;
-  snapshot.counters["oracle_unsat"] = unsat;
-  snapshot.counters["oracle_unknown"] = unknown;
+  snapshot.counters["oracle_merges_total"] = merges;
+  snapshot.counters["oracle_constraints_checked_total"] = constraints_checked;
+  snapshot.counters["oracle_cache_hits_total"] = cache_hits;
+  snapshot.counters["oracle_unsat_total"] = unsat;
+  snapshot.counters["oracle_unknown_total"] = unknown;
   snapshot.counters["oracle_lookup_ns"] = SecondsToNanos(lookup_seconds);
   snapshot.counters["oracle_solve_ns"] = SecondsToNanos(solve_seconds);
   return snapshot;
@@ -35,11 +35,12 @@ IntervalOracle::IntervalOracle(const Icfet* icfet, Options options)
       decoder_(icfet),
       solver_(options.solver_limits),
       cache_(options.cache_capacity),
-      c_merges_(metrics_.Counter("oracle_merges")),
-      c_checked_(metrics_.Counter("oracle_constraints_checked")),
-      c_cache_hits_(metrics_.Counter("oracle_cache_hits")),
-      c_unsat_(metrics_.Counter("oracle_unsat")),
-      c_unknown_(metrics_.Counter("oracle_unknown")),
+      c_merges_(metrics_.CounterWithAlias("oracle_merges_total", "oracle_merges")),
+      c_checked_(
+          metrics_.CounterWithAlias("oracle_constraints_checked_total", "oracle_constraints_checked")),
+      c_cache_hits_(metrics_.CounterWithAlias("oracle_cache_hits_total", "oracle_cache_hits")),
+      c_unsat_(metrics_.CounterWithAlias("oracle_unsat_total", "oracle_unsat")),
+      c_unknown_(metrics_.CounterWithAlias("oracle_unknown_total", "oracle_unknown")),
       c_lookup_ns_(metrics_.Counter("oracle_lookup_ns")),
       c_solve_ns_(metrics_.Counter("oracle_solve_ns")),
       h_solve_ns_(metrics_.Histogram("oracle_solve_ns")) {}
@@ -144,11 +145,11 @@ Constraint IntervalOracle::DecodePayload(const uint8_t* payload, size_t len) {
 OracleStats IntervalOracle::Stats() const {
   obs::MetricsSnapshot snapshot = metrics_.Snapshot();
   OracleStats stats;
-  stats.merges = snapshot.CounterOr("oracle_merges");
-  stats.constraints_checked = snapshot.CounterOr("oracle_constraints_checked");
-  stats.cache_hits = snapshot.CounterOr("oracle_cache_hits");
-  stats.unsat = snapshot.CounterOr("oracle_unsat");
-  stats.unknown = snapshot.CounterOr("oracle_unknown");
+  stats.merges = snapshot.CounterOr("oracle_merges_total");
+  stats.constraints_checked = snapshot.CounterOr("oracle_constraints_checked_total");
+  stats.cache_hits = snapshot.CounterOr("oracle_cache_hits_total");
+  stats.unsat = snapshot.CounterOr("oracle_unsat_total");
+  stats.unknown = snapshot.CounterOr("oracle_unknown_total");
   stats.lookup_seconds = snapshot.SecondsOf("oracle_lookup_ns");
   stats.solve_seconds = snapshot.SecondsOf("oracle_solve_ns");
   return stats;

@@ -36,7 +36,7 @@ struct OracleStats {
   double lookup_seconds = 0;  // encoding/decoding + cache probing
   double solve_seconds = 0;   // SMT time
 
-  // The same numbers under the registry's counter names ("oracle_merges",
+  // The same numbers under the registry's counter names ("oracle_merges_total",
   // "oracle_lookup_ns", ...), so snapshot-based consumers work with any
   // oracle implementation.
   obs::MetricsSnapshot ToSnapshot() const;

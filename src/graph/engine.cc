@@ -8,10 +8,13 @@
 #include <unordered_set>
 
 #include "src/graph/checkpoint.h"
+#include "src/obs/event_log.h"
+#include "src/obs/json.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/support/byte_io.h"
 #include "src/support/env.h"
+#include "src/support/event_hook.h"
 #include "src/support/fault_injection.h"
 #include "src/support/logging.h"
 
@@ -113,30 +116,43 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
     : grammar_(grammar),
       oracle_(oracle),
       options_(std::move(options)),
-      c_base_edges_(metrics_.Counter("engine_base_edges")),
-      c_final_edges_(metrics_.Counter("engine_final_edges")),
-      c_pair_loads_(metrics_.Counter("engine_pair_loads")),
-      c_join_rounds_(metrics_.Counter("engine_join_rounds")),
-      c_joins_attempted_(metrics_.Counter("engine_joins_attempted")),
-      c_edges_added_(metrics_.Counter("engine_edges_added")),
-      c_unsat_pruned_(metrics_.Counter("engine_unsat_pruned")),
-      c_widened_triples_(metrics_.Counter("engine_widened_triples")),
-      c_partition_splits_(metrics_.Counter("engine_partition_splits")),
-      c_budget_borrows_(metrics_.Counter("engine_budget_borrows")),
+      // Canonical snake_case + unit-suffix names; the second argument keeps
+      // the pre-audit name alive in snapshots for one release (DESIGN.md §8).
+      c_base_edges_(metrics_.CounterWithAlias("engine_base_edges_total", "engine_base_edges")),
+      c_final_edges_(metrics_.CounterWithAlias("engine_final_edges_total", "engine_final_edges")),
+      c_pair_loads_(metrics_.CounterWithAlias("engine_pair_loads_total", "engine_pair_loads")),
+      c_join_rounds_(metrics_.CounterWithAlias("engine_join_rounds_total", "engine_join_rounds")),
+      c_joins_attempted_(
+          metrics_.CounterWithAlias("engine_joins_attempted_total", "engine_joins_attempted")),
+      c_edges_added_(metrics_.CounterWithAlias("engine_edges_added_total", "engine_edges_added")),
+      c_unsat_pruned_(
+          metrics_.CounterWithAlias("engine_unsat_pruned_total", "engine_unsat_pruned")),
+      c_widened_triples_(
+          metrics_.CounterWithAlias("engine_widened_triples_total", "engine_widened_triples")),
+      c_partition_splits_(
+          metrics_.CounterWithAlias("engine_partition_splits_total", "engine_partition_splits")),
+      c_budget_borrows_(
+          metrics_.CounterWithAlias("engine_budget_borrows_total", "engine_budget_borrows")),
       c_preprocess_ns_(metrics_.Counter("engine_preprocess_ns")),
       c_compute_ns_(metrics_.Counter("engine_compute_ns")),
       h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
-      c_witnesses_decoded_(metrics_.Counter("witnesses_decoded")),
+      c_witnesses_decoded_(
+          metrics_.CounterWithAlias("witnesses_decoded_total", "witnesses_decoded")),
       h_witness_decode_ns_(metrics_.Histogram("witness_decode_ns")),
-      c_ckpt_written_(metrics_.Counter("ckpt_written")),
+      c_ckpt_written_(metrics_.CounterWithAlias("ckpt_written_total", "ckpt_written")),
       c_ckpt_bytes_(metrics_.Counter("ckpt_bytes")),
-      c_runs_resumed_(metrics_.Counter("runs_resumed")),
+      c_runs_resumed_(metrics_.CounterWithAlias("runs_resumed_total", "runs_resumed")),
       store_(options_.work_dir, &profiler_, &metrics_,
              PartitionStorePipeline{ResolveIoPipeline(options_.io_pipeline),
                                     options_.budget_lease, options_.memory_budget_bytes}),
       pool_(ResolveThreadCount(options_.num_threads)) {
   obs::InitTracingFromEnv();
+  obs::EventLogInstall();
+  // Propose this engine's work dir as the crash-dump target; the Grapple
+  // facade (when present) has already claimed the run work dir.
+  obs::EventLogSetCrashDumpPath(options_.work_dir + "/flightrec.bin", /*only_if_unset=*/true);
   metrics_.SetGauge("engine_budget_bytes", static_cast<double>(BudgetBytes()));
+  live_budget_bytes_.store(BudgetBytes(), std::memory_order_relaxed);
   if (options_.record_provenance) {
     provenance_ = std::make_unique<obs::ProvenanceWriter>(store_.ProvenancePath(), &metrics_);
   }
@@ -146,6 +162,26 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
   if (options_.checkpoint_interval > 0) {
     store_.SetCheckpointMode(true);
   }
+  introspect_metrics_ = obs::Introspection::RegisterMetricsSource(
+      "engine", [this] { return metrics_.Snapshot(); });
+  introspect_status_ = obs::Introspection::RegisterStatusSource("engine", [this] {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("work_dir").String(options_.work_dir);
+    uint64_t pair = live_pair_.load(std::memory_order_relaxed);
+    if (pair == kNoLivePair) {
+      w.Key("pair_cursor").Null();
+    } else {
+      w.Key("pair_cursor").BeginArray();
+      w.UInt(pair >> 32).UInt(pair & 0xffffffffu);
+      w.EndArray();
+    }
+    w.Key("pairs_done").UInt(live_pairs_done_.load(std::memory_order_relaxed));
+    w.Key("checkpoints_published").UInt(live_ckpts_published_.load(std::memory_order_relaxed));
+    w.Key("budget_bytes").UInt(live_budget_bytes_.load(std::memory_order_relaxed));
+    w.EndObject();
+    return w.Take();
+  });
 }
 
 uint64_t GraphEngine::BudgetBytes() const {
@@ -224,25 +260,25 @@ struct GraphEngineIndexHolder {
 GraphEngine::~GraphEngine() = default;
 
 void EngineStats::SyncFromMetrics() {
-  base_edges = metrics.CounterOr("engine_base_edges");
-  final_edges = metrics.CounterOr("engine_final_edges");
-  pair_loads = metrics.CounterOr("engine_pair_loads");
-  join_rounds = metrics.CounterOr("engine_join_rounds");
-  joins_attempted = metrics.CounterOr("engine_joins_attempted");
-  edges_added = metrics.CounterOr("engine_edges_added");
-  unsat_pruned = metrics.CounterOr("engine_unsat_pruned");
-  widened_triples = metrics.CounterOr("engine_widened_triples");
-  partition_splits = metrics.CounterOr("engine_partition_splits");
+  base_edges = metrics.CounterOr("engine_base_edges_total");
+  final_edges = metrics.CounterOr("engine_final_edges_total");
+  pair_loads = metrics.CounterOr("engine_pair_loads_total");
+  join_rounds = metrics.CounterOr("engine_join_rounds_total");
+  joins_attempted = metrics.CounterOr("engine_joins_attempted_total");
+  edges_added = metrics.CounterOr("engine_edges_added_total");
+  unsat_pruned = metrics.CounterOr("engine_unsat_pruned_total");
+  widened_triples = metrics.CounterOr("engine_widened_triples_total");
+  partition_splits = metrics.CounterOr("engine_partition_splits_total");
   timed_out = metrics.GaugeOr("engine_timed_out") > 0;
   num_partitions = static_cast<size_t>(metrics.GaugeOr("engine_num_partitions"));
   peak_partitions = static_cast<size_t>(metrics.GaugeOr("engine_peak_partitions"));
   preprocess_seconds = metrics.SecondsOf("engine_preprocess_ns");
   compute_seconds = metrics.SecondsOf("engine_compute_ns");
-  oracle.merges = metrics.CounterOr("oracle_merges");
-  oracle.constraints_checked = metrics.CounterOr("oracle_constraints_checked");
-  oracle.cache_hits = metrics.CounterOr("oracle_cache_hits");
-  oracle.unsat = metrics.CounterOr("oracle_unsat");
-  oracle.unknown = metrics.CounterOr("oracle_unknown");
+  oracle.merges = metrics.CounterOr("oracle_merges_total");
+  oracle.constraints_checked = metrics.CounterOr("oracle_constraints_checked_total");
+  oracle.cache_hits = metrics.CounterOr("oracle_cache_hits_total");
+  oracle.unsat = metrics.CounterOr("oracle_unsat_total");
+  oracle.unknown = metrics.CounterOr("oracle_unknown_total");
   oracle.lookup_seconds = metrics.SecondsOf("oracle_lookup_ns");
   oracle.solve_seconds = metrics.SecondsOf("oracle_solve_ns");
   phase_seconds.clear();
@@ -447,6 +483,7 @@ void GraphEngine::WriteCheckpoint() {
   }
   metrics_.Add(c_ckpt_written_);
   metrics_.Add(c_ckpt_bytes_, bytes);
+  live_ckpts_published_.fetch_add(1, std::memory_order_relaxed);
   since_last_checkpoint_.Reset();
   store_.MarkCheckpointPublished();
   // The files retired since the previous manifest are no longer referenced
@@ -458,6 +495,7 @@ void GraphEngine::WriteCheckpoint() {
 void GraphEngine::Run() {
   GRAPPLE_CHECK(finalized_) << "call Finalize before Run";
   obs::ScopedSpan span("engine_run", "engine");
+  evt::Emit(evt::kRunStart, store_.NumPartitions());
   bool timed_out = false;
   WallTimer timer;
   for (;;) {
@@ -492,7 +530,13 @@ void GraphEngine::Run() {
     if (store_.pipeline_enabled() && PredictNextPair(pick_i, pick_j, &next_i, &next_j)) {
       store_.Hint({next_i, next_j});
     }
+    live_pair_.store((static_cast<uint64_t>(pick_i) << 32) | static_cast<uint64_t>(pick_j),
+                     std::memory_order_relaxed);
+    evt::Emit(evt::kPairStart, pick_i, pick_j);
     ProcessPair(pick_i, pick_j);
+    evt::Emit(evt::kPairEnd, pick_i, pick_j);
+    live_pair_.store(kNoLivePair, std::memory_order_relaxed);
+    live_pairs_done_.fetch_add(1, std::memory_order_relaxed);
     fault::CrashPoint("run_pair_done");
     // Interval reached AND the spacing window elapsed; otherwise the
     // counter stays saturated and the next pair re-checks the clock.
@@ -516,6 +560,7 @@ void GraphEngine::Run() {
     WriteCheckpoint();
     fault::CrashPoint("run_complete");
   }
+  evt::Emit(evt::kRunEnd, live_pairs_done_.load(std::memory_order_relaxed));
   metrics_.AddNanos(c_compute_ns_, timer.ElapsedNanos());
   metrics_.Add(c_final_edges_, store_.TotalEdges());
   metrics_.SetGauge("engine_num_partitions", static_cast<double>(store_.NumPartitions()));
@@ -827,6 +872,7 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
       if (options_.budget_lease != nullptr && options_.budget_lease->TryGrowTo(want)) {
         metrics_.Add(c_budget_borrows_);
         metrics_.SetGauge("engine_budget_bytes", static_cast<double>(BudgetBytes()));
+        live_budget_bytes_.store(BudgetBytes(), std::memory_order_relaxed);
       } else {
         complete = false;
         break;

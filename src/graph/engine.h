@@ -11,6 +11,7 @@
 #ifndef GRAPPLE_SRC_GRAPH_ENGINE_H_
 #define GRAPPLE_SRC_GRAPH_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -24,6 +25,7 @@
 #include "src/graph/partition_store.h"
 #include "src/obs/metrics.h"
 #include "src/obs/provenance.h"
+#include "src/obs/statusz.h"
 #include "src/pathenc/path_encoding.h"
 #include "src/support/budget_arbiter.h"
 #include "src/support/thread_pool.h"
@@ -171,7 +173,7 @@ class GraphEngine : public EdgeSink {
   // is complete (flushed) once Run() returns.
   bool has_provenance() const { return provenance_ != nullptr; }
   std::string provenance_path() const { return store_.ProvenancePath(); }
-  // Feeds the "witness_decode_ns" histogram / "witnesses_decoded" counter;
+  // Feeds the "witness_decode_ns" histogram / "witnesses_decoded_total" counter;
   // called by the checker so decode cost lands in this engine's phase
   // report alongside the recording-side counters.
   void ObserveWitnessDecode(uint64_t nanos);
@@ -247,6 +249,19 @@ class GraphEngine : public EdgeSink {
   uint64_t base_fingerprint_ = 0;  // identifies the input; pinned in manifests
   uint32_t pairs_since_checkpoint_ = 0;
   WallTimer since_last_checkpoint_;
+
+  // Live cursor for /statusz, written by the Run() thread with relaxed
+  // stores and read by the scrape thread. kNoLivePair = idle.
+  static constexpr uint64_t kNoLivePair = UINT64_MAX;
+  std::atomic<uint64_t> live_pair_{kNoLivePair};  // pi << 32 | pj
+  std::atomic<uint64_t> live_pairs_done_{0};
+  std::atomic<uint64_t> live_ckpts_published_{0};
+  std::atomic<uint64_t> live_budget_bytes_{0};  // mirrors the lease across borrows
+
+  // Introspection registrations. Declared last on purpose: destroyed (and
+  // therefore unregistered) before any member their callbacks read.
+  obs::Introspection::Handle introspect_metrics_;
+  obs::Introspection::Handle introspect_status_;
 };
 
 }  // namespace grapple

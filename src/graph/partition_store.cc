@@ -7,6 +7,7 @@
 
 #include "src/graph/partition_codec.h"
 #include "src/obs/trace.h"
+#include "src/support/event_hook.h"
 #include "src/support/logging.h"
 
 namespace grapple {
@@ -24,20 +25,29 @@ PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
   if (metrics_ != nullptr) {
     c_bytes_read_ = metrics_->Counter("io_bytes_read");
     c_bytes_written_ = metrics_->Counter("io_bytes_written");
-    c_loads_ = metrics_->Counter("io_partition_loads");
-    c_writes_ = metrics_->Counter("io_partition_writes");
-    c_appends_ = metrics_->Counter("io_partition_appends");
-    c_splits_ = metrics_->Counter("io_partition_splits");
+    c_loads_ = metrics_->CounterWithAlias("io_partition_loads_total", "io_partition_loads");
+    c_writes_ = metrics_->CounterWithAlias("io_partition_writes_total", "io_partition_writes");
+    c_appends_ = metrics_->CounterWithAlias("io_partition_appends_total", "io_partition_appends");
+    c_splits_ = metrics_->CounterWithAlias("io_partition_splits_total", "io_partition_splits");
     c_compressed_bytes_ = metrics_->Counter("io_compressed_bytes");
-    c_prefetch_hits_ = metrics_->Counter("io_prefetch_hits");
-    c_write_cache_hits_ = metrics_->Counter("io_write_cache_hits");
-    c_prefetch_wasted_ = metrics_->Counter("io_prefetch_wasted");
-    c_prefetch_issued_ = metrics_->Counter("io_prefetch_issued");
-    c_cache_borrows_ = metrics_->Counter("io_cache_budget_borrows");
+    c_prefetch_hits_ = metrics_->CounterWithAlias("io_prefetch_hits_total", "io_prefetch_hits");
+    c_write_cache_hits_ =
+        metrics_->CounterWithAlias("io_write_cache_hits_total", "io_write_cache_hits");
+    c_prefetch_wasted_ =
+        metrics_->CounterWithAlias("io_prefetch_wasted_total", "io_prefetch_wasted");
+    c_prefetch_issued_ =
+        metrics_->CounterWithAlias("io_prefetch_issued_total", "io_prefetch_issued");
+    c_cache_borrows_ =
+        metrics_->CounterWithAlias("io_cache_budget_borrows_total", "io_cache_budget_borrows");
   }
   if (pipeline_.enabled) {
     io_pool_ = std::make_unique<ThreadPool>(1);
   }
+  introspect_queue_depth_ = obs::Introspection::RegisterGaugeSource(
+      "io_queue_depth", [this] { return static_cast<double>(queue_depth_.load(std::memory_order_relaxed)); });
+  introspect_cache_bytes_ = obs::Introspection::RegisterGaugeSource(
+      "write_cache_bytes",
+      [this] { return static_cast<double>(live_cache_bytes_.load(std::memory_order_relaxed)); });
 }
 
 PartitionStore::~PartitionStore() {
@@ -108,10 +118,15 @@ void PartitionStore::InvalidateCache(const std::string& path) {
   }
   // Only a hint-initiated read that was never consumed counts as wasted
   // prefetch work; write-back entries cost nothing extra to install.
-  if (it->second.from_prefetch && it->second.hits == 0 && metrics_ != nullptr) {
-    metrics_->Add(c_prefetch_wasted_);
+  if (it->second.from_prefetch && it->second.hits == 0) {
+    if (metrics_ != nullptr) {
+      metrics_->Add(c_prefetch_wasted_);
+    }
+    evt::Emit(evt::kPrefetchWaste, it->second.charge);
   }
+  evt::Emit(evt::kPartitionEvict, it->second.charge);
   cache_bytes_ -= it->second.charge;
+  live_cache_bytes_.store(cache_bytes_, std::memory_order_relaxed);
   cache_.erase(it);
 }
 
@@ -136,6 +151,7 @@ void PartitionStore::CachePut(const std::string& path, uint64_t version, uint64_
   entry.hits = 0;
   entry.edges = std::move(content);
   cache_bytes_ += charge;
+  live_cache_bytes_.store(cache_bytes_, std::memory_order_relaxed);
 }
 
 std::vector<EdgeRecord> PartitionStore::DecodeOrThrow(const std::string& path,
@@ -344,6 +360,7 @@ void PartitionStore::Hint(const std::vector<size_t>& next_indices) {
       entry.hits = 0;
       entry.edges.reset();
       cache_bytes_ += need;
+      live_cache_bytes_.store(cache_bytes_, std::memory_order_relaxed);
     }
     if (metrics_ != nullptr) {
       metrics_->Add(c_prefetch_issued_);
@@ -395,6 +412,10 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
             metrics_->Add(it->second.from_prefetch ? c_prefetch_hits_ : c_write_cache_hits_);
             metrics_->Add(c_loads_);
           }
+          if (it->second.from_prefetch) {
+            evt::Emit(evt::kPrefetchHit, it->second.charge);
+          }
+          evt::Emit(evt::kPartitionLoad, index, info.bytes);
           return *it->second.edges;  // copy; the entry stays until stale
         }
         pending = !it->second.ready;
@@ -413,6 +434,8 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
           metrics_->Add(c_prefetch_hits_);
           metrics_->Add(c_loads_);
         }
+        evt::Emit(evt::kPrefetchHit, it->second.charge);
+        evt::Emit(evt::kPartitionLoad, index, info.bytes);
         return *it->second.edges;
       }
     }
@@ -438,6 +461,7 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
     metrics_->Add(c_loads_);
     metrics_->Add(c_bytes_read_, bytes.size());
   }
+  evt::Emit(evt::kPartitionLoad, index, bytes.size());
   return DecodeOrThrow(info.path, bytes, info.edges);
 }
 
@@ -462,6 +486,7 @@ void PartitionStore::Rewrite(size_t index, const std::vector<EdgeRecord>& edges)
   // engine serializes its loaded set in load order), so older segment
   // boundaries stay valid.
   info.segments.emplace_back(info.version, info.edges);
+  evt::Emit(evt::kPartitionSpill, index, info.bytes);
   CachePut(info.path, info.version, info.bytes, std::move(content));
 }
 
@@ -479,6 +504,7 @@ void PartitionStore::Append(size_t index, const std::vector<EdgeRecord>& edges) 
   info.edges += edges.size();
   ++info.version;
   info.segments.emplace_back(info.version, info.edges);
+  evt::Emit(evt::kPartitionSpill, index, bytes, /*a0=*/1);
 }
 
 size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edges,
@@ -537,6 +563,7 @@ size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edg
   if (metrics_ != nullptr) {
     metrics_->Add(c_splits_);
   }
+  evt::Emit(evt::kPartitionSplit, index, pieces.size());
   InvalidateCache(original.path);
   if (checkpoint_mode_ && pinned_.count(original.path) > 0) {
     // Deferred: the last published manifest still references this file.

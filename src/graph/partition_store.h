@@ -38,6 +38,7 @@
 #include "src/graph/checkpoint.h"
 #include "src/graph/edge.h"
 #include "src/obs/metrics.h"
+#include "src/obs/statusz.h"
 #include "src/support/budget_arbiter.h"
 #include "src/support/thread_pool.h"
 #include "src/support/timer.h"
@@ -281,6 +282,14 @@ class PartitionStore {
   uint64_t cache_bytes_ = 0;     // foreground-only: sum of charges
   uint64_t cache_borrowed_ = 0;  // capacity borrowed from the lease
   std::atomic<int64_t> queue_depth_{0};
+  // Mirror of cache_bytes_ for the /statusz sampler thread: cache_bytes_
+  // itself is foreground-only, so scrapes read this relaxed copy instead.
+  std::atomic<uint64_t> live_cache_bytes_{0};
+  // Introspection registrations. Declared after the atomics they read (so
+  // they unregister first in reverse destruction order) but before the pool:
+  // the gauge callbacks never touch io_pool_.
+  obs::Introspection::Handle introspect_queue_depth_;
+  obs::Introspection::Handle introspect_cache_bytes_;
   std::unique_ptr<ThreadPool> io_pool_;  // 1 thread => FIFO program order
 };
 

@@ -1,0 +1,533 @@
+#include "src/obs/event_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "src/obs/json.h"
+#include "src/support/byte_io.h"
+#include "src/support/env.h"
+#include "src/support/event_hook.h"
+
+namespace grapple {
+namespace obs {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'F', 'R', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kDefaultCapacity = 4096;
+constexpr size_t kMinCapacity = 64;
+constexpr size_t kMaxCapacity = 1u << 20;
+
+// One ring slot. The payload is four relaxed-atomic words bracketed by a
+// per-slot sequence counter (Boehm-style seqlock): the writer publishes
+// 2n+1 (odd, generation-unique) before touching the payload and 2n+2 after,
+// so a reader that observes an odd or changed sequence knows the slot was
+// torn mid-write and drops it. Generation-unique values also defeat ABA
+// when the ring wraps between the reader's two sequence loads.
+struct Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> w0{0};  // ts_ns
+  std::atomic<uint64_t> w1{0};  // type | tid << 16 | arg0 << 32
+  std::atomic<uint64_t> w2{0};  // arg1
+  std::atomic<uint64_t> w3{0};  // arg2
+};
+
+struct Ring {
+  Ring(size_t capacity, uint16_t tid) : slots(capacity), tid(tid) {}
+  std::vector<Slot> slots;         // power-of-two length
+  std::atomic<uint64_t> next{0};   // events ever written by the owner thread
+  uint16_t tid;
+};
+
+struct LogState {
+  std::mutex mu;
+  // Rings are never freed: a thread that exits mid-run leaves its tail
+  // behind for the post-mortem, which is the point of a flight recorder.
+  std::vector<Ring*> rings;
+  size_t capacity = 0;  // 0 = not yet resolved from env/default
+  std::vector<std::string> strings;
+  std::map<std::string, uint32_t> string_ids;
+  std::string crash_dump_path;
+};
+
+LogState& State() {
+  static LogState* state = new LogState;
+  return *state;
+}
+
+std::atomic<bool> g_enabled{true};
+thread_local Ring* t_ring = nullptr;
+
+uint64_t NowNs() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+size_t RoundUpPow2(size_t value) {
+  size_t pow2 = 1;
+  while (pow2 < value) {
+    pow2 <<= 1;
+  }
+  return pow2;
+}
+
+Ring* RegisterThreadRing() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.capacity == 0) {
+    int64_t from_env = EnvInt64("GRAPPLE_EVENTLOG_EVENTS", static_cast<int64_t>(kDefaultCapacity));
+    size_t capacity = from_env < static_cast<int64_t>(kMinCapacity)
+                          ? kMinCapacity
+                          : std::min<size_t>(static_cast<size_t>(from_env), kMaxCapacity);
+    state.capacity = RoundUpPow2(capacity);
+  }
+  Ring* ring = new Ring(state.capacity, static_cast<uint16_t>(state.rings.size() & 0xffff));
+  state.rings.push_back(ring);
+  t_ring = ring;
+  return ring;
+}
+
+void Record(uint16_t type, uint32_t a0, uint64_t a1, uint64_t a2) {
+  Ring* ring = t_ring;
+  if (ring == nullptr) {
+    ring = RegisterThreadRing();
+  }
+  uint64_t n = ring->next.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[n & (ring->slots.size() - 1)];
+  slot.seq.store(2 * n + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.w0.store(NowNs(), std::memory_order_relaxed);
+  slot.w1.store(static_cast<uint64_t>(type) | (static_cast<uint64_t>(ring->tid) << 16) |
+                    (static_cast<uint64_t>(a0) << 32),
+                std::memory_order_relaxed);
+  slot.w2.store(a1, std::memory_order_relaxed);
+  slot.w3.store(a2, std::memory_order_relaxed);
+  slot.seq.store(2 * n + 2, std::memory_order_release);
+  ring->next.store(n + 1, std::memory_order_release);
+}
+
+// True for types whose support-layer emitters pass a `const char*` in a2
+// (they sit below the string table); the sink interns it at record time.
+bool ArgIsRawStringPointer(uint16_t type) {
+  return type == evt::kIoRetry || type == evt::kFaultInjected || type == evt::kCrashExit;
+}
+
+// Which arg (if any) holds an interned-string id after recording.
+enum class StringArg { kNone, kArg1, kArg2 };
+StringArg StringArgOf(uint16_t type) {
+  switch (type) {
+    case evt::kIoRetry:
+    case evt::kFaultInjected:
+    case evt::kCrashExit:
+      return StringArg::kArg2;
+    case evt::kCheckerStart:
+    case evt::kCheckerDone:
+    case evt::kCheckerDegraded:
+      return StringArg::kArg1;
+    default:
+      return StringArg::kNone;
+  }
+}
+
+void RecordSink(uint16_t type, uint32_t a0, uint64_t a1, uint64_t a2) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (ArgIsRawStringPointer(type)) {
+    const char* text = reinterpret_cast<const char*>(a2);
+    a2 = text == nullptr ? 0 : EventLogInternString(text);
+  }
+  Record(type, a0, a1, a2);
+}
+
+// Reads one slot; returns false for empty or torn slots.
+bool ReadSlot(const Slot& slot, FlightEvent* out) {
+  uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+  if (s1 == 0 || (s1 & 1) != 0) {
+    return false;
+  }
+  uint64_t w0 = slot.w0.load(std::memory_order_relaxed);
+  uint64_t w1 = slot.w1.load(std::memory_order_relaxed);
+  uint64_t w2 = slot.w2.load(std::memory_order_relaxed);
+  uint64_t w3 = slot.w3.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+  if (s1 != s2) {
+    return false;
+  }
+  out->ts_ns = w0;
+  out->type = static_cast<uint16_t>(w1 & 0xffff);
+  out->tid = static_cast<uint16_t>((w1 >> 16) & 0xffff);
+  out->arg0 = static_cast<uint32_t>(w1 >> 32);
+  out->arg1 = w2;
+  out->arg2 = w3;
+  return true;
+}
+
+// Snapshots every ring, drops torn slots, sorts by timestamp, keeps the
+// newest `max_events` (0 = everything live).
+std::vector<FlightEvent> MergeTail(size_t max_events) {
+  std::vector<FlightEvent> merged;
+  {
+    LogState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (Ring* ring : state.rings) {
+      for (const Slot& slot : ring->slots) {
+        FlightEvent event;
+        if (ReadSlot(slot, &event)) {
+          merged.push_back(event);
+        }
+      }
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) { return a.ts_ns < b.ts_ns; });
+  if (max_events > 0 && merged.size() > max_events) {
+    merged.erase(merged.begin(), merged.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return merged;
+}
+
+// Renders events as a JSON array; `resolve` maps interned ids to names
+// (live table or a decoded file's snapshot).
+template <typename Resolve>
+void RenderEvents(JsonWriter* w, const std::vector<FlightEvent>& events, Resolve resolve) {
+  w->Key("events").BeginArray();
+  for (const FlightEvent& event : events) {
+    w->BeginObject();
+    w->Key("ts_ns").UInt(event.ts_ns);
+    w->Key("type").String(EventTypeName(event.type));
+    w->Key("tid").Int(event.tid);
+    w->Key("arg0").UInt(event.arg0);
+    w->Key("arg1").UInt(event.arg1);
+    w->Key("arg2").UInt(event.arg2);
+    StringArg arg = StringArgOf(event.type);
+    if (arg != StringArg::kNone) {
+      uint64_t id = arg == StringArg::kArg1 ? event.arg1 : event.arg2;
+      w->Key("name").String(resolve(static_cast<uint32_t>(id)));
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string ResolveLive(uint32_t id) { return EventLogStringOf(id); }
+
+// Guard against recursive crash flushes (an abort inside the flush itself
+// must not re-enter it).
+std::atomic<bool> g_crash_flush_ran{false};
+
+void CrashFlushNow() {
+  if (g_crash_flush_ran.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  std::string path = EventLogCrashDumpPath();
+  if (!path.empty()) {
+    EventLogFlush(path);
+  }
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t TakeU32(const uint8_t* data) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | data[i];
+  }
+  return value;
+}
+
+uint64_t TakeU64(const uint8_t* data) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | data[i];
+  }
+  return value;
+}
+
+}  // namespace
+
+void EventLogInstall() {
+  static const bool installed = [] {
+    evt::SetSink(&RecordSink);
+    evt::SetCrashFlushHook(&CrashFlushNow);
+    return true;
+  }();
+  (void)installed;
+}
+
+void EventLogSetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool EventLogEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void EventLogSetCapacity(size_t events_per_thread) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  size_t clamped = std::min(std::max(events_per_thread, kMinCapacity), kMaxCapacity);
+  state.capacity = RoundUpPow2(clamped);
+}
+
+uint32_t EventLogInternString(const std::string& s) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.string_ids.find(s);
+  if (it != state.string_ids.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(state.strings.size());
+  state.strings.push_back(s);
+  state.string_ids.emplace(s, id);
+  return id;
+}
+
+std::string EventLogStringOf(uint32_t id) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return id < state.strings.size() ? state.strings[id] : std::string();
+}
+
+std::vector<FlightEvent> EventLogTail(size_t max_events) { return MergeTail(max_events); }
+
+std::string EventLogTailJson(size_t max_events) {
+  std::vector<FlightEvent> events = MergeTail(max_events);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event_count").UInt(events.size());
+  RenderEvents(&w, events, ResolveLive);
+  w.EndObject();
+  return w.Take();
+}
+
+std::string EventLogTailChromeTrace(size_t max_events) {
+  std::vector<FlightEvent> events = MergeTail(max_events);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const FlightEvent& event : events) {
+    w.BeginObject();
+    w.Key("name").String(EventTypeName(event.type));
+    w.Key("cat").String("flightrec");
+    w.Key("ph").String("i");
+    w.Key("s").String("t");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(event.tid);
+    w.Key("ts").Double(static_cast<double>(event.ts_ns) / 1000.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("otherData").BeginObject();
+  w.Key("source").String("grapple_flight_recorder");
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+void EventLogSetCrashDumpPath(const std::string& path, bool only_if_unset) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (only_if_unset && !state.crash_dump_path.empty()) {
+    return;
+  }
+  state.crash_dump_path = path;
+}
+
+std::string EventLogCrashDumpPath() {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.crash_dump_path;
+}
+
+bool EventLogFlush(const std::string& path) {
+  std::vector<FlightEvent> events = MergeTail(0);
+  std::vector<std::string> strings;
+  {
+    LogState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    strings = state.strings;
+  }
+  std::string blob;
+  blob.reserve(24 + events.size() * sizeof(FlightEvent));
+  blob.append(kMagic, sizeof(kMagic));
+  AppendU32(&blob, kFormatVersion);
+  AppendU64(&blob, events.size());
+  for (const FlightEvent& event : events) {
+    AppendU64(&blob, event.ts_ns);
+    AppendU32(&blob, static_cast<uint32_t>(event.type) |
+                         (static_cast<uint32_t>(event.tid) << 16));
+    AppendU32(&blob, event.arg0);
+    AppendU64(&blob, event.arg1);
+    AppendU64(&blob, event.arg2);
+  }
+  AppendU32(&blob, static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) {
+    AppendU32(&blob, static_cast<uint32_t>(s.size()));
+    blob.append(s);
+  }
+  // Raw syscalls on purpose: this runs on crash paths where the byte_io
+  // layer (and its fault shim) must not be re-entered.
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  size_t done = 0;
+  while (done < blob.size()) {
+    ssize_t n = ::write(fd, blob.data() + done, blob.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+bool DecodeFlightRecording(const std::string& path, FlightRecording* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "flightrec '" + path + "': " + why;
+    }
+    return false;
+  };
+  std::vector<uint8_t> bytes;
+  std::string io_error;
+  if (!ReadFileBytes(path, &bytes, &io_error)) {
+    return fail(io_error);
+  }
+  if (bytes.size() < 16 || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic (not a flight recording)");
+  }
+  uint32_t version = TakeU32(bytes.data() + 4);
+  if (version != kFormatVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  uint64_t event_count = TakeU64(bytes.data() + 8);
+  size_t offset = 16;
+  if (bytes.size() < offset + event_count * 32) {
+    return fail("truncated event section");
+  }
+  out->events.clear();
+  out->events.reserve(static_cast<size_t>(event_count));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    const uint8_t* rec = bytes.data() + offset;
+    FlightEvent event;
+    event.ts_ns = TakeU64(rec);
+    uint32_t packed = TakeU32(rec + 8);
+    event.type = static_cast<uint16_t>(packed & 0xffff);
+    event.tid = static_cast<uint16_t>(packed >> 16);
+    event.arg0 = TakeU32(rec + 12);
+    event.arg1 = TakeU64(rec + 16);
+    event.arg2 = TakeU64(rec + 24);
+    out->events.push_back(event);
+    offset += 32;
+  }
+  if (bytes.size() < offset + 4) {
+    return fail("truncated string table");
+  }
+  uint32_t string_count = TakeU32(bytes.data() + offset);
+  offset += 4;
+  out->strings.clear();
+  out->strings.reserve(string_count);
+  for (uint32_t i = 0; i < string_count; ++i) {
+    if (bytes.size() < offset + 4) {
+      return fail("truncated string table entry");
+    }
+    uint32_t length = TakeU32(bytes.data() + offset);
+    offset += 4;
+    if (bytes.size() < offset + length) {
+      return fail("truncated string table entry");
+    }
+    out->strings.emplace_back(reinterpret_cast<const char*>(bytes.data() + offset), length);
+    offset += length;
+  }
+  return true;
+}
+
+std::string FlightRecordingToJson(const FlightRecording& recording) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event_count").UInt(recording.events.size());
+  RenderEvents(&w, recording.events, [&recording](uint32_t id) {
+    return id < recording.strings.size() ? recording.strings[id] : std::string();
+  });
+  w.EndObject();
+  return w.Take();
+}
+
+const char* EventTypeName(uint16_t type) {
+  switch (type) {
+    case evt::kRunStart:
+      return "run_start";
+    case evt::kRunEnd:
+      return "run_end";
+    case evt::kPairStart:
+      return "pair_start";
+    case evt::kPairEnd:
+      return "pair_end";
+    case evt::kPartitionLoad:
+      return "partition_load";
+    case evt::kPartitionEvict:
+      return "partition_evict";
+    case evt::kPartitionSpill:
+      return "partition_spill";
+    case evt::kPartitionSplit:
+      return "partition_split";
+    case evt::kPrefetchHit:
+      return "prefetch_hit";
+    case evt::kPrefetchWaste:
+      return "prefetch_waste";
+    case evt::kArbiterAcquire:
+      return "arbiter_acquire";
+    case evt::kArbiterBorrow:
+      return "arbiter_borrow";
+    case evt::kArbiterWait:
+      return "arbiter_wait";
+    case evt::kCheckpointPublish:
+      return "checkpoint_publish";
+    case evt::kIoRetry:
+      return "io_retry";
+    case evt::kFaultInjected:
+      return "fault_injected";
+    case evt::kCheckerStart:
+      return "checker_start";
+    case evt::kCheckerDone:
+      return "checker_done";
+    case evt::kCheckerDegraded:
+      return "checker_degraded";
+    case evt::kWitnessDecode:
+      return "witness_decode";
+    case evt::kCrashExit:
+      return "crash_exit";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace obs
+}  // namespace grapple

@@ -79,7 +79,7 @@ struct ProvRecord {
 
 // Append-only, buffered writer for one engine run's provenance log. Not
 // thread-safe: the engine only records from its sequential integration and
-// finalize paths. Counters ("provenance_records", "provenance_bytes")
+// finalize paths. Counters ("provenance_records_total", "provenance_bytes")
 // register in `metrics` when provided.
 class ProvenanceWriter {
  public:

@@ -65,21 +65,21 @@ std::string RunReport::ToJson() const {
 
 std::string RenderEngineSummary(const MetricsSnapshot& s) {
   std::ostringstream out;
-  uint64_t base = s.CounterOr("engine_base_edges");
-  uint64_t final_edges = s.CounterOr("engine_final_edges");
-  uint64_t added = s.CounterOr("engine_edges_added");
-  uint64_t pruned = s.CounterOr("engine_unsat_pruned") + s.CounterOr("oracle_unsat");
+  uint64_t base = s.CounterOr("engine_base_edges_total");
+  uint64_t final_edges = s.CounterOr("engine_final_edges_total");
+  uint64_t added = s.CounterOr("engine_edges_added_total");
+  uint64_t pruned = s.CounterOr("engine_unsat_pruned_total") + s.CounterOr("oracle_unsat_total");
   out << "edges: " << base << " -> " << final_edges << " (+" << added << " induced, " << pruned
       << " pruned unsat)\n";
   out << "partitions: " << static_cast<uint64_t>(s.GaugeOr("engine_num_partitions")) << " (peak "
       << static_cast<uint64_t>(s.GaugeOr("engine_peak_partitions")) << ", "
-      << s.CounterOr("engine_partition_splits") << " splits); pair loads: "
-      << s.CounterOr("engine_pair_loads") << ", join rounds: "
-      << s.CounterOr("engine_join_rounds") << ", joins: "
-      << s.CounterOr("engine_joins_attempted") << "\n";
-  uint64_t solved = s.CounterOr("oracle_constraints_checked");
-  uint64_t hits = s.CounterOr("oracle_cache_hits");
-  out << "constraints: " << s.CounterOr("oracle_merges") << " merges, " << solved << " solved, "
+      << s.CounterOr("engine_partition_splits_total") << " splits); pair loads: "
+      << s.CounterOr("engine_pair_loads_total") << ", join rounds: "
+      << s.CounterOr("engine_join_rounds_total") << ", joins: "
+      << s.CounterOr("engine_joins_attempted_total") << "\n";
+  uint64_t solved = s.CounterOr("oracle_constraints_checked_total");
+  uint64_t hits = s.CounterOr("oracle_cache_hits_total");
+  out << "constraints: " << s.CounterOr("oracle_merges_total") << " merges, " << solved << " solved, "
       << hits << " cache hits";
   uint64_t lookups = solved + hits;
   if (lookups > 0) {

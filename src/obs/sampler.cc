@@ -1,0 +1,130 @@
+#include "src/obs/sampler.h"
+
+#include <chrono>
+
+#include "src/obs/statusz.h"
+
+namespace grapple {
+namespace obs {
+
+namespace {
+
+uint64_t NowMs() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+}  // namespace
+
+Sampler& Sampler::Get() {
+  static Sampler* sampler = new Sampler;
+  return *sampler;
+}
+
+void Sampler::Start(uint32_t interval_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  interval_ms_.store(interval_ms == 0 ? 1 : interval_ms, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+      return;
+    }
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Sampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_.load(std::memory_order_acquire)),
+                 [this] { return !running_.load(std::memory_order_acquire); });
+  }
+}
+
+void Sampler::SampleNow() {
+  // Collect outside mu_: source callbacks can be slow, and Series() readers
+  // should not wait on them.
+  MetricsSnapshot snapshot = Introspection::MergedMetrics();
+  std::map<std::string, double> gauges = Introspection::RuntimeGauges();
+  Sample sample;
+  sample.ts_ms = NowMs();
+  for (const auto& [name, value] : snapshot.counters) {
+    sample.values[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    sample.values[name] = value;
+  }
+  for (const auto& [name, value] : gauges) {
+    sample.values[name] = value;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > ring_capacity_) {
+    ring_.pop_front();
+  }
+}
+
+std::vector<Sampler::Point> Sampler::Series(const std::string& name) const {
+  std::vector<Point> series;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Sample& sample : ring_) {
+    auto it = sample.values.find(name);
+    if (it != sample.values.end()) {
+      series.push_back(Point{sample.ts_ms, it->second});
+    }
+  }
+  return series;
+}
+
+std::vector<std::string> Sampler::SeriesNames() const {
+  std::map<std::string, bool> seen;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Sample& sample : ring_) {
+    for (const auto& [name, value] : sample.values) {
+      seen[name] = true;
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(seen.size());
+  for (const auto& [name, unused] : seen) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t Sampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Sampler::SetRingCapacity(size_t samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = samples == 0 ? 1 : samples;
+  while (ring_.size() > ring_capacity_) {
+    ring_.pop_front();
+  }
+}
+
+void Sampler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace obs
+}  // namespace grapple

@@ -1,0 +1,81 @@
+// Background metrics sampler (DESIGN.md §12): a single process-wide thread
+// that, every `interval_ms`, snapshots the merged metrics registries and
+// runtime gauges from Introspection into an in-memory time-series ring.
+// `/varz?name=<series>` serves one series; nothing is ever written to disk.
+//
+// Series names are counter/gauge names from the registries plus the
+// runtime gauges (rss_bytes, io_queue_depth, write_cache_bytes,
+// budget_arbiter_waiters, ...). The ring holds the newest `ring_capacity`
+// samples (default 512); at the default 250 ms interval that is about two
+// minutes of history, which is what a human tailing a run actually reads.
+#ifndef GRAPPLE_SRC_OBS_SAMPLER_H_
+#define GRAPPLE_SRC_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace grapple {
+namespace obs {
+
+class Sampler {
+ public:
+  struct Point {
+    uint64_t ts_ms = 0;  // steady-clock milliseconds since process start
+    double value = 0;
+  };
+
+  static Sampler& Get();
+
+  // Starts the sampling thread. Idempotent: a second Start while running is
+  // a no-op (the first interval wins until Stop).
+  void Start(uint32_t interval_ms);
+  // Stops and joins the thread. Idempotent. Sampled history is kept.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint32_t interval_ms() const { return interval_ms_.load(std::memory_order_acquire); }
+
+  // Takes one sample synchronously (also what the thread calls each tick).
+  void SampleNow();
+
+  // Newest-last points for one series; empty when the name was never seen.
+  std::vector<Point> Series(const std::string& name) const;
+  // Every series name present in the current ring.
+  std::vector<std::string> SeriesNames() const;
+  size_t sample_count() const;
+
+  // Ring size in samples; applies on the next SampleNow. Also clamps the
+  // existing ring.
+  void SetRingCapacity(size_t samples);
+  // Drops all sampled history (tests).
+  void Clear();
+
+ private:
+  Sampler() = default;
+
+  struct Sample {
+    uint64_t ts_ms = 0;
+    std::map<std::string, double> values;
+  };
+
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes the loop early on Stop
+  std::deque<Sample> ring_;
+  size_t ring_capacity_ = 512;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint32_t> interval_ms_{0};
+};
+
+}  // namespace obs
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_OBS_SAMPLER_H_

@@ -1,5 +1,6 @@
 #include "src/obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -115,7 +116,16 @@ std::string StopTracingToJson() {
   w.Key("ph").String("M").Key("pid").Int(1).Key("name").String("process_name");
   w.Key("args").BeginObject().Key("name").String("grapple").EndObject();
   w.EndObject();
+  // Drain every shard first, then emit one timestamp-sorted stream: shard
+  // drain order is thread-registration order, and interleaving threads'
+  // events by ts is what makes the merged trace (and its golden tests)
+  // deterministic regardless of which thread registered first.
   uint64_t total_dropped = 0;
+  struct TaggedEvent {
+    Event event;
+    int tid;
+  };
+  std::vector<TaggedEvent> merged;
   for (auto& buf : state.buffers) {
     std::lock_guard<std::mutex> buf_lock(buf->mu);
     w.BeginObject();
@@ -124,25 +134,34 @@ std::string StopTracingToJson() {
     w.Key("args").BeginObject().Key("name").String("worker-" + std::to_string(buf->tid)).EndObject();
     w.EndObject();
     for (const Event& event : buf->events) {
-      w.BeginObject();
-      w.Key("name").String(event.name);
-      w.Key("cat").String(event.category);
-      w.Key("ph").String(std::string(1, event.phase));
-      w.Key("pid").Int(1);
-      w.Key("tid").Int(buf->tid);
-      // Chrome expects microseconds.
-      w.Key("ts").Double(static_cast<double>(event.ts_ns) / 1000.0);
-      if (event.phase == 'X') {
-        w.Key("dur").Double(static_cast<double>(event.dur_ns) / 1000.0);
-      } else {
-        w.Key("s").String("t");
-      }
-      w.EndObject();
+      merged.push_back(TaggedEvent{event, static_cast<int>(buf->tid)});
     }
     total_dropped += buf->dropped;
     buf->events.clear();
     buf->events.shrink_to_fit();
     buf->dropped = 0;
+  }
+  // stable_sort keeps a thread's simultaneous events (ts ties, e.g. nested
+  // spans opened in the same tick) in their original emission order.
+  std::stable_sort(merged.begin(), merged.end(), [](const TaggedEvent& a, const TaggedEvent& b) {
+    return a.event.ts_ns < b.event.ts_ns;
+  });
+  for (const TaggedEvent& tagged : merged) {
+    const Event& event = tagged.event;
+    w.BeginObject();
+    w.Key("name").String(event.name);
+    w.Key("cat").String(event.category);
+    w.Key("ph").String(std::string(1, event.phase));
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(tagged.tid);
+    // Chrome expects microseconds.
+    w.Key("ts").Double(static_cast<double>(event.ts_ns) / 1000.0);
+    if (event.phase == 'X') {
+      w.Key("dur").Double(static_cast<double>(event.dur_ns) / 1000.0);
+    } else {
+      w.Key("s").String("t");
+    }
+    w.EndObject();
   }
   w.EndArray();
   w.Key("otherData").BeginObject();

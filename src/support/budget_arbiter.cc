@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/event_hook.h"
 #include "src/support/logging.h"
 
 namespace grapple {
@@ -56,10 +57,14 @@ BudgetLease BudgetArbiter::Acquire(uint64_t bytes) {
   bytes = std::min(bytes, total_);
   std::unique_lock<std::mutex> lock(mu_);
   uint64_t ticket = next_ticket_++;
+  if (!(serving_ == ticket && total_ - used_ >= bytes)) {
+    evt::Emit(evt::kArbiterWait, bytes);
+  }
   cv_.wait(lock, [&] { return serving_ == ticket && total_ - used_ >= bytes; });
   ++serving_;
   used_ += bytes;
   peak_used_ = std::max(peak_used_, used_);
+  evt::Emit(evt::kArbiterAcquire, bytes);
   // Wake the next ticket holder; it may be satisfiable already.
   cv_.notify_all();
   return BudgetLease(this, bytes);
@@ -85,6 +90,11 @@ bool BudgetArbiter::has_waiters() const {
   return next_ticket_ != serving_;
 }
 
+uint64_t BudgetArbiter::waiter_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ticket_ - serving_;
+}
+
 bool BudgetArbiter::TryGrow(uint64_t extra) {
   std::lock_guard<std::mutex> lock(mu_);
   // Queued acquirers have first claim on free budget.
@@ -96,6 +106,7 @@ bool BudgetArbiter::TryGrow(uint64_t extra) {
   }
   used_ += extra;
   peak_used_ = std::max(peak_used_, used_);
+  evt::Emit(evt::kArbiterBorrow, extra);
   return true;
 }
 

@@ -84,6 +84,8 @@ class BudgetArbiter {
   // True while any Acquire is queued. Momentarily true inside every Acquire;
   // meaningful for observation (metrics, tests), not for flow control.
   bool has_waiters() const;
+  // Number of queued Acquire calls; same observational caveat as has_waiters.
+  uint64_t waiter_count() const;
 
  private:
   friend class BudgetLease;

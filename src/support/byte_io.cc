@@ -14,6 +14,7 @@
 #include <system_error>
 #include <thread>
 
+#include "src/support/event_hook.h"
 #include "src/support/fault_injection.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
@@ -143,6 +144,13 @@ void BackoffSleep(const IoRetryPolicy& policy, uint32_t retry_index) {
   std::this_thread::sleep_for(std::chrono::microseconds(base + jitter));
 }
 
+// Bumps the retry counter and drops a flight-recorder event. `op` must have
+// static storage duration (all call sites pass literals).
+void NoteIoRetry(uint32_t attempt, const char* op) {
+  g_io_retries.fetch_add(1, std::memory_order_relaxed);
+  evt::Emit(evt::kIoRetry, attempt, reinterpret_cast<uint64_t>(op));
+}
+
 // Opens with EINTR retry. Returns -1 and sets *error on failure.
 int OpenRetrying(const std::string& path, int flags, const char* op, std::string* error) {
   IoRetryPolicy policy = GetIoRetryPolicy();
@@ -155,7 +163,7 @@ int OpenRetrying(const std::string& path, int flags, const char* op, std::string
       SetError(error, op, path, "open failed: " + ErrnoText(errno));
       return -1;
     }
-    g_io_retries.fetch_add(1, std::memory_order_relaxed);
+    NoteIoRetry(retry + 1, op);
     BackoffSleep(policy, retry + 1);
   }
 }
@@ -203,6 +211,10 @@ bool WriteAllFd(int fd, const uint8_t* data, size_t size, const std::string& pat
     }
     if (torn) {
       ::fsync(fd);
+      // Torn write = simulated power cut mid-write; spill the flight
+      // recorder so the post-mortem shows what the process was doing.
+      evt::Emit(evt::kCrashExit, 0, reinterpret_cast<uint64_t>("torn_write"));
+      evt::RunCrashFlushHook();
       _exit(fault::kCrashExitCode);
     }
     if (n > 0) {
@@ -226,7 +238,7 @@ bool WriteAllFd(int fd, const uint8_t* data, size_t size, const std::string& pat
                           " bytes written)");
     }
     ++retries;
-    g_io_retries.fetch_add(1, std::memory_order_relaxed);
+    NoteIoRetry(retries, op);
     BackoffSleep(policy, retries);
   }
   return true;
@@ -322,7 +334,7 @@ bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes, std::st
       break;
     }
     ++retries;
-    g_io_retries.fetch_add(1, std::memory_order_relaxed);
+    NoteIoRetry(retries, "read");
     BackoffSleep(policy, retries);
   }
   ::close(fd);
@@ -342,7 +354,7 @@ bool TruncateFile(const std::string& path, uint64_t size, std::string* error) {
       return SetError(error, "truncate", path,
                       "truncate to " + std::to_string(size) + " failed: " + ErrnoText(errno));
     }
-    g_io_retries.fetch_add(1, std::memory_order_relaxed);
+    NoteIoRetry(retry + 1, "truncate");
     BackoffSleep(policy, retry + 1);
   }
 }
@@ -374,7 +386,7 @@ bool SyncFile(const std::string& path, std::string* error) {
       ok = SetError(error, "fsync", path, "fsync failed: " + ErrnoText(errno));
       break;
     }
-    g_io_retries.fetch_add(1, std::memory_order_relaxed);
+    NoteIoRetry(retry + 1, "fsync");
     BackoffSleep(policy, retry + 1);
   }
   ::close(fd);

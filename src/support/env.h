@@ -44,6 +44,19 @@
 //                            (IoRetryPolicy.backoff_base_us; 0 = no sleep)
 //   GRAPPLE_FAULTS           fault-injection spec (tests/CI only): see
 //                            support/fault_injection.h for the grammar
+//   GRAPPLE_STATUSZ          integer: start the live-introspection HTTP
+//                            listener (obs/statusz.h) on 127.0.0.1:<port>
+//                            (0 = ephemeral port), overriding
+//                            GrappleOptions::Observability::statusz_port;
+//                            -1 or unset leaves the option in charge
+//   GRAPPLE_EVENTLOG_EVENTS  positive integer: flight-recorder ring size in
+//                            events per thread (obs/event_log.h; default
+//                            4096), overriding
+//                            Observability::event_log_capacity
+//   GRAPPLE_SAMPLE_INTERVAL_MS
+//                            positive integer: background metrics-sampler
+//                            cadence in milliseconds (obs/sampler.h),
+//                            overriding Observability::sample_interval_ms
 //
 // Thread-count convention: a thread-count option of 0 means "use the
 // hardware concurrency" — uniformly, wherever a pool is sized. Call sites

@@ -1,0 +1,30 @@
+#include "src/support/event_hook.h"
+
+namespace grapple {
+namespace evt {
+
+namespace internal {
+std::atomic<Sink> g_sink{nullptr};
+}  // namespace internal
+
+namespace {
+std::atomic<FlushHook> g_flush_hook{nullptr};
+}  // namespace
+
+void SetSink(Sink sink) {
+  internal::g_sink.store(sink, std::memory_order_release);
+}
+
+void SetCrashFlushHook(FlushHook hook) {
+  g_flush_hook.store(hook, std::memory_order_release);
+}
+
+void RunCrashFlushHook() {
+  FlushHook hook = g_flush_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) {
+    hook();
+  }
+}
+
+}  // namespace evt
+}  // namespace grapple

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/support/event_hook.h"
 #include "src/support/logging.h"
 
 namespace grapple {
@@ -168,6 +169,18 @@ bool ParseClause(const std::string& text, Clause* clause, std::string* error) {
   return fail("unknown verb '" + verb + "'");
 }
 
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kRead:
+      return "read";
+    case Op::kWrite:
+      return "write";
+    case Op::kFsync:
+      return "fsync";
+  }
+  return "io";
+}
+
 // True when this attempt/hit (1-based `count`) matches the clause ordinal.
 bool OrdinalMatches(const Clause& clause, uint64_t count) {
   return clause.from_ordinal_on ? count >= clause.ordinal : count == clause.ordinal;
@@ -226,6 +239,8 @@ Action OnIo(Op op, const std::string& path) {
     }
     if (action.kind != Action::Kind::kNone) {
       g_injected.fetch_add(1, std::memory_order_relaxed);
+      evt::Emit(evt::kFaultInjected, static_cast<uint64_t>(action.kind),
+                reinterpret_cast<uint64_t>(OpName(op)));
       return action;  // first matching clause wins
     }
   }
@@ -247,7 +262,13 @@ void CrashPoint(const char* name) {
     uint64_t count = clause.hits.fetch_add(1, std::memory_order_relaxed) + 1;
     if (OrdinalMatches(clause, count)) {
       g_injected.fetch_add(1, std::memory_order_relaxed);
-      // Simulated kill -9: no stack unwinding, no atexit, no flushing —
+      // The flight recorder is the one survivor of the simulated kill: record
+      // the injected fault and spill the rings to flightrec.bin. Post-mortem
+      // state the crash leaves behind, not cooperative shutdown.
+      evt::Emit(evt::kFaultInjected, 0, reinterpret_cast<uint64_t>(clause.point.c_str()));
+      evt::Emit(evt::kCrashExit, 0, reinterpret_cast<uint64_t>(clause.point.c_str()));
+      evt::RunCrashFlushHook();
+      // Simulated kill -9: no stack unwinding, no atexit, no other flushing —
       // exactly the state a real SIGKILL leaves behind.
       _exit(kCrashExitCode);
     }

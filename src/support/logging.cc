@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "src/support/env.h"
+#include "src/support/event_hook.h"
 
 namespace grapple {
 
@@ -83,6 +84,9 @@ LogMessage::~LogMessage() {
     std::cerr.flush();
   }
   if (level_ == LogLevel::kFatal) {
+    // Spill the flight recorder before dying so the abort is diagnosable
+    // from flightrec.bin even when stderr is lost.
+    evt::RunCrashFlushHook();
     std::abort();
   }
 }

@@ -1,0 +1,212 @@
+#include "src/support/socket_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace grapple {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+// Writes the full buffer, tolerating EINTR and short writes. Scrape clients
+// that hang up early are not an error worth surfacing.
+void WriteFully(int fd, const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    done += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+SocketServer::~SocketServer() { Stop(); }
+
+bool SocketServer::Start(int port, Handler handler, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "socket server: " + why;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) {
+    return fail("already running");
+  }
+  if (handler == nullptr) {
+    return fail("null handler");
+  }
+  if (port < 0 || port > 65535) {
+    return fail("port " + std::to_string(port) + " out of range");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return fail(std::string("socket failed: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string why = std::string("bind 127.0.0.1:") + std::to_string(port) +
+                      " failed: " + std::strerror(errno);
+    ::close(fd);
+    return fail(why);
+  }
+  if (::listen(fd, 16) != 0) {
+    std::string why = std::string("listen failed: ") + std::strerror(errno);
+    ::close(fd);
+    return fail(why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    std::string why = std::string("getsockname failed: ") + std::strerror(errno);
+    ::close(fd);
+    return fail(why);
+  }
+  if (::pipe(wake_fds_) != 0) {
+    std::string why = std::string("pipe failed: ") + std::strerror(errno);
+    ::close(fd);
+    return fail(why);
+  }
+  listen_fd_ = fd;
+  handler_ = std::move(handler);
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void SocketServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the poll loop; the thread observes running_ == false and exits.
+  char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  CloseFd(&listen_fd_);
+  CloseFd(&wake_fds_[0]);
+  CloseFd(&wake_fds_[1]);
+  port_.store(0, std::memory_order_release);
+  handler_ = nullptr;
+}
+
+void SocketServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void SocketServer::HandleConnection(int fd) {
+  // Scrape requests are one short line plus headers; 8 KiB is generous.
+  // Stop reading at the header terminator — bodies are ignored.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  size_t line_end = request.find('\n');
+  std::string line = line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+  }
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    HttpRequest parsed;
+    parsed.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    size_t question = target.find('?');
+    if (question == std::string::npos) {
+      parsed.path = target;
+    } else {
+      parsed.path = target.substr(0, question);
+      parsed.query = target.substr(question + 1);
+    }
+    response = handler_(parsed);
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  WriteFully(fd, head + response.body);
+}
+
+}  // namespace grapple

@@ -1,0 +1,81 @@
+// Minimal blocking HTTP/1.0 listener for the live introspection endpoint
+// (DESIGN.md §12). Deliberately tiny: one accept loop on a background
+// thread, one request per connection, `Connection: close` on every
+// response. That is all /statusz-style scrape traffic needs, and it keeps
+// the support layer free of any real HTTP dependency.
+//
+//   SocketServer server;
+//   std::string error;
+//   server.Start(0, [](const HttpRequest& req) {            // port 0 = ephemeral
+//     HttpResponse resp;
+//     resp.body = "ok\n";
+//     return resp;
+//   }, &error);
+//   ... scrape http://127.0.0.1:<server.port()>/ ...
+//   server.Stop();
+//
+// Binds 127.0.0.1 only — introspection is host-local by design; fronting it
+// with auth/TLS is a reverse proxy's job, not this class's.
+#ifndef GRAPPLE_SRC_SUPPORT_SOCKET_SERVER_H_
+#define GRAPPLE_SRC_SUPPORT_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace grapple {
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string path;    // "/statusz" (no query string)
+  std::string query;   // "name=rss_bytes" (text after '?', may be empty)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class SocketServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  SocketServer() = default;
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port; read it back via
+  // port()) and serves `handler` on a background thread. Returns false and
+  // sets *error when the bind fails or the server is already running. The
+  // handler runs on the serving thread and must be thread-safe with respect
+  // to whatever state it reads.
+  bool Start(int port, Handler handler, std::string* error);
+
+  // Stops the serving thread and closes the listening socket. Idempotent;
+  // blocks until the thread has joined, so the handler is never invoked
+  // after Stop() returns.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound port; 0 when not running.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll loop
+};
+
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_SUPPORT_SOCKET_SERVER_H_

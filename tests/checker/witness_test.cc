@@ -97,7 +97,7 @@ TEST(WitnessTest, OffModeRecordsNothing) {
   EXPECT_FALSE(result.checkers[0].reports[0].has_witness);
   // No provenance counters in the phase report either.
   for (const auto& phase : result.report.phases) {
-    EXPECT_EQ(phase.metrics.CounterOr("provenance_records"), 0u) << phase.name;
+    EXPECT_EQ(phase.metrics.CounterOr("provenance_records_total"), 0u) << phase.name;
   }
 }
 
@@ -124,9 +124,9 @@ TEST(WitnessTest, ProvenanceCountersReachThePhaseReport) {
       continue;
     }
     saw_typestate = true;
-    EXPECT_GT(phase.metrics.CounterOr("provenance_records"), 0u) << phase.name;
+    EXPECT_GT(phase.metrics.CounterOr("provenance_records_total"), 0u) << phase.name;
     EXPECT_GT(phase.metrics.CounterOr("provenance_bytes"), 0u) << phase.name;
-    EXPECT_GT(phase.metrics.CounterOr("witnesses_decoded"), 0u) << phase.name;
+    EXPECT_GT(phase.metrics.CounterOr("witnesses_decoded_total"), 0u) << phase.name;
     auto it = phase.metrics.histograms.find("witness_decode_ns");
     ASSERT_NE(it, phase.metrics.histograms.end()) << phase.name;
     EXPECT_GT(it->second.count, 0u);

@@ -225,8 +225,8 @@ class CheckpointEngineTest : public ::testing::Test {
     engine.Run();
     EdgeSet closure;
     engine.ForEachEdge([&](const EdgeRecord& e) { closure.insert({e.src, e.dst, e.label}); });
-    uint64_t resumed = engine.Metrics().CounterOr("runs_resumed");
-    EXPECT_GT(engine.Metrics().CounterOr("ckpt_written"), 0u);
+    uint64_t resumed = engine.Metrics().CounterOr("runs_resumed_total");
+    EXPECT_GT(engine.Metrics().CounterOr("ckpt_written_total"), 0u);
     return {std::move(closure), resumed};
   }
 

@@ -185,9 +185,9 @@ TEST_F(IoPipelineTest, HintPrefetchesAndCountsHitsAndWaste) {
   // cache; there is nothing for a hint to read ahead.
   EXPECT_FALSE(store.Load(0).empty());
   obs::MetricsSnapshot snap = metrics.Snapshot();
-  EXPECT_EQ(snap.CounterOr("io_write_cache_hits"), 1u);
+  EXPECT_EQ(snap.CounterOr("io_write_cache_hits_total"), 1u);
   store.Hint({0});
-  EXPECT_EQ(metrics.Snapshot().CounterOr("io_prefetch_issued"), 0u);
+  EXPECT_EQ(metrics.Snapshot().CounterOr("io_prefetch_issued_total"), 0u);
 
   // Appends invalidate the cached images; Hint re-reads them (behind the
   // queued append, so the read sees the appended file).
@@ -200,9 +200,9 @@ TEST_F(IoPipelineTest, HintPrefetchesAndCountsHitsAndWaste) {
   EXPECT_FALSE(p0.empty());
   EXPECT_FALSE(p1.empty());
   snap = metrics.Snapshot();
-  EXPECT_EQ(snap.CounterOr("io_prefetch_issued"), 2u);
-  EXPECT_EQ(snap.CounterOr("io_prefetch_hits"), 2u);
-  EXPECT_EQ(snap.CounterOr("io_prefetch_wasted"), 0u);
+  EXPECT_EQ(snap.CounterOr("io_prefetch_issued_total"), 2u);
+  EXPECT_EQ(snap.CounterOr("io_prefetch_hits_total"), 2u);
+  EXPECT_EQ(snap.CounterOr("io_prefetch_wasted_total"), 0u);
 
   // A mutation invalidates an unconsumed prefetch: wasted.
   uint64_t p2_edges = store.Info(2).edges;
@@ -211,7 +211,7 @@ TEST_F(IoPipelineTest, HintPrefetchesAndCountsHitsAndWaste) {
   store.Sync();
   store.Append(2, {MakeEdge(store.Info(2).lo, 1, 9)});
   snap = metrics.Snapshot();
-  EXPECT_EQ(snap.CounterOr("io_prefetch_wasted"), 1u);
+  EXPECT_EQ(snap.CounterOr("io_prefetch_wasted_total"), 1u);
   // And the post-append load still sees every edge (write-behind + barrier).
   EXPECT_EQ(store.Load(2).size(), p2_edges + 2);
 }
@@ -246,8 +246,8 @@ TEST_F(IoPipelineTest, PrefetchCacheBorrowsFromBudgetLease) {
   store.Hint({0, 1, 2});
   store.Sync();
   obs::MetricsSnapshot snap = metrics.Snapshot();
-  EXPECT_EQ(snap.CounterOr("io_prefetch_issued"), 3u);
-  EXPECT_GT(snap.CounterOr("io_cache_budget_borrows"), 0u);
+  EXPECT_EQ(snap.CounterOr("io_prefetch_issued_total"), 3u);
+  EXPECT_GT(snap.CounterOr("io_cache_budget_borrows_total"), 0u);
   EXPECT_GT(lease.bytes(), lease_before);
   lease.Release();
 }

@@ -78,7 +78,7 @@ TEST(ProvenanceTest, RoundTripsAllRecordKinds) {
 
   // Counters track what the writer emitted.
   MetricsSnapshot snapshot = metrics.Snapshot();
-  EXPECT_EQ(snapshot.CounterOr("provenance_records"), 4u);
+  EXPECT_EQ(snapshot.CounterOr("provenance_records_total"), 4u);
   EXPECT_GT(snapshot.CounterOr("provenance_bytes"), 0u);
 }
 

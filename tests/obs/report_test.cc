@@ -131,15 +131,15 @@ TEST_F(ReportEngineTest, SnapshotCountersMatchLegacyStats) {
   const EngineStats& stats = engine.stats();
   const MetricsSnapshot& m = stats.metrics;
   EXPECT_GT(stats.base_edges, 0u);
-  EXPECT_EQ(m.CounterOr("engine_base_edges"), stats.base_edges);
-  EXPECT_EQ(m.CounterOr("engine_final_edges"), stats.final_edges);
-  EXPECT_EQ(m.CounterOr("engine_pair_loads"), stats.pair_loads);
-  EXPECT_EQ(m.CounterOr("engine_join_rounds"), stats.join_rounds);
-  EXPECT_EQ(m.CounterOr("engine_joins_attempted"), stats.joins_attempted);
-  EXPECT_EQ(m.CounterOr("engine_edges_added"), stats.edges_added);
-  EXPECT_EQ(m.CounterOr("engine_unsat_pruned"), stats.unsat_pruned);
-  EXPECT_EQ(m.CounterOr("engine_widened_triples"), stats.widened_triples);
-  EXPECT_EQ(m.CounterOr("engine_partition_splits"), stats.partition_splits);
+  EXPECT_EQ(m.CounterOr("engine_base_edges_total"), stats.base_edges);
+  EXPECT_EQ(m.CounterOr("engine_final_edges_total"), stats.final_edges);
+  EXPECT_EQ(m.CounterOr("engine_pair_loads_total"), stats.pair_loads);
+  EXPECT_EQ(m.CounterOr("engine_join_rounds_total"), stats.join_rounds);
+  EXPECT_EQ(m.CounterOr("engine_joins_attempted_total"), stats.joins_attempted);
+  EXPECT_EQ(m.CounterOr("engine_edges_added_total"), stats.edges_added);
+  EXPECT_EQ(m.CounterOr("engine_unsat_pruned_total"), stats.unsat_pruned);
+  EXPECT_EQ(m.CounterOr("engine_widened_triples_total"), stats.widened_triples);
+  EXPECT_EQ(m.CounterOr("engine_partition_splits_total"), stats.partition_splits);
   EXPECT_EQ(static_cast<size_t>(m.GaugeOr("engine_num_partitions")), stats.num_partitions);
   EXPECT_EQ(static_cast<size_t>(m.GaugeOr("engine_peak_partitions")), stats.peak_partitions);
   EXPECT_DOUBLE_EQ(m.SecondsOf("engine_preprocess_ns"), stats.preprocess_seconds);
@@ -147,11 +147,11 @@ TEST_F(ReportEngineTest, SnapshotCountersMatchLegacyStats) {
 
   const OracleStats& o = stats.oracle;
   EXPECT_GT(o.merges, 0u);
-  EXPECT_EQ(m.CounterOr("oracle_merges"), o.merges);
-  EXPECT_EQ(m.CounterOr("oracle_constraints_checked"), o.constraints_checked);
-  EXPECT_EQ(m.CounterOr("oracle_cache_hits"), o.cache_hits);
-  EXPECT_EQ(m.CounterOr("oracle_unsat"), o.unsat);
-  EXPECT_EQ(m.CounterOr("oracle_unknown"), o.unknown);
+  EXPECT_EQ(m.CounterOr("oracle_merges_total"), o.merges);
+  EXPECT_EQ(m.CounterOr("oracle_constraints_checked_total"), o.constraints_checked);
+  EXPECT_EQ(m.CounterOr("oracle_cache_hits_total"), o.cache_hits);
+  EXPECT_EQ(m.CounterOr("oracle_unsat_total"), o.unsat);
+  EXPECT_EQ(m.CounterOr("oracle_unknown_total"), o.unknown);
   EXPECT_DOUBLE_EQ(m.SecondsOf("oracle_lookup_ns"), o.lookup_seconds);
   EXPECT_DOUBLE_EQ(m.SecondsOf("oracle_solve_ns"), o.solve_seconds);
 
@@ -163,7 +163,7 @@ TEST_F(ReportEngineTest, SnapshotCountersMatchLegacyStats) {
   EXPECT_GT(stats.phase_seconds.count("join"), 0u);
 
   // The live Metrics() accessor agrees with the stored snapshot.
-  EXPECT_EQ(engine.Metrics().CounterOr("engine_pair_loads"), stats.pair_loads);
+  EXPECT_EQ(engine.Metrics().CounterOr("engine_pair_loads_total"), stats.pair_loads);
 
   // An unsat composition happened and was counted on one side or the other.
   EXPECT_GT(stats.unsat_pruned + o.unsat, 0u);
@@ -210,11 +210,11 @@ TEST_F(ReportEngineTest, RunReportJsonParsesAndMatchesSnapshot) {
   const JsonValue* counters = metrics->Find("counters");
   ASSERT_NE(counters, nullptr);
   // Counter totals in the serialized report equal the legacy stats fields.
-  EXPECT_EQ(counters->NumberOr("engine_pair_loads", -1),
+  EXPECT_EQ(counters->NumberOr("engine_pair_loads_total", -1),
             static_cast<double>(engine.stats().pair_loads));
-  EXPECT_EQ(counters->NumberOr("engine_final_edges", -1),
+  EXPECT_EQ(counters->NumberOr("engine_final_edges_total", -1),
             static_cast<double>(engine.stats().final_edges));
-  EXPECT_EQ(counters->NumberOr("oracle_merges", -1),
+  EXPECT_EQ(counters->NumberOr("oracle_merges_total", -1),
             static_cast<double>(engine.stats().oracle.merges));
   const JsonValue* histograms = metrics->Find("histograms");
   ASSERT_NE(histograms, nullptr);
@@ -294,7 +294,7 @@ TEST_F(ReportEngineTest, ReportDirEnvSteersBenchWriteEndToEnd) {
   ASSERT_NE(metrics, nullptr);
   const JsonValue* counters = metrics->Find("counters");
   ASSERT_NE(counters, nullptr);
-  EXPECT_EQ(counters->NumberOr("engine_final_edges", -1),
+  EXPECT_EQ(counters->NumberOr("engine_final_edges_total", -1),
             static_cast<double>(engine.stats().final_edges));
 }
 

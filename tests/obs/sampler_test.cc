@@ -1,0 +1,91 @@
+// Background metrics sampler: start/stop idempotence, manual ticks, series
+// extraction, and ring trimming. The sampler is a process-wide singleton;
+// every test clears it first.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/sampler.h"
+#include "src/obs/statusz.h"
+
+namespace grapple {
+namespace obs {
+namespace {
+
+TEST(SamplerTest, StartStopIsIdempotent) {
+  Sampler& sampler = Sampler::Get();
+  sampler.Clear();
+  EXPECT_FALSE(sampler.running());
+  sampler.Stop();  // stop while stopped: no-op
+  EXPECT_FALSE(sampler.running());
+
+  sampler.Start(50);
+  EXPECT_TRUE(sampler.running());
+  EXPECT_EQ(sampler.interval_ms(), 50u);
+  sampler.Start(500);  // start while running: keeps the first cadence
+  EXPECT_TRUE(sampler.running());
+  EXPECT_EQ(sampler.interval_ms(), 50u);
+
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(SamplerTest, SampleNowCapturesRegisteredGauges) {
+  Sampler& sampler = Sampler::Get();
+  sampler.Clear();
+  Introspection::Handle gauge =
+      Introspection::RegisterGaugeSource("sampler_test_gauge", [] { return 42.5; });
+  sampler.SampleNow();
+  ASSERT_GE(sampler.sample_count(), 1u);
+
+  std::vector<Sampler::Point> series = sampler.Series("sampler_test_gauge");
+  ASSERT_FALSE(series.empty());
+  EXPECT_DOUBLE_EQ(series.back().value, 42.5);
+
+  // Built-in process gauges ride along on every tick.
+  EXPECT_FALSE(sampler.Series("rss_bytes").empty());
+
+  std::vector<std::string> names = sampler.SeriesNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "sampler_test_gauge"), names.end());
+  gauge.Release();
+  sampler.Clear();
+}
+
+TEST(SamplerTest, RingTrimsToCapacity) {
+  Sampler& sampler = Sampler::Get();
+  sampler.Clear();
+  sampler.SetRingCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    sampler.SampleNow();
+  }
+  EXPECT_LE(sampler.sample_count(), 4u);
+  sampler.SetRingCapacity(512);  // restore the default
+  sampler.Clear();
+}
+
+TEST(SamplerTest, BackgroundThreadTicksOnItsOwn) {
+  Sampler& sampler = Sampler::Get();
+  sampler.Clear();
+  sampler.Start(10);
+  // The first tick happens promptly on the sampler thread; poll briefly.
+  bool ticked = false;
+  for (int i = 0; i < 200 && !ticked; ++i) {
+    ticked = sampler.sample_count() > 0;
+    if (!ticked) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  sampler.Stop();
+  EXPECT_TRUE(ticked);
+  sampler.Clear();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace grapple

@@ -4,6 +4,7 @@
 // golden checks that the trace loads as valid JSON.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -161,6 +162,42 @@ TEST(TraceTest, StopWritesLoadableFile) {
   std::remove(path.c_str());
   std::vector<ParsedEvent> events = EventsOf(content);
   EXPECT_NE(FindByName(events, "t_file_span"), nullptr);
+}
+
+// Regression: the merged trace used to be emitted shard-by-shard (all of
+// thread A's spans, then all of thread B's), which trace viewers tolerate
+// but post-processors reading the file as a timeline do not. The merger
+// must interleave shards into one timestamp-sorted stream.
+TEST(TraceTest, MergedEventsAreTimestampSortedAcrossThreads) {
+  StartTracing();
+  // Interleave spans across three threads with enforced ordering, so a
+  // shard-ordered emission cannot accidentally be time-sorted.
+  std::vector<std::thread> threads;
+  for (int round = 0; round < 3; ++round) {
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([] { ScopedSpan span("t_sort_probe", "test"); });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    threads.clear();
+    { ScopedSpan main_span("t_sort_probe", "test"); }
+  }
+  std::vector<ParsedEvent> events = EventsOf(StopTracingToJson());
+  double last_ts = -1;
+  int span_events = 0;
+  std::set<int> tids;
+  for (const ParsedEvent& event : events) {
+    if (event.ph == "M") {
+      continue;  // metadata records carry no timestamp
+    }
+    ++span_events;
+    tids.insert(event.tid);
+    EXPECT_GE(event.ts, last_ts) << "trace not globally timestamp-sorted";
+    last_ts = event.ts;
+  }
+  EXPECT_GE(span_events, 12);
+  EXPECT_GE(tids.size(), 2u) << "test needs spans from multiple threads to mean anything";
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+// grapple-flightrec: decode a flight-recorder dump (flightrec.bin).
+//
+// The recorder (src/obs/event_log.h, DESIGN.md §12) keeps the last N
+// structured events per thread in lock-free rings and spills them to
+// <work_dir>/flightrec.bin when a run dies on a crash path — fault-injection
+// kills, torn-write simulation, fatal checks. This tool is the post-mortem
+// half: it validates the dump and renders the recorded tail.
+//
+//   $ grapple-flightrec <flightrec.bin>            # human-readable table
+//   $ grapple-flightrec --json <flightrec.bin>     # one JSON object
+//
+// Exit codes: 0 decoded, 1 file missing/corrupt, 2 usage error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/obs/event_log.h"
+#include "src/support/event_hook.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [--json] <flightrec.bin>\n", argv[0]);
+    return 2;
+  }
+
+  grapple::obs::FlightRecording recording;
+  std::string error;
+  if (!grapple::obs::DecodeFlightRecording(path, &recording, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::fputs(grapple::obs::FlightRecordingToJson(recording).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+
+  std::printf("%zu events, %zu interned strings\n", recording.events.size(),
+              recording.strings.size());
+  std::printf("%14s  %-18s %4s %10s %12s  %s\n", "ts_ns", "type", "tid", "arg0", "arg1",
+              "arg2 / name");
+  for (const auto& event : recording.events) {
+    // The string-table argument (retry op, fault target, crash point,
+    // checker name) resolves through the dump's own table when in range.
+    std::string resolved;
+    uint64_t string_arg = 0;
+    switch (event.type) {
+      case grapple::evt::kIoRetry:
+      case grapple::evt::kFaultInjected:
+      case grapple::evt::kCrashExit:
+        string_arg = event.arg2;
+        break;
+      case grapple::evt::kCheckerStart:
+      case grapple::evt::kCheckerDone:
+      case grapple::evt::kCheckerDegraded:
+        string_arg = event.arg1;
+        break;
+      default:
+        string_arg = UINT64_MAX;
+        break;
+    }
+    if (string_arg < recording.strings.size()) {
+      resolved = recording.strings[static_cast<size_t>(string_arg)];
+    }
+    std::printf("%14" PRIu64 "  %-18s %4u %10u %12" PRIu64 "  ", event.ts_ns,
+                grapple::obs::EventTypeName(event.type), event.tid, event.arg0, event.arg1);
+    if (!resolved.empty()) {
+      std::printf("%s\n", resolved.c_str());
+    } else {
+      std::printf("%" PRIu64 "\n", event.arg2);
+    }
+  }
+  return 0;
+}
