@@ -18,12 +18,15 @@
 // (see src/ir/parser.h for the grammar); example files live in
 // examples/testdata/.
 //
-// A separate post-mortem mode skips analysis entirely:
+// Two post-mortem modes skip analysis entirely:
 //
 //   $ ./analyze_file --flightrec <work-dir>/flightrec.bin
+//   $ ./analyze_file --profile <work-dir>/profile.bin
 //
-// decodes a flight-recorder crash dump (DESIGN.md §12) and prints it as
-// JSON — the same output as `grapple-flightrec --json`.
+// --flightrec decodes a flight-recorder crash dump (DESIGN.md §12) and
+// prints it as JSON — the same output as `grapple-flightrec --json`.
+// --profile decodes a sampling-profiler ledger (DESIGN.md §13) and prints
+// collapsed stacks — the same output as `grapple-prof --collapsed`.
 //
 // Exit codes: 0 no warnings, 1 warnings, 2 usage/parse error, 3 (--explain
 // only) a witness could not be decoded (witness_unavailable degradation) or
@@ -39,6 +42,7 @@
 #include "src/core/grapple.h"
 #include "src/ir/parser.h"
 #include "src/obs/event_log.h"
+#include "src/obs/profiler.h"
 
 namespace {
 
@@ -70,11 +74,25 @@ int main(int argc, char** argv) {
     std::printf("%s\n", grapple::obs::FlightRecordingToJson(recording).c_str());
     return 0;
   }
+  if (argc >= 2 && std::strcmp(argv[1], "--profile") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --profile <profile.bin>\n", argv[0]);
+      return 2;
+    }
+    grapple::obs::ProfileData profile;
+    std::string profile_error;
+    if (!grapple::obs::DecodeProfile(argv[2], &profile, &profile_error)) {
+      std::fprintf(stderr, "%s\n", profile_error.c_str());
+      return 2;
+    }
+    std::fputs(grapple::obs::ProfileToCollapsed(profile).c_str(), stdout);
+    return 0;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <program.grap> [io|lock|except|socket ...] [--fsm spec.fsm] "
                  "[--stats] [--json] [--explain] [--work-dir dir] "
-                 "[--flightrec flightrec.bin]\n",
+                 "[--flightrec flightrec.bin] [--profile profile.bin]\n",
                  argv[0]);
     return 2;
   }

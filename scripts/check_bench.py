@@ -149,6 +149,23 @@ DEFAULT_WATCH = [
         "direction": "higher_is_better",
         "min": 1.0,
     },
+    {
+        # Acceptance criterion of the sampling profiler: SIGPROF sampling at
+        # the default 97 Hz plus ring harvesting costs at most 2% wall time.
+        # Like obs_overhead, a full-scale property (smoke runs are scheduler
+        # jitter), clamped at zero.
+        "key": "table3_performance/prof_overhead/profiler/gauge:prof_overhead",
+        "direction": "lower_is_better",
+        "max": 0.02,
+        "min_scale": 1.0,
+        "tolerance": 2.0,
+    },
+    {
+        # Reports must stay byte-identical with profiling on, at any scale.
+        "key": "table3_performance/prof_overhead/profiler/gauge:prof_reports_identical",
+        "direction": "higher_is_better",
+        "min": 1.0,
+    },
 ]
 
 

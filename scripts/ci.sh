@@ -19,9 +19,16 @@
 #                            # ordinals against the example pipeline, each
 #                            # resumed and byte-compared (nightly)
 #   scripts/ci.sh obs        # live-introspection smoke: a scale-0.3 bench
-#                            # run with GRAPPLE_STATUSZ on, all four
+#                            # run with GRAPPLE_STATUSZ on, all five
 #                            # endpoints (/healthz /statusz /metricsz
-#                            # /tracez) scraped and validated mid-run
+#                            # /tracez /profilez) scraped and validated
+#                            # mid-run
+#   scripts/ci.sh profile    # sampling-profiler smoke: a profiled run of
+#                            # the example pipeline (GRAPPLE_PROFILE=on),
+#                            # profile.bin decoded via grapple-prof (table
+#                            # + --json round-trip) and analyze_file
+#                            # --profile (collapsed stacks), and the report
+#                            # byte-compared against an unprofiled run
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -200,7 +207,7 @@ PY
 }
 
 # Live-introspection smoke: run the bench at scale 0.3 with GRAPPLE_STATUSZ
-# set and scrape all four endpoints over real HTTP *while it runs*, then
+# set and scrape all five endpoints over real HTTP *while it runs*, then
 # validate every payload. The listener is owned by the analysis session of
 # the moment (it stops between sessions), so each scrape round retries
 # until a session is up; the round must land before the bench exits.
@@ -227,7 +234,8 @@ run_obs_smoke() {
     if obs_get "${base}/healthz" > "${out_dir}/healthz.txt" \
         && obs_get "${base}/statusz" > "${out_dir}/statusz.json" \
         && obs_get "${base}/metricsz" > "${out_dir}/metricsz.txt" \
-        && obs_get "${base}/tracez" > "${out_dir}/tracez.json"; then
+        && obs_get "${base}/tracez" > "${out_dir}/tracez.json" \
+        && obs_get "${base}/profilez" > "${out_dir}/profilez.json"; then
       scraped=1
       break
     fi
@@ -238,15 +246,57 @@ run_obs_smoke() {
     return 1
   }
   if [[ "${scraped}" -ne 1 ]]; then
-    echo "obs: never reached all four endpoints while the bench ran" >&2
+    echo "obs: never reached all five endpoints while the bench ran" >&2
     return 1
   fi
   grep -qx 'ok' "${out_dir}/healthz.txt"
   python3 -m json.tool "${out_dir}/statusz.json" > /dev/null
   python3 -m json.tool "${out_dir}/tracez.json" > /dev/null
+  python3 -m json.tool "${out_dir}/profilez.json" > /dev/null
   grep -q '^# TYPE grapple_' "${out_dir}/metricsz.txt"
+  grep -q '^# HELP grapple_' "${out_dir}/metricsz.txt"
   grep -q '^grapple_' "${out_dir}/metricsz.txt"
-  echo "==> [obs] all four endpoints scraped and validated mid-run"
+  echo "==> [obs] all five endpoints scraped and validated mid-run"
+}
+
+# Sampling-profiler smoke: one profiled run of the example pipeline, then
+# every consumer of profile.bin exercised — the grapple-prof table and
+# --json modes (the JSON must parse), analyze_file --profile (collapsed
+# stacks with at least one attributed frame), and finally the acceptance
+# criterion that profiling never changes results: the report JSON from the
+# profiled run must be byte-identical to an unprofiled one.
+run_profile_smoke() {
+  local build_dir="${repo_root}/build-ci-release"
+  echo "==> [profile] configure + build"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  build_filtered "${build_dir}"
+  local out_dir="${build_dir}/profile-smoke"
+  rm -rf "${out_dir}"
+  mkdir -p "${out_dir}"
+  echo "==> [profile] unprofiled reference run"
+  GRAPPLE_WITNESS=bugs "${build_dir}/examples/analyze_file" \
+    "${repo_root}/examples/testdata/leaky.grap" --json \
+    --work-dir "${out_dir}/work-off" > "${out_dir}/ref.json" || true
+  test -s "${out_dir}/ref.json"
+  echo "==> [profile] profiled run (GRAPPLE_PROFILE=on)"
+  GRAPPLE_PROFILE=on GRAPPLE_PROFILE_HZ=500 GRAPPLE_WITNESS=bugs \
+    "${build_dir}/examples/analyze_file" \
+    "${repo_root}/examples/testdata/leaky.grap" --json \
+    --work-dir "${out_dir}/work-on" > "${out_dir}/profiled.json" || true
+  test -s "${out_dir}/work-on/profile.bin"
+  echo "==> [profile] report byte-identity (profiled vs unprofiled)"
+  cmp "${out_dir}/ref.json" "${out_dir}/profiled.json"
+  echo "==> [profile] grapple-prof table + JSON round-trip"
+  "${build_dir}/tools/grapple-prof" "${out_dir}/work-on/profile.bin" \
+    > "${out_dir}/profile.txt"
+  grep -q 'samples' "${out_dir}/profile.txt"
+  "${build_dir}/tools/grapple-prof" --json "${out_dir}/work-on/profile.bin" \
+    > "${out_dir}/profile.json"
+  python3 -m json.tool "${out_dir}/profile.json" > /dev/null
+  echo "==> [profile] collapsed stacks via analyze_file --profile"
+  "${build_dir}/examples/analyze_file" --profile \
+    "${out_dir}/work-on/profile.bin" > "${out_dir}/profile.collapsed"
+  echo "==> [profile] profiled report identical; decoders agree"
 }
 
 # ThreadSanitizer pass: the whole suite runs under TSan (the scheduler,
@@ -286,13 +336,16 @@ case "${mode}" in
   obs)
     run_obs_smoke
     ;;
+  profile)
+    run_profile_smoke
+    ;;
   all)
     run_pass release -DCMAKE_BUILD_TYPE=Release
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|obs|all]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|obs|profile|all]" >&2
     exit 2
     ;;
 esac

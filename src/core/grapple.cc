@@ -10,6 +10,7 @@
 #include "src/grammar/typestate_grammar.h"
 #include "src/obs/event_log.h"
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 #include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 #include "src/support/env.h"
@@ -120,6 +121,10 @@ std::vector<std::string> GrappleOptions::Validate() const {
   if (observability.statusz_port < -1 || observability.statusz_port > 65535) {
     errors.push_back("observability.statusz_port must be -1 (off), 0 (ephemeral), or a valid "
                      "TCP port <= 65535");
+  }
+  if (observability.profile_hz < 1 || observability.profile_hz > 1000) {
+    errors.push_back("observability.profile_hz must be in [1, 1000]; above 1 kHz the SIGPROF "
+                     "storm perturbs the workload more than it measures");
   }
   return errors;
 }
@@ -267,6 +272,21 @@ Grapple::Grapple(Program program, GrappleOptions options)
     }
   }
 
+  // Sampling profiler: off unless the option or GRAPPLE_PROFILE asks for it.
+  // Like statusz, the profiler is process-wide and the first session to start
+  // it owns its shutdown; every profiled session points the dump at its own
+  // work dir (first claim wins) so a crash spill lands next to flightrec.bin.
+  if (ResolveProfile(options_.observability.profile)) {
+    obs::ProfilerSetDumpPath(work_dir_ + "/profile.bin", /*only_if_unset=*/true);
+    if (!obs::ProfilerRunning()) {
+      uint32_t hz = ResolveProfileHz(options_.observability.profile_hz);
+      if (obs::ProfilerStart(hz)) {
+        owns_profiler_ = true;
+        GRAPPLE_LOG(INFO) << "sampling profiler on at " << hz << " Hz";
+      }
+    }
+  }
+
   introspect_session_ = obs::Introspection::RegisterStatusSource("session", [this] {
     obs::JsonWriter w;
     w.BeginObject();
@@ -291,6 +311,14 @@ Grapple::~Grapple() {
   if (owns_statusz_) {
     obs::Sampler::Get().Stop();
     obs::StopStatusz();
+  }
+  if (owns_profiler_) {
+    // Final harvest before teardown so samples taken since the last Check()
+    // still reach disk.
+    if (!obs::ProfilerDumpPath().empty()) {
+      obs::ProfilerWriteFile(obs::ProfilerDumpPath());
+    }
+    obs::ProfilerStop();
   }
 }
 
@@ -375,6 +403,7 @@ CheckerRunResult Grapple::CheckOne(const FsmSpec& spec, BudgetLease* lease,
   checker_result.checker = spec.fsm.name();
   obs::ScopedSpan checker_span(obs::InternSpanName("typestate:" + spec.fsm.name()), "phase");
   uint32_t name_id = obs::EventLogInternString(spec.fsm.name());
+  obs::ProfChecker prof_checker(name_id);
   evt::Emit(evt::kCheckerStart, name_id);
   {
     std::lock_guard<std::mutex> lock(live_mu_);
@@ -527,6 +556,13 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
   if (!metrics_path.empty()) {
     if (!obs::WriteTextFile(metrics_path, result.report.ToJson())) {
       GRAPPLE_LOG(WARNING) << "failed to write run report to " << metrics_path;
+    }
+  }
+  // Persist the cost ledger after every Check() so the profile is readable
+  // even if the process never tears the session down cleanly.
+  if (obs::ProfilerRunning() && !obs::ProfilerDumpPath().empty()) {
+    if (!obs::ProfilerWriteFile(obs::ProfilerDumpPath())) {
+      GRAPPLE_LOG(WARNING) << "failed to write profile to " << obs::ProfilerDumpPath();
     }
   }
   return result;

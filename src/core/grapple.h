@@ -110,9 +110,18 @@ struct GrappleOptions {
     uint32_t sample_interval_ms = 250;
     // Live introspection HTTP listener (loopback only): -1 = off,
     // 0 = pick an ephemeral port (see obs::StatuszPort()), else the literal
-    // port. Serves /healthz, /statusz, /metricsz, /tracez, /varz.
-    // GRAPPLE_STATUSZ overrides at construction.
+    // port. Serves /healthz, /statusz, /metricsz, /tracez, /varz,
+    // /profilez. GRAPPLE_STATUSZ overrides at construction.
     int statusz_port = -1;
+    // Wall-clock sampling profiler (obs/profiler.h, DESIGN.md §13). When
+    // on, the session starts the process-wide profiler and persists the
+    // per-pair cost ledger as <work_dir>/profile.bin after every Check().
+    // GRAPPLE_PROFILE overrides at construction.
+    bool profile = false;
+    // Sampling frequency in Hz, range [1, 1000]. The default is prime so
+    // samples do not run in lockstep with periodic work.
+    // GRAPPLE_PROFILE_HZ overrides at construction.
+    uint32_t profile_hz = 97;
   };
 
   // How much hardware one Check() call may use. Thread-count convention
@@ -305,6 +314,8 @@ class Grapple {
   // True when this session started the process-wide statusz listener /
   // sampler (and so stops them on destruction).
   bool owns_statusz_ = false;
+  // Same contract for the process-wide sampling profiler.
+  bool owns_profiler_ = false;
   // Declared last so it unregisters (blocking out in-flight scrapes) before
   // any state its callback reads is torn down.
   obs::Introspection::Handle introspect_session_;

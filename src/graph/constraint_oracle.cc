@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/obs/trace.h"
+#include "src/support/event_hook.h"
 
 namespace grapple {
 
@@ -35,12 +36,11 @@ IntervalOracle::IntervalOracle(const Icfet* icfet, Options options)
       decoder_(icfet),
       solver_(options.solver_limits),
       cache_(options.cache_capacity),
-      c_merges_(metrics_.CounterWithAlias("oracle_merges_total", "oracle_merges")),
-      c_checked_(
-          metrics_.CounterWithAlias("oracle_constraints_checked_total", "oracle_constraints_checked")),
-      c_cache_hits_(metrics_.CounterWithAlias("oracle_cache_hits_total", "oracle_cache_hits")),
-      c_unsat_(metrics_.CounterWithAlias("oracle_unsat_total", "oracle_unsat")),
-      c_unknown_(metrics_.CounterWithAlias("oracle_unknown_total", "oracle_unknown")),
+      c_merges_(metrics_.Counter("oracle_merges_total")),
+      c_checked_(metrics_.Counter("oracle_constraints_checked_total")),
+      c_cache_hits_(metrics_.Counter("oracle_cache_hits_total")),
+      c_unsat_(metrics_.Counter("oracle_unsat_total")),
+      c_unknown_(metrics_.Counter("oracle_unknown_total")),
       c_lookup_ns_(metrics_.Counter("oracle_lookup_ns")),
       c_solve_ns_(metrics_.Counter("oracle_solve_ns")),
       h_solve_ns_(metrics_.Histogram("oracle_solve_ns")) {}
@@ -72,8 +72,11 @@ SolveResult IntervalOracle::CheckEncodingLocked(const PathEncoding& enc, const s
   if (options_.simulated_solve_latency_us > 0) {
     if (options_.simulated_solve_blocks) {
       // Sleep: an out-of-process solver holds the request; this core is
-      // free for other checkers' work meanwhile.
+      // free for other checkers' work meanwhile. Bracketed as a solve wait
+      // so the sampling profiler books the blocked time off-CPU.
+      evt::Emit(evt::kWaitBegin, evt::kWaitSolve);
       std::this_thread::sleep_for(std::chrono::microseconds(options_.simulated_solve_latency_us));
+      evt::Emit(evt::kWaitEnd, evt::kWaitSolve);
     } else {
       double target = options_.simulated_solve_latency_us * 1e-6;
       while (solve_timer.ElapsedSeconds() < target) {

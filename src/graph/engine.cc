@@ -10,6 +10,7 @@
 #include "src/graph/checkpoint.h"
 #include "src/obs/event_log.h"
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/support/byte_io.h"
@@ -116,32 +117,25 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
     : grammar_(grammar),
       oracle_(oracle),
       options_(std::move(options)),
-      // Canonical snake_case + unit-suffix names; the second argument keeps
-      // the pre-audit name alive in snapshots for one release (DESIGN.md §8).
-      c_base_edges_(metrics_.CounterWithAlias("engine_base_edges_total", "engine_base_edges")),
-      c_final_edges_(metrics_.CounterWithAlias("engine_final_edges_total", "engine_final_edges")),
-      c_pair_loads_(metrics_.CounterWithAlias("engine_pair_loads_total", "engine_pair_loads")),
-      c_join_rounds_(metrics_.CounterWithAlias("engine_join_rounds_total", "engine_join_rounds")),
-      c_joins_attempted_(
-          metrics_.CounterWithAlias("engine_joins_attempted_total", "engine_joins_attempted")),
-      c_edges_added_(metrics_.CounterWithAlias("engine_edges_added_total", "engine_edges_added")),
-      c_unsat_pruned_(
-          metrics_.CounterWithAlias("engine_unsat_pruned_total", "engine_unsat_pruned")),
-      c_widened_triples_(
-          metrics_.CounterWithAlias("engine_widened_triples_total", "engine_widened_triples")),
-      c_partition_splits_(
-          metrics_.CounterWithAlias("engine_partition_splits_total", "engine_partition_splits")),
-      c_budget_borrows_(
-          metrics_.CounterWithAlias("engine_budget_borrows_total", "engine_budget_borrows")),
+      // Canonical snake_case + unit-suffix names (DESIGN.md §8).
+      c_base_edges_(metrics_.Counter("engine_base_edges_total")),
+      c_final_edges_(metrics_.Counter("engine_final_edges_total")),
+      c_pair_loads_(metrics_.Counter("engine_pair_loads_total")),
+      c_join_rounds_(metrics_.Counter("engine_join_rounds_total")),
+      c_joins_attempted_(metrics_.Counter("engine_joins_attempted_total")),
+      c_edges_added_(metrics_.Counter("engine_edges_added_total")),
+      c_unsat_pruned_(metrics_.Counter("engine_unsat_pruned_total")),
+      c_widened_triples_(metrics_.Counter("engine_widened_triples_total")),
+      c_partition_splits_(metrics_.Counter("engine_partition_splits_total")),
+      c_budget_borrows_(metrics_.Counter("engine_budget_borrows_total")),
       c_preprocess_ns_(metrics_.Counter("engine_preprocess_ns")),
       c_compute_ns_(metrics_.Counter("engine_compute_ns")),
       h_join_round_joins_(metrics_.Histogram("engine_join_round_joins")),
-      c_witnesses_decoded_(
-          metrics_.CounterWithAlias("witnesses_decoded_total", "witnesses_decoded")),
+      c_witnesses_decoded_(metrics_.Counter("witnesses_decoded_total")),
       h_witness_decode_ns_(metrics_.Histogram("witness_decode_ns")),
-      c_ckpt_written_(metrics_.CounterWithAlias("ckpt_written_total", "ckpt_written")),
+      c_ckpt_written_(metrics_.Counter("ckpt_written_total")),
       c_ckpt_bytes_(metrics_.Counter("ckpt_bytes")),
-      c_runs_resumed_(metrics_.CounterWithAlias("runs_resumed_total", "runs_resumed")),
+      c_runs_resumed_(metrics_.Counter("runs_resumed_total")),
       store_(options_.work_dir, &profiler_, &metrics_,
              PartitionStorePipeline{ResolveIoPipeline(options_.io_pipeline),
                                     options_.budget_lease, options_.memory_budget_bytes}),
@@ -449,6 +443,7 @@ bool GraphEngine::TryResume(VertexId num_vertices) {
 void GraphEngine::WriteCheckpoint() {
   fault::CrashPoint("ckpt_begin");
   ScopedPhase ckpt_phase(&profiler_, "ckpt");
+  obs::ProfPhase prof_phase("ckpt");
   obs::ScopedSpan span("checkpoint", "engine");
   // Quiesce: every queued write must be on disk (well, in the page cache —
   // the threat model is process death, see checkpoint.h) before the
@@ -533,7 +528,10 @@ void GraphEngine::Run() {
     live_pair_.store((static_cast<uint64_t>(pick_i) << 32) | static_cast<uint64_t>(pick_j),
                      std::memory_order_relaxed);
     evt::Emit(evt::kPairStart, pick_i, pick_j);
-    ProcessPair(pick_i, pick_j);
+    {
+      obs::ProfPair prof_pair(static_cast<uint32_t>(pick_i), static_cast<uint32_t>(pick_j));
+      ProcessPair(pick_i, pick_j);
+    }
     evt::Emit(evt::kPairEnd, pick_i, pick_j);
     live_pair_.store(kNoLivePair, std::memory_order_relaxed);
     live_pairs_done_.fetch_add(1, std::memory_order_relaxed);
@@ -631,6 +629,7 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
   loaded.shrink_to_fit();
 
   ScopedPhase join_phase(&profiler_, "join");
+  obs::ProfPhase prof_join_phase("join");
   GraphEngineIndexHolder& index = *index_;
   const bool record_prov = provenance_ != nullptr;
   auto prov_edge_of = [](const LoadedPair::MemEdge& e) {

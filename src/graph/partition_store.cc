@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/graph/partition_codec.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/support/event_hook.h"
 #include "src/support/logging.h"
@@ -25,20 +26,16 @@ PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
   if (metrics_ != nullptr) {
     c_bytes_read_ = metrics_->Counter("io_bytes_read");
     c_bytes_written_ = metrics_->Counter("io_bytes_written");
-    c_loads_ = metrics_->CounterWithAlias("io_partition_loads_total", "io_partition_loads");
-    c_writes_ = metrics_->CounterWithAlias("io_partition_writes_total", "io_partition_writes");
-    c_appends_ = metrics_->CounterWithAlias("io_partition_appends_total", "io_partition_appends");
-    c_splits_ = metrics_->CounterWithAlias("io_partition_splits_total", "io_partition_splits");
+    c_loads_ = metrics_->Counter("io_partition_loads_total");
+    c_writes_ = metrics_->Counter("io_partition_writes_total");
+    c_appends_ = metrics_->Counter("io_partition_appends_total");
+    c_splits_ = metrics_->Counter("io_partition_splits_total");
     c_compressed_bytes_ = metrics_->Counter("io_compressed_bytes");
-    c_prefetch_hits_ = metrics_->CounterWithAlias("io_prefetch_hits_total", "io_prefetch_hits");
-    c_write_cache_hits_ =
-        metrics_->CounterWithAlias("io_write_cache_hits_total", "io_write_cache_hits");
-    c_prefetch_wasted_ =
-        metrics_->CounterWithAlias("io_prefetch_wasted_total", "io_prefetch_wasted");
-    c_prefetch_issued_ =
-        metrics_->CounterWithAlias("io_prefetch_issued_total", "io_prefetch_issued");
-    c_cache_borrows_ =
-        metrics_->CounterWithAlias("io_cache_budget_borrows_total", "io_cache_budget_borrows");
+    c_prefetch_hits_ = metrics_->Counter("io_prefetch_hits_total");
+    c_write_cache_hits_ = metrics_->Counter("io_write_cache_hits_total");
+    c_prefetch_wasted_ = metrics_->Counter("io_prefetch_wasted_total");
+    c_prefetch_issued_ = metrics_->Counter("io_prefetch_issued_total");
+    c_cache_borrows_ = metrics_->Counter("io_cache_budget_borrows_total");
   }
   if (pipeline_.enabled) {
     io_pool_ = std::make_unique<ThreadPool>(1);
@@ -82,8 +79,11 @@ void PartitionStore::Enqueue(std::function<void()> fn) {
 void PartitionStore::Sync() {
   if (io_pool_ != nullptr) {
     ScopedPhase phase(profiler_, "io");
+    obs::ProfPhase prof_phase("io");
     obs::ScopedSpan span("io_sync", "io");
+    evt::Emit(evt::kWaitBegin, evt::kWaitIoBarrier);
     io_pool_->Wait();
+    evt::Emit(evt::kWaitEnd, evt::kWaitIoBarrier);
   }
   ThrowIfIoError();
 }
@@ -170,6 +170,7 @@ uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeR
                                       bool rewrite, const char* span_name,
                                       std::shared_ptr<const std::vector<EdgeRecord>>* content) {
   ScopedPhase phase(profiler_, "io");
+  obs::ProfPhase prof_phase("io");
   obs::ScopedSpan span(span_name, "io");
   if (!pipeline_.enabled) {
     std::vector<uint8_t> buffer;
@@ -397,6 +398,7 @@ void PartitionStore::Hint(const std::vector<size_t>& next_indices) {
 
 std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
   ScopedPhase phase(profiler_, "io");
+  obs::ProfPhase prof_phase("io");
   obs::ScopedSpan span("partition_load", "io");
   ThrowIfIoError();
   const PartitionInfo& info = partitions_[index];
@@ -424,7 +426,9 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
     if (pending) {
       // The prefetch read is queued (or running); wait it out instead of
       // issuing a duplicate foreground read.
+      evt::Emit(evt::kWaitBegin, evt::kWaitIoQueue);
       io_pool_->Wait();
+      evt::Emit(evt::kWaitEnd, evt::kWaitIoQueue);
       std::lock_guard<std::mutex> lock(cache_mutex_);
       auto it = cache_.find(info.path);
       if (it != cache_.end() && it->second.version == info.version && it->second.ready &&
@@ -448,7 +452,9 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
       pending_write = pending_writes_.count(info.path) > 0;
     }
     if (pending_write) {
+      evt::Emit(evt::kWaitBegin, evt::kWaitIoQueue);
       io_pool_->Wait();
+      evt::Emit(evt::kWaitEnd, evt::kWaitIoQueue);
       ThrowIfIoError();
     }
   }

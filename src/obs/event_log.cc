@@ -1,6 +1,7 @@
 #include "src/obs/event_log.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -227,6 +228,23 @@ std::string ResolveLive(uint32_t id) { return EventLogStringOf(id); }
 // must not re-enter it).
 std::atomic<bool> g_crash_flush_ran{false};
 
+// Additional crash-path dumps (the profiler's profile.bin spill). A fixed
+// lock-free array so the fatal-signal path can walk it without taking any
+// lock.
+constexpr int kMaxCrashSpillers = 8;
+std::atomic<CrashSpiller> g_spillers[kMaxCrashSpillers] = {};
+std::atomic<int> g_spiller_count{0};
+
+void RunCrashSpillers() {
+  int count = std::min(g_spiller_count.load(std::memory_order_acquire), kMaxCrashSpillers);
+  for (int i = 0; i < count; ++i) {
+    CrashSpiller spiller = g_spillers[i].load(std::memory_order_acquire);
+    if (spiller != nullptr) {
+      spiller();
+    }
+  }
+}
+
 void CrashFlushNow() {
   if (g_crash_flush_ran.exchange(true, std::memory_order_acq_rel)) {
     return;
@@ -235,6 +253,53 @@ void CrashFlushNow() {
   if (!path.empty()) {
     EventLogFlush(path);
   }
+  RunCrashSpillers();
+}
+
+// Fatal-signal handler (SIGSEGV/SIGBUS/SIGABRT): best-effort spill, then
+// restore the default disposition and re-raise so the process still dies
+// with the original signal (exit status, core dumps, and waitpid semantics
+// are unchanged). Not strictly async-signal-safe — the merge allocates —
+// but the process is already dying; the one hazard worth engineering away
+// is a self-deadlock on the recorder mutex, so the path refuses to block:
+// if the fault struck while this thread held the lock, the dump is skipped.
+// (std::mutex::try_lock by the owning thread is formally undefined; on
+// glibc it returns false for the default non-recursive type, which is
+// exactly the behavior this path needs.)
+void FatalSignalSpill(int sig) {
+  if (!g_crash_flush_ran.exchange(true, std::memory_order_acq_rel)) {
+    LogState& state = State();
+    if (state.mu.try_lock()) {
+      std::string path = state.crash_dump_path;
+      state.mu.unlock();
+      if (!path.empty()) {
+        EventLogFlush(path);
+      }
+      RunCrashSpillers();
+    }
+  }
+  struct sigaction dfl;
+  std::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigaction(sig, &dfl, nullptr);
+  raise(sig);
+}
+
+// Installs FatalSignalSpill for `sig` unless something else (a sanitizer
+// runtime, a death-test harness) already claimed it.
+void InstallFatalHandler(int sig) {
+  struct sigaction current;
+  if (sigaction(sig, nullptr, &current) != 0) {
+    return;
+  }
+  if (current.sa_handler != SIG_DFL || (current.sa_flags & SA_SIGINFO) != 0) {
+    return;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &FatalSignalSpill;
+  sigemptyset(&sa.sa_mask);
+  sigaction(sig, &sa, nullptr);
 }
 
 void AppendU32(std::string* out, uint32_t value) {
@@ -271,9 +336,19 @@ void EventLogInstall() {
   static const bool installed = [] {
     evt::SetSink(&RecordSink);
     evt::SetCrashFlushHook(&CrashFlushNow);
+    InstallFatalHandler(SIGSEGV);
+    InstallFatalHandler(SIGBUS);
+    InstallFatalHandler(SIGABRT);
     return true;
   }();
   (void)installed;
+}
+
+void EventLogAddCrashSpiller(CrashSpiller spiller) {
+  int index = g_spiller_count.fetch_add(1, std::memory_order_acq_rel);
+  if (index < kMaxCrashSpillers) {
+    g_spillers[index].store(spiller, std::memory_order_release);
+  }
 }
 
 void EventLogSetEnabled(bool enabled) {
@@ -306,6 +381,21 @@ std::string EventLogStringOf(uint32_t id) {
   LogState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   return id < state.strings.size() ? state.strings[id] : std::string();
+}
+
+bool EventLogStringsSnapshot(std::vector<std::string>* out, bool try_only) {
+  LogState& state = State();
+  if (try_only) {
+    if (!state.mu.try_lock()) {
+      return false;
+    }
+    *out = state.strings;
+    state.mu.unlock();
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  *out = state.strings;
+  return true;
 }
 
 std::vector<FlightEvent> EventLogTail(size_t max_events) { return MergeTail(max_events); }
@@ -524,6 +614,10 @@ const char* EventTypeName(uint16_t type) {
       return "witness_decode";
     case evt::kCrashExit:
       return "crash_exit";
+    case evt::kWaitBegin:
+      return "wait_begin";
+    case evt::kWaitEnd:
+      return "wait_end";
     default:
       return "unknown";
   }

@@ -63,6 +63,11 @@ void EventLogSetCapacity(size_t events_per_thread);
 uint32_t EventLogInternString(const std::string& s);
 // Reverse lookup; empty string for unknown ids.
 std::string EventLogStringOf(uint32_t id);
+// Snapshot of the whole table (ids are indices). With `try_only` the call
+// refuses to block — crash paths use it so a fault that struck while the
+// table lock was held skips the snapshot instead of deadlocking; returns
+// false and leaves `out` untouched in that case.
+bool EventLogStringsSnapshot(std::vector<std::string>* out, bool try_only = false);
 
 // Merged tail: the newest `max_events` events across all rings, oldest
 // first. Torn slots (reader raced a writer) are dropped, not repaired.
@@ -82,6 +87,15 @@ std::string EventLogCrashDumpPath();
 // Safe on crash paths: raw syscalls, no byte_io, no allocation beyond the
 // merge buffer. Returns false on I/O failure.
 bool EventLogFlush(const std::string& path);
+
+// Registers an additional dump to run on every crash path — injected
+// `crash@` exits, fatal checks, and real fatal signals — after the event
+// rings are spilled. The sampling profiler registers one so profile.bin
+// lands next to flightrec.bin. Spillers must be best-effort crash-safe:
+// try-lock only, raw syscalls, no byte_io. At most 8; later registrations
+// are dropped.
+using CrashSpiller = void (*)();
+void EventLogAddCrashSpiller(CrashSpiller spiller);
 
 // Decoded flightrec.bin: events plus the string table snapshot that
 // resolves string-carrying args.

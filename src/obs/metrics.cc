@@ -189,19 +189,6 @@ MetricId MetricsRegistry::Counter(const std::string& name) {
   return static_cast<MetricId>(counter_names_.size() - 1);
 }
 
-MetricId MetricsRegistry::CounterWithAlias(const std::string& name,
-                                           const std::string& legacy_alias) {
-  MetricId id = Counter(name);
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [index, alias] : counter_aliases_) {
-    if (index == id && alias == legacy_alias) {
-      return id;
-    }
-  }
-  counter_aliases_.emplace_back(id, legacy_alias);
-  return id;
-}
-
 MetricId MetricsRegistry::Histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < histogram_names_.size(); ++i) {
@@ -278,9 +265,6 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       total += shard->counters[i].load(std::memory_order_relaxed);
     }
     snapshot.counters[counter_names_[i]] = total;
-  }
-  for (const auto& [index, alias] : counter_aliases_) {
-    snapshot.counters[alias] = snapshot.counters[counter_names_[index]];
   }
   for (size_t i = 0; i < histogram_names_.size(); ++i) {
     HistogramSnapshot hist;

@@ -85,13 +85,6 @@ class MetricsRegistry {
   MetricId Counter(const std::string& name);
   MetricId Histogram(const std::string& name);
 
-  // Counter() plus a deprecated alias: Snapshot() emits `legacy_alias` as
-  // an extra entry with the canonical counter's value. Aliases are
-  // render-time only — they consume no slot against kMaxCounters and cost
-  // nothing on the hot path. One release of back-compat for readers still
-  // on the pre-audit names; see the metric inventory in DESIGN.md §8.
-  MetricId CounterWithAlias(const std::string& name, const std::string& legacy_alias);
-
   // Hot path: thread-sharded relaxed add / observe.
   void Add(MetricId id, uint64_t delta = 1);
   void AddNanos(MetricId id, uint64_t nanos) { Add(id, nanos); }
@@ -116,9 +109,6 @@ class MetricsRegistry {
   const uint64_t generation_;  // process-unique, for TLS cache validation
   mutable std::mutex mu_;
   std::vector<std::string> counter_names_;
-  // (canonical counter index, deprecated alias name) pairs, applied at
-  // Snapshot() time.
-  std::vector<std::pair<size_t, std::string>> counter_aliases_;
   std::vector<std::string> histogram_names_;
   std::map<std::string, double> gauges_;
   mutable std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,177 @@
+// Always-on wall-clock sampling profiler with wait attribution and a
+// per-partition-pair cost ledger (DESIGN.md §13).
+//
+// Each worker thread carries a small thread-local context — current phase
+// tag, checker id, partition pair, and off-CPU wait kind — maintained by
+// cheap RAII markers (ProfPhase/ProfChecker/ProfPair) threaded through the
+// engine, the partition store, the oracle, and the checker layer. A ticker
+// thread delivers SIGPROF to every registered thread at a fixed rate; the
+// async-signal-safe handler snapshots the interrupted thread's context into
+// a 32-byte sample in a per-thread seqlock ring (the event_log ring
+// pattern), so every sample lands in exactly one
+// (checker, phase, pair, on/off-CPU) bucket whether the thread was running
+// or blocked. Off-CPU state comes from the evt::Emit observer tap: the
+// existing kArbiterWait/kArbiterAcquire bracket plus the kWaitBegin/kWaitEnd
+// events emitted at I/O barriers, pending-I/O drains, and simulated solve
+// blocks.
+//
+// The ticker harvests rings each tick into the cost ledger — a map from
+// (checker, phase, pair, wait kind) to sample count — which persists as
+// <work_dir>/profile.bin ("GPRF", versioned, length-prefixed, FNV-1a
+// checksummed; the checkpoint envelope discipline) and is exported as
+// collapsed-stack text for flamegraphs (analyze_file --profile,
+// tools/grapple-prof), as JSON on the /profilez statusz endpoint, and as
+// phase fractions stamped into every BENCH_*.json.
+//
+// Context ids are event-log string-table ids offset by one: 0 means "no
+// context", id-1 indexes the string table. Sampling is off by default;
+// GRAPPLE_PROFILE=on (or Observability::profile) turns it on at
+// GRAPPLE_PROFILE_HZ (default 97 Hz). With the profiler stopped and a
+// thread unregistered, a marker is one thread-local load and a branch.
+#ifndef GRAPPLE_SRC_OBS_PROFILER_H_
+#define GRAPPLE_SRC_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grapple {
+namespace obs {
+
+// Sentinel for "no partition pair in scope".
+inline constexpr uint64_t kProfileNoPair = ~0ull;
+
+namespace profiler_internal {
+struct ThreadProf;
+// Returns the calling thread's profiler context, registering the thread on
+// first use while the profiler is (or has been) running; nullptr when
+// profiling never started and the thread is unregistered.
+ThreadProf* CurrentThreadProf();
+uint32_t SwapPhase(ThreadProf* tp, uint32_t value);
+uint32_t SwapChecker(ThreadProf* tp, uint32_t value);
+uint64_t SwapPair(ThreadProf* tp, uint64_t value);
+}  // namespace profiler_internal
+
+// RAII phase marker; `name` is interned into the event-log string table.
+// Nests: the previous phase is restored on destruction.
+class ProfPhase {
+ public:
+  explicit ProfPhase(const char* name);
+  ~ProfPhase();
+  ProfPhase(const ProfPhase&) = delete;
+  ProfPhase& operator=(const ProfPhase&) = delete;
+
+ private:
+  profiler_internal::ThreadProf* tp_ = nullptr;
+  uint32_t prev_ = 0;
+};
+
+// RAII checker marker; takes an EventLogInternString id (the checker layer
+// already interns checker names for kCheckerStart events).
+class ProfChecker {
+ public:
+  explicit ProfChecker(uint32_t name_id);
+  ~ProfChecker();
+  ProfChecker(const ProfChecker&) = delete;
+  ProfChecker& operator=(const ProfChecker&) = delete;
+
+ private:
+  profiler_internal::ThreadProf* tp_ = nullptr;
+  uint32_t prev_ = 0;
+};
+
+// RAII partition-pair marker.
+class ProfPair {
+ public:
+  ProfPair(uint32_t i, uint32_t j);
+  ~ProfPair();
+  ProfPair(const ProfPair&) = delete;
+  ProfPair& operator=(const ProfPair&) = delete;
+
+ private:
+  profiler_internal::ThreadProf* tp_ = nullptr;
+  uint64_t prev_ = kProfileNoPair;
+};
+
+// One cost-ledger bucket. `checker` and `phase` are 1-based string-table
+// ids (0 = none); `wait_kind` is an evt::WaitKind (0 = on-CPU).
+struct ProfileEntry {
+  uint32_t checker = 0;
+  uint32_t phase = 0;
+  uint64_t pair = kProfileNoPair;
+  uint32_t wait_kind = 0;
+  uint64_t samples = 0;
+};
+
+// A decoded (or live-snapshotted) profile: the ledger plus the string-table
+// snapshot that resolves checker/phase ids.
+struct ProfileData {
+  uint64_t sample_period_ns = 0;
+  uint64_t total_samples = 0;
+  uint64_t dropped_samples = 0;  // ring overwrites + torn slots
+  uint64_t wall_ns = 0;          // profiled wall time across Start/Stop spans
+  std::vector<ProfileEntry> entries;
+  std::vector<std::string> strings;
+};
+
+// Installs the SIGPROF handler and registers the crash spiller that writes
+// profile.bin next to flightrec.bin on fatal paths. Idempotent; implied by
+// ProfilerStart.
+void ProfilerInstall();
+
+// Starts the ticker at `hz` samples/sec (clamped to 1..1000) and installs
+// the evt observer for wait attribution. Returns false (and does nothing)
+// when already running or hz == 0.
+bool ProfilerStart(uint32_t hz);
+// Stops the ticker, runs a final harvest, removes the observer. The ledger
+// and thread registrations survive for later snapshots and restarts.
+void ProfilerStop();
+bool ProfilerRunning();
+
+// Where crash paths (and the Grapple facade) persist the ledger. Empty
+// disables the crash spill. `only_if_unset` mirrors
+// EventLogSetCrashDumpPath: inner components propose, the facade decides.
+void ProfilerSetDumpPath(const std::string& path, bool only_if_unset = false);
+std::string ProfilerDumpPath();
+
+// Harvests all rings now and returns the aggregated ledger.
+ProfileData ProfilerSnapshot();
+
+// Clears the ledger, sample counters, and profiled-wall clock, and skips
+// any unharvested ring samples. Thread registrations stay. Tests only.
+void ProfilerResetForTest();
+
+// Persists a snapshot to `path` in GPRF format (tmp + fsync + rename).
+// Returns false on I/O failure.
+bool ProfilerWriteFile(const std::string& path);
+
+// Strict decoder with named errors ("bad magic", "checksum mismatch",
+// "truncated ...", each prefixed with the path).
+bool DecodeProfile(const std::string& path, ProfileData* out, std::string* error);
+
+// {"schema":"grapple.profile.v1",...,"entries":[...]} — entries sorted by
+// descending sample count.
+std::string ProfileToJson(const ProfileData& data);
+
+// Collapsed-stack text for flamegraph tooling, one bucket per line:
+//   <checker>;<phase>[;pair:<i>-<j>][;offcpu:<kind>] <count>
+// with "(none)" for absent checker/phase frames. Lines sorted.
+std::string ProfileToCollapsed(const ProfileData& data);
+
+// Fraction of phase-tagged samples per phase name. The profiler-side
+// counterpart of PhaseProfiler::Fraction for fig9 cross-validation.
+std::map<std::string, double> ProfilePhaseFractions(const ProfileData& data);
+
+// Live-snapshot summary stamped into BENCH_*.json:
+// {"samples":N,"dropped":N,"phase_fractions":{...}}. samples == 0 when the
+// profiler never ran.
+std::string ProfileSummaryJson();
+
+// "none", "arbiter", "io_barrier", "io_queue", "solve", or "unknown".
+const char* ProfileWaitKindName(uint32_t kind);
+
+}  // namespace obs
+}  // namespace grapple
+
+#endif  // GRAPPLE_SRC_OBS_PROFILER_H_

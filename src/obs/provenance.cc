@@ -64,7 +64,7 @@ WitnessMode WitnessModeFromEnv(WitnessMode fallback) {
 ProvenanceWriter::ProvenanceWriter(std::string path, MetricsRegistry* metrics)
     : path_(std::move(path)), metrics_(metrics) {
   if (metrics_ != nullptr) {
-    c_records_ = metrics_->CounterWithAlias("provenance_records_total", "provenance_records");
+    c_records_ = metrics_->Counter("provenance_records_total");
     c_bytes_ = metrics_->Counter("provenance_bytes");
   }
 }

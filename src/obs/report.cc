@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 #include "src/support/env.h"
 #include "src/support/logging.h"
 
@@ -156,6 +157,10 @@ std::string BenchReport::ToJson() const {
     w.Raw(report.ToJson());
   }
   w.EndArray();
+  // Stamp the sampling profiler's view of the run (sample counts + phase
+  // fractions) into every bench report. Goes here, NOT into RunReport: run
+  // reports must stay byte-identical with profiling on or off.
+  w.Key("profile").Raw(ProfileSummaryJson());
   w.EndObject();
   return w.Take();
 }

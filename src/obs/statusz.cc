@@ -8,6 +8,7 @@
 
 #include "src/obs/event_log.h"
 #include "src/obs/json.h"
+#include "src/obs/profiler.h"
 #include "src/obs/sampler.h"
 #include "src/support/socket_server.h"
 
@@ -54,6 +55,40 @@ std::string PrometheusName(const std::string& name) {
     out.push_back(ok ? c : '_');
   }
   return out;
+}
+
+// One-line # HELP text per metric. Exact names first; otherwise derived from
+// the naming convention (DESIGN.md §8) so every exposed series gets *some*
+// help line rather than none.
+std::string PrometheusHelp(const std::string& name) {
+  static const std::map<std::string, std::string>* overrides =
+      new std::map<std::string, std::string>{
+          {"rss_bytes", "Resident set size of the process."},
+          {"budget_arbiter_waiters", "Checkers currently blocked in BudgetArbiter::Acquire."},
+          {"obs_overhead", "Relative wall-clock cost of observability (on/off - 1)."},
+          {"prof_overhead", "Relative wall-clock cost of the sampling profiler (on/off - 1)."},
+      };
+  auto it = overrides->find(name);
+  if (it != overrides->end()) {
+    return it->second;
+  }
+  auto ends_with = [&name](const char* suffix) {
+    size_t n = std::char_traits<char>::length(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_total")) {
+    return "Monotonic count of " + name.substr(0, name.size() - 6) + " events.";
+  }
+  if (ends_with("_ns")) {
+    return "Cumulative " + name.substr(0, name.size() - 3) + " time in nanoseconds.";
+  }
+  if (ends_with("_bytes")) {
+    return "Size of " + name.substr(0, name.size() - 6) + " in bytes.";
+  }
+  if (ends_with("_seconds")) {
+    return "Duration of " + name.substr(0, name.size() - 8) + " in seconds.";
+  }
+  return "Grapple metric " + name + ".";
 }
 
 std::string FormatDouble(double value) {
@@ -251,21 +286,25 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot,
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     std::string metric = PrometheusName(name);
+    out += "# HELP " + metric + " " + PrometheusHelp(name) + "\n";
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
     std::string metric = PrometheusName(name);
+    out += "# HELP " + metric + " " + PrometheusHelp(name) + "\n";
     out += "# TYPE " + metric + " gauge\n";
     out += metric + " " + FormatDouble(value) + "\n";
   }
   for (const auto& [name, value] : runtime_gauges) {
     std::string metric = PrometheusName(name);
+    out += "# HELP " + metric + " " + PrometheusHelp(name) + "\n";
     out += "# TYPE " + metric + " gauge\n";
     out += metric + " " + FormatDouble(value) + "\n";
   }
   for (const auto& [name, hist] : snapshot.histograms) {
     std::string metric = PrometheusName(name);
+    out += "# HELP " + metric + " " + PrometheusHelp(name) + "\n";
     out += "# TYPE " + metric + " summary\n";
     out += metric + "_count " + std::to_string(hist.count) + "\n";
     out += metric + "_sum " + std::to_string(hist.sum) + "\n";
@@ -294,6 +333,11 @@ IntrospectionPage RenderIntrospectionPage(const std::string& path, const std::st
     page.body = EventLogTailJson(256);
     return page;
   }
+  if (path == "/profilez") {
+    page.content_type = "application/json";
+    page.body = ProfileToJson(ProfilerSnapshot());
+    return page;
+  }
   if (path == "/varz") {
     std::string name = QueryParam(query, "name");
     if (name.empty()) {
@@ -319,7 +363,7 @@ IntrospectionPage RenderIntrospectionPage(const std::string& path, const std::st
     return page;
   }
   page.status = 404;
-  page.body = "not found; try /healthz /statusz /metricsz /tracez /varz?name=\n";
+  page.body = "not found; try /healthz /statusz /metricsz /tracez /profilez /varz?name=\n";
   return page;
 }
 

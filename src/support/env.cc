@@ -77,6 +77,16 @@ uint32_t ResolveCheckpointInterval(uint32_t requested) {
   return requested > 0 ? requested : kDefaultCheckpointInterval;
 }
 
+bool ResolveProfile(bool requested) { return EnvBool("GRAPPLE_PROFILE", requested); }
+
+uint32_t ResolveProfileHz(uint32_t requested) {
+  int64_t forced = EnvInt64("GRAPPLE_PROFILE_HZ", 0);
+  if (forced > 0) {
+    return static_cast<uint32_t>(std::min<int64_t>(forced, 1000));
+  }
+  return requested;
+}
+
 double ResolveCheckpointSpacing(double requested) {
   const char* value = EnvRaw("GRAPPLE_CHECKPOINT_SPACING");
   if (value == nullptr) {

@@ -57,6 +57,15 @@
 //                            positive integer: background metrics-sampler
 //                            cadence in milliseconds (obs/sampler.h),
 //                            overriding Observability::sample_interval_ms
+//   GRAPPLE_PROFILE          on|off: overrides whether the wall-clock
+//                            sampling profiler (obs/profiler.h, DESIGN.md
+//                            §13) runs; when on, the Grapple facade starts
+//                            it and writes <work_dir>/profile.bin after
+//                            each Check(); see ResolveProfile
+//   GRAPPLE_PROFILE_HZ       integer 1..1000: sampling frequency in Hz
+//                            (default 97 — prime, avoids lockstep with
+//                            periodic work), overriding
+//                            Observability::profile_hz; see ResolveProfileHz
 //
 // Thread-count convention: a thread-count option of 0 means "use the
 // hardware concurrency" — uniformly, wherever a pool is sized. Call sites
@@ -104,6 +113,15 @@ uint32_t ResolveCheckpointInterval(uint32_t requested);
 // (non-negative seconds, fractions allowed) overrides `requested` when set
 // and parseable.
 double ResolveCheckpointSpacing(double requested);
+
+// Resolves the sampling-profiler toggle: GRAPPLE_PROFILE (on/off) overrides
+// `requested` outright when set.
+bool ResolveProfile(bool requested);
+
+// Resolves the profiler sampling rate: GRAPPLE_PROFILE_HZ (integer,
+// clamped to 1..1000) overrides `requested` when set and positive.
+inline constexpr uint32_t kDefaultProfileHz = 97;
+uint32_t ResolveProfileHz(uint32_t requested);
 
 }  // namespace grapple
 

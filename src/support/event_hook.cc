@@ -5,6 +5,7 @@ namespace evt {
 
 namespace internal {
 std::atomic<Sink> g_sink{nullptr};
+std::atomic<Observer> g_observer{nullptr};
 }  // namespace internal
 
 namespace {
@@ -13,6 +14,10 @@ std::atomic<FlushHook> g_flush_hook{nullptr};
 
 void SetSink(Sink sink) {
   internal::g_sink.store(sink, std::memory_order_release);
+}
+
+void SetObserver(Observer observer) {
+  internal::g_observer.store(observer, std::memory_order_release);
 }
 
 void SetCrashFlushHook(FlushHook hook) {

@@ -48,6 +48,20 @@ enum Type : uint16_t {
   kCheckerDegraded = 19,  // a1 = interned checker-name id
   kWitnessDecode = 20,    // a1 = decode wall time (ns)
   kCrashExit = 21,        // a2 = (const char*) crash-point name
+  kWaitBegin = 22,        // a1 = wait kind (WaitKind below)
+  kWaitEnd = 23,          // a1 = wait kind (WaitKind below)
+};
+
+// Wait kinds carried in kWaitBegin/kWaitEnd `a1`. Stable binary values:
+// they are written into flightrec.bin and profile.bin records. The arbiter
+// has no kWaitBegin emit of its own — kArbiterWait/kArbiterAcquire already
+// bracket a blocking Acquire, and the profiler maps those onto kArbiter.
+enum WaitKind : uint64_t {
+  kWaitNone = 0,
+  kWaitArbiter = 1,    // BudgetArbiter::Acquire blocked on budget
+  kWaitIoBarrier = 2,  // PartitionStore::Sync() draining the I/O worker
+  kWaitIoQueue = 3,    // Load() waiting on a pending prefetch/write
+  kWaitSolve = 4,      // simulated out-of-process solve block
 };
 
 // Sink signature. For kIoRetry / kFaultInjected / kCrashExit, `a2` carries a
@@ -55,18 +69,32 @@ enum Type : uint16_t {
 // names are literals); the sink interns it immediately.
 using Sink = void (*)(uint16_t type, uint32_t a0, uint64_t a1, uint64_t a2);
 
+// Observer signature: a second, independent tap on the same event stream.
+// The sampling profiler installs one to track per-thread wait state
+// (DESIGN.md §13) without the flight recorder and the profiler having to
+// know about each other. Same static-string contract as Sink.
+using Observer = Sink;
+
 namespace internal {
 extern std::atomic<Sink> g_sink;
+extern std::atomic<Observer> g_observer;
 }  // namespace internal
 
 // Installs (or clears, with nullptr) the process-wide sink.
 void SetSink(Sink sink);
 
-// Emits one event; near-free when no sink is installed.
+// Installs (or clears, with nullptr) the process-wide observer.
+void SetObserver(Observer observer);
+
+// Emits one event; near-free when neither sink nor observer is installed.
 inline void Emit(uint16_t type, uint64_t a1 = 0, uint64_t a2 = 0, uint32_t a0 = 0) {
   Sink sink = internal::g_sink.load(std::memory_order_acquire);
   if (sink != nullptr) {
     sink(type, a0, a1, a2);
+  }
+  Observer observer = internal::g_observer.load(std::memory_order_acquire);
+  if (observer != nullptr) {
+    observer(type, a0, a1, a2);
   }
 }
 

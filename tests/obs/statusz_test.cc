@@ -67,7 +67,19 @@ TEST(StatuszTest, PageRouting) {
   EXPECT_EQ(RenderIntrospectionPage("/metricsz", "").status, 200);
   EXPECT_EQ(RenderIntrospectionPage("/tracez", "").status, 200);
   EXPECT_EQ(RenderIntrospectionPage("/varz", "").status, 400);  // missing name
-  EXPECT_EQ(RenderIntrospectionPage("/nonsense", "").status, 404);
+  IntrospectionPage missing = RenderIntrospectionPage("/nonsense", "");
+  EXPECT_EQ(missing.status, 404);
+  // The 404 page advertises every route, including the profiler's.
+  EXPECT_NE(missing.body.find("/profilez"), std::string::npos);
+
+  // /profilez always serves valid profile JSON, even with the profiler off.
+  IntrospectionPage profilez = RenderIntrospectionPage("/profilez", "");
+  EXPECT_EQ(profilez.status, 200);
+  EXPECT_EQ(profilez.content_type, "application/json");
+  std::string error;
+  std::optional<JsonValue> doc = ParseJson(profilez.body, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << profilez.body;
+  EXPECT_EQ(doc->StringOr("schema", ""), "grapple.profile.v1");
 }
 
 TEST(StatuszTest, GaugeSourcesSumAndUnregister) {
@@ -117,6 +129,23 @@ TEST(StatuszTest, PrometheusExposition) {
   EXPECT_NE(text.find("grapple_oracle_solve_ns_count 2"), std::string::npos);
   EXPECT_NE(text.find("grapple_oracle_solve_ns_sum 10"), std::string::npos);
   EXPECT_NE(text.find("grapple_rss_bytes 1024"), std::string::npos);
+
+  // Every series carries a # HELP line immediately before its # TYPE line
+  // (prometheus exposition format), whether hand-written or derived.
+  EXPECT_NE(text.find("# HELP grapple_engine_pair_loads_total "), std::string::npos);
+  EXPECT_NE(text.find("# HELP grapple_engine_num_partitions "), std::string::npos);
+  EXPECT_NE(text.find("# HELP grapple_oracle_solve_ns "), std::string::npos);
+  EXPECT_NE(text.find("# HELP grapple_rss_bytes Resident set size"), std::string::npos);
+  size_t help_lines = 0;
+  size_t type_lines = 0;
+  for (size_t pos = 0; (pos = text.find("# HELP ", pos)) != std::string::npos; ++pos) {
+    ++help_lines;
+  }
+  for (size_t pos = 0; (pos = text.find("# TYPE ", pos)) != std::string::npos; ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(help_lines, type_lines);
+  EXPECT_EQ(help_lines, 4u);
 }
 
 TEST(StatuszTest, ServerStartStopIdempotent) {

@@ -1,0 +1,87 @@
+// grapple-prof: decode a sampling-profiler ledger (profile.bin).
+//
+// The profiler (src/obs/profiler.h, DESIGN.md §13) samples every registered
+// thread at a fixed rate, tags each sample with the thread's current
+// checker/phase/partition-pair context and any off-CPU wait, and aggregates
+// the samples into a per-context cost ledger persisted to
+// <work_dir>/profile.bin. This tool is the offline half: it validates the
+// ledger and renders it.
+//
+//   $ grapple-prof <profile.bin>               # human-readable table
+//   $ grapple-prof --json <profile.bin>        # one JSON object
+//   $ grapple-prof --collapsed <profile.bin>   # collapsed stacks (flamegraph)
+//
+// Exit codes: 0 decoded, 1 file missing/corrupt, 2 usage error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/obs/profiler.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool collapsed = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--collapsed") == 0) {
+      collapsed = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr || (json && collapsed)) {
+    std::fprintf(stderr, "usage: %s [--json|--collapsed] <profile.bin>\n", argv[0]);
+    return 2;
+  }
+
+  grapple::obs::ProfileData profile;
+  std::string error;
+  if (!grapple::obs::DecodeProfile(path, &profile, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::fputs(grapple::obs::ProfileToJson(profile).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  if (collapsed) {
+    std::fputs(grapple::obs::ProfileToCollapsed(profile).c_str(), stdout);
+    return 0;
+  }
+
+  double period_s = static_cast<double>(profile.sample_period_ns) * 1e-9;
+  std::printf("%" PRIu64 " samples (%" PRIu64 " dropped) at %.0f Hz over %.3f s\n",
+              profile.total_samples, profile.dropped_samples,
+              period_s > 0 ? 1.0 / period_s : 0.0,
+              static_cast<double>(profile.wall_ns) * 1e-9);
+  std::printf("%-24s %-10s %-12s %-12s %10s %10s\n", "checker", "phase", "pair", "offcpu",
+              "samples", "seconds");
+  auto name_of = [&profile](uint32_t id) -> std::string {
+    if (id == 0) {
+      return "-";
+    }
+    size_t index = static_cast<size_t>(id) - 1;
+    return index < profile.strings.size() ? profile.strings[index] : "?";
+  };
+  for (const auto& entry : profile.entries) {
+    std::string pair = "-";
+    if (entry.pair != grapple::obs::kProfileNoPair) {
+      pair = std::to_string(static_cast<uint32_t>(entry.pair >> 32)) + "-" +
+             std::to_string(static_cast<uint32_t>(entry.pair));
+    }
+    std::printf("%-24s %-10s %-12s %-12s %10" PRIu64 " %10.3f\n",
+                name_of(entry.checker).c_str(), name_of(entry.phase).c_str(), pair.c_str(),
+                entry.wait_kind == 0 ? "-" : grapple::obs::ProfileWaitKindName(entry.wait_kind),
+                entry.samples,
+                static_cast<double>(entry.samples) * period_s);
+  }
+  return 0;
+}
