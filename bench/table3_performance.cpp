@@ -254,6 +254,108 @@ void RunIoPipelineComparison(obs::BenchReport* bench, const WorkloadConfig& pres
   bench->Add(std::move(pipeline));
 }
 
+// A/B of the unified work-stealing task runtime (DESIGN.md §14) against its
+// pinned mode, which reproduces the legacy twin-pool execution: every task
+// runs on its home worker only — join shards on the engine's homes, I/O
+// strands on each file's hashed home — so backlogs never overlap across
+// workers. Same spilling subject and budget as the I/O comparison so the
+// store's strands carry real traffic, with num_threads=2 so join-shard
+// tasks exist. Reports must be byte-identical across policies; the gated
+// gauges are the overlap ratio (store I/O executed on background lanes
+// rather than blocking the foreground) and the steal efficiency (affine
+// tasks that ran on their home worker despite stealing being enabled).
+// GRAPPLE_STEAL overrides the policy outright, so it is unset around both
+// runs and restored afterwards.
+void RunTaskRuntimeAb(obs::BenchReport* bench, const WorkloadConfig& preset) {
+  const char* env = std::getenv("GRAPPLE_STEAL");
+  bool had_env = env != nullptr;
+  std::string saved_env = had_env ? env : "";
+  unsetenv("GRAPPLE_STEAL");
+
+  GrappleOptions options;
+  options.engine.memory_budget_bytes = EnvSize("GRAPPLE_IO_BUDGET_BYTES", size_t{1} << 14);
+  options.scheduling.num_threads = 2;
+  Workload workload = GenerateWorkload(preset);
+
+  struct ModeRun {
+    GrappleResult result;
+    TaskRuntimeStats stats;
+    double total_seconds = 0;
+    double fg_io_seconds = 0;  // foreground blocking time in the io bucket
+  };
+  auto run_mode = [&](StealPolicy policy) {
+    GrappleOptions mode_options = options;
+    mode_options.scheduling.steal_policy = policy;
+    Program program = workload.program;
+    ModeRun run;
+    WallTimer timer;
+    Grapple grapple(std::move(program), mode_options);
+    run.result = grapple.Check(AllBuiltinCheckers());
+    run.total_seconds = timer.ElapsedSeconds();
+    run.stats = grapple.RuntimeStats();
+    run.fg_io_seconds = SumCounter(run.result, "phase_io_ns") / 1e9;
+    return run;
+  };
+
+  ModeRun pinned = run_mode(StealPolicy::kPinned);
+  ModeRun unified = run_mode(StealPolicy::kLocalityAware);
+  if (had_env) {
+    setenv("GRAPPLE_STEAL", saved_env.c_str(), 1);
+  }
+
+  bool identical = ReportFingerprint(pinned.result) == ReportFingerprint(unified.result);
+  double speedup =
+      unified.total_seconds > 0 ? pinned.total_seconds / unified.total_seconds : 0;
+  const TaskRuntimeStats& s = unified.stats;
+  double background_io_seconds =
+      (s.busy_ns[static_cast<size_t>(TaskLane::kPrefetch)] +
+       s.busy_ns[static_cast<size_t>(TaskLane::kWriteBehind)]) /
+      1e9;
+  double io_overlap = background_io_seconds + unified.fg_io_seconds > 0
+                          ? background_io_seconds /
+                                (background_io_seconds + unified.fg_io_seconds)
+                          : 0;
+  double steal_efficiency =
+      s.affine_tasks > 0 ? static_cast<double>(s.affine_hits) / s.affine_tasks : 1.0;
+
+  PrintHeaderLine("Task runtime: unified work-stealing vs pinned (legacy two-pool)");
+  std::printf("%-11s %9s %9s %8s %9s %8s %8s %10s\n", "Subject", "tt(pin)", "tt(uni)",
+              "speedup", "overlap", "steal-ef", "steals", "identical");
+  std::printf("%-11s %9s %9s %7.2fx %8.1f%% %7.1f%% %8" PRIu64 " %10s\n",
+              preset.name.c_str(), FormatDuration(pinned.total_seconds).c_str(),
+              FormatDuration(unified.total_seconds).c_str(), speedup, 100.0 * io_overlap,
+              100.0 * steal_efficiency, s.steals, identical ? "yes" : "NO");
+  std::printf("overlap is store I/O run on the prefetch/write-behind lanes as a share of\n");
+  std::printf("all I/O time (background lanes + foreground blocking); steal-ef is the\n");
+  std::printf("share of pair-affine tasks that still ran on their home worker with\n");
+  std::printf("stealing enabled (%" PRIu64 " strand tasks, queue peak %" PRIu64 ").\n",
+              s.strand_tasks, s.queue_peak);
+
+  obs::RunReport report;
+  report.subject = "task_runtime";
+  report.total_seconds = pinned.total_seconds + unified.total_seconds;
+  obs::PhaseReport phase;
+  phase.name = "task_runtime";
+  phase.seconds = unified.total_seconds;
+  phase.metrics.gauges["tr_total_seconds_pinned"] = pinned.total_seconds;
+  phase.metrics.gauges["tr_total_seconds_unified"] = unified.total_seconds;
+  phase.metrics.gauges["tr_speedup"] = speedup;
+  phase.metrics.gauges["tr_io_overlap"] = io_overlap;
+  phase.metrics.gauges["tr_steal_efficiency"] = steal_efficiency;
+  phase.metrics.gauges["tr_steals"] = static_cast<double>(s.steals);
+  phase.metrics.gauges["tr_affine_tasks"] = static_cast<double>(s.affine_tasks);
+  phase.metrics.gauges["tr_strand_tasks"] = static_cast<double>(s.strand_tasks);
+  phase.metrics.gauges["tr_inline_tasks"] = static_cast<double>(s.inline_tasks);
+  phase.metrics.gauges["tr_queue_peak"] = static_cast<double>(s.queue_peak);
+  phase.metrics.gauges["tr_foreground_io_seconds"] = unified.fg_io_seconds;
+  phase.metrics.gauges["tr_background_io_seconds"] = background_io_seconds;
+  phase.metrics.gauges["tr_reports_identical"] = identical ? 1 : 0;
+  phase.metrics.gauges["tr_budget_bytes"] =
+      static_cast<double>(options.engine.memory_budget_bytes);
+  report.phases.push_back(std::move(phase));
+  bench->Add(std::move(report));
+}
+
 // A/B of crash-safe checkpointing (DESIGN.md §11) against a plain run on
 // one spilling subject. The checkpointing run quiesces I/O and publishes a
 // manifest every kDefaultCheckpointInterval partition pairs plus once at
@@ -544,6 +646,7 @@ int Main() {
               obs::WitnessModeName(obs::WitnessModeFromEnv()));
   RunSchedulerSpeedup(&bench, SchedulerSubject(scale));
   RunIoPipelineComparison(&bench, ZooKeeperPreset(scale));
+  RunTaskRuntimeAb(&bench, ZooKeeperPreset(scale));
   RunCheckpointOverhead(&bench, ZooKeeperPreset(scale));
   RunObsOverhead(&bench, ZooKeeperPreset(scale));
   RunProfOverhead(&bench, ZooKeeperPreset(scale));

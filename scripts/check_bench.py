@@ -93,6 +93,33 @@ DEFAULT_WATCH = [
         "tolerance": 1.0,
     },
     {
+        # Share of store I/O executed on the task runtime's background
+        # lanes instead of blocking the foreground path, measured on the
+        # spilling 16KB-budget subject. The floor guards against the store
+        # quietly falling back to synchronous I/O; the baseline-relative
+        # check guards gradual erosion.
+        "key": "table3_performance/task_runtime/task_runtime/gauge:tr_io_overlap",
+        "direction": "higher_is_better",
+        "min": 0.05,
+        "tolerance": 0.5,
+    },
+    {
+        # Share of pair-affine tasks that ran on their home worker with
+        # locality-aware stealing enabled. A collapse here means thieves
+        # stopped respecting locality hints (wasting the store's prefetch).
+        "key": "table3_performance/task_runtime/task_runtime/gauge:tr_steal_efficiency",
+        "direction": "higher_is_better",
+        "min": 0.05,
+        "tolerance": 0.75,
+    },
+    {
+        # Unified scheduling may not change a single report byte vs the
+        # pinned (legacy two-pool-equivalent) execution, at any scale.
+        "key": "table3_performance/task_runtime/task_runtime/gauge:tr_reports_identical",
+        "direction": "higher_is_better",
+        "min": 1.0,
+    },
+    {
         # Acceptance criterion of the checkpoint/resume work: time inside
         # the checkpoint phase (quiesce + manifest encode + fsync + rename
         # + GC) must stay under 5% of the checkpointing run's wall time.

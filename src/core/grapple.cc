@@ -16,7 +16,7 @@
 #include "src/support/env.h"
 #include "src/support/event_hook.h"
 #include "src/support/logging.h"
-#include "src/support/thread_pool.h"
+#include "src/support/task_runtime.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -55,7 +55,7 @@ IntervalOracle::Options OracleOptionsFrom(const GrappleOptions& options) {
   return oracle_options;
 }
 
-EngineOptions EngineOptionsFrom(const GrappleOptions& options) {
+EngineOptions EngineOptionsFrom(const GrappleOptions& options, TaskRuntime* runtime) {
   EngineOptions engine_options;
   engine_options.memory_budget_bytes = options.engine.memory_budget_bytes;
   engine_options.num_threads = options.scheduling.num_threads;
@@ -63,6 +63,7 @@ EngineOptions EngineOptionsFrom(const GrappleOptions& options) {
   engine_options.io_pipeline = options.engine.io_pipeline;
   engine_options.checkpoint_interval = options.robustness.checkpoint_interval;
   engine_options.checkpoint_min_spacing_seconds = options.robustness.checkpoint_min_spacing_s;
+  engine_options.runtime = runtime;
   return engine_options;
 }
 
@@ -126,25 +127,25 @@ std::vector<std::string> GrappleOptions::Validate() const {
     errors.push_back("observability.profile_hz must be in [1, 1000]; above 1 kHz the SIGPROF "
                      "storm perturbs the workload more than it measures");
   }
+  if (scheduling.checker_parallelism == 0 && scheduling.num_threads == 0) {
+    errors.push_back("scheduling: checker_parallelism and num_threads cannot both be 0; the "
+                     "worker formula multiplies them, and hardware-concurrency squared is an "
+                     "oversubscription no machine wants — pin at least one of them");
+  }
+  if (scheduling.checker_parallelism > 0 && scheduling.num_threads > 0 &&
+      scheduling.checker_parallelism * scheduling.num_threads > 1024) {
+    errors.push_back("scheduling: checker_parallelism * num_threads must be <= 1024 worker "
+                     "threads; past that the scheduler is managing thread churn, not work");
+  }
+  for (size_t lane = 0; lane < kNumTaskLanes; ++lane) {
+    uint32_t weight = scheduling.lane_weights[lane];
+    if (weight == 0 || weight > 1024) {
+      errors.push_back("scheduling.lane_weights[" + std::to_string(lane) +
+                       "] must be in [1, 1024]: 0 would starve the lane outright, and huge "
+                       "credits defeat the round-robin that keeps lower lanes live");
+    }
+  }
   return errors;
-}
-
-GrappleFlatOptions::operator GrappleOptions() const {
-  GrappleOptions nested;
-  nested.engine.memory_budget_bytes = memory_budget_bytes;
-  nested.engine.max_variants_per_triple = max_variants_per_triple;
-  nested.engine.enable_cache = enable_cache;
-  nested.engine.cache_capacity = cache_capacity;
-  nested.engine.max_encoding_items = max_encoding_items;
-  nested.engine.solver_limits = solver_limits;
-  nested.engine.simulated_solve_latency_us = simulated_solve_latency_us;
-  nested.precision.loop_unroll = loop_unroll;
-  nested.precision.qualify_events_with_alias_paths = qualify_events_with_alias_paths;
-  nested.precision.icfet = icfet;
-  nested.observability.witness = witness;
-  nested.scheduling.num_threads = num_threads;
-  nested.work_dir = work_dir;
-  return nested;
 }
 
 size_t GrappleResult::TotalReports() const {
@@ -223,6 +224,19 @@ Grapple::Grapple(Program program, GrappleOptions options)
     GRAPPLE_CHECK(false) << "invalid GrappleOptions: " << joined;
   }
   obs::InitTracingFromEnv();
+  // One scheduler for the whole session (see Scheduling's worker formula):
+  // checker tasks, join shards, and I/O strands share these workers instead
+  // of carving the machine into per-purpose pools.
+  {
+    TaskRuntimeOptions rt_options;
+    size_t outer = options_.scheduling.checker_parallelism == 0
+                       ? HardwareThreads()
+                       : options_.scheduling.checker_parallelism;
+    rt_options.workers = outer * ResolveThreadCount(options_.scheduling.num_threads) + 1;
+    rt_options.steal_policy = ResolveStealPolicy(options_.scheduling.steal_policy);
+    rt_options.lane_weights = options_.scheduling.lane_weights;
+    runtime_ = std::make_unique<TaskRuntime>(rt_options);
+  }
   // The environment knob wins when set; the caller's option is the fallback.
   options_.observability.witness = obs::WitnessModeFromEnv(options_.observability.witness);
   IoRetryPolicy io_policy = GetIoRetryPolicy();
@@ -304,9 +318,36 @@ Grapple::Grapple(Program program, GrappleOptions options)
     w.EndObject();
     return w.Take();
   });
+
+  introspect_scheduler_ = obs::Introspection::RegisterStatusSource("scheduler", [this] {
+    TaskRuntimeStats stats = runtime_->Stats();
+    static constexpr const char* kLaneNames[kNumTaskLanes] = {"foreground", "prefetch",
+                                                             "write_behind"};
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("workers").UInt(runtime_->workers());
+    w.Key("steal_policy").String(StealPolicyName(runtime_->steal_policy()));
+    w.Key("lanes").BeginObject();
+    for (size_t lane = 0; lane < kNumTaskLanes; ++lane) {
+      w.Key(kLaneNames[lane]).BeginObject();
+      w.Key("tasks").UInt(stats.tasks[lane]);
+      w.Key("busy_ns").UInt(stats.busy_ns[lane]);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.Key("steals").UInt(stats.steals);
+    w.Key("affine_tasks").UInt(stats.affine_tasks);
+    w.Key("affine_hits").UInt(stats.affine_hits);
+    w.Key("inline_tasks").UInt(stats.inline_tasks);
+    w.Key("strand_tasks").UInt(stats.strand_tasks);
+    w.Key("queue_peak").UInt(stats.queue_peak);
+    w.EndObject();
+    return w.Take();
+  });
 }
 
 Grapple::~Grapple() {
+  introspect_scheduler_.Release();
   introspect_session_.Release();
   if (owns_statusz_) {
     obs::Sampler::Get().Stop();
@@ -349,7 +390,7 @@ const Grapple::AliasPhase& Grapple::EnsureAliasPhase() {
     WallTimer alias_timer;
     alias->labels = BuildPointsToGrammar(&alias->grammar, FieldUniverse(*program_));
     alias->oracle = std::make_unique<IntervalOracle>(&icfet_, OracleOptionsFrom(options_));
-    EngineOptions engine_options = EngineOptionsFrom(options_);
+    EngineOptions engine_options = EngineOptionsFrom(options_, runtime_.get());
     engine_options.work_dir = PhaseDir("alias");
     // Alias-phase provenance only matters for full-fidelity tracing; bug
     // witnesses walk typestate derivations.
@@ -423,7 +464,7 @@ CheckerRunResult Grapple::CheckOne(const FsmSpec& spec, BudgetLease* lease,
   Grammar ts_grammar;
   TypestateLabels ts_labels = BuildTypestateGrammar(&ts_grammar, completed);
   IntervalOracle ts_oracle(&icfet_, OracleOptionsFrom(options_));
-  EngineOptions ts_engine_options = EngineOptionsFrom(options_);
+  EngineOptions ts_engine_options = EngineOptionsFrom(options_, runtime_.get());
   ts_engine_options.work_dir = CheckerDir(spec.fsm.name());
   ts_engine_options.record_provenance =
       options_.observability.witness != obs::WitnessMode::kOff;
@@ -479,10 +520,10 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
   std::vector<obs::PhaseReport> phases(specs.size());
   // Failure isolation: one checker's engine dying on an I/O error (disk
   // full, corrupt partition, failed checkpoint) becomes a degraded result
-  // slot, not the end of the whole multi-checker run. Workers must never
-  // leak exceptions (a throw escaping a pool task would terminate), so the
-  // parallel path always isolates and the no-isolation policy is applied
-  // after the barrier.
+  // slot, not the end of the whole multi-checker run. Checker tasks must
+  // never leak exceptions (a throw escaping a runtime task would
+  // terminate), so the parallel path always isolates and the no-isolation
+  // policy is applied after the barrier.
   auto run_isolated = [&](size_t i, BudgetLease* lease) {
     try {
       runs[i] = CheckOne(specs[i], lease, &phases[i]);
@@ -525,14 +566,25 @@ GrappleResult Grapple::Check(const std::vector<FsmSpec>& specs) {
     obs::Introspection::Handle arbiter_gauge = obs::Introspection::RegisterGaugeSource(
         "budget_arbiter_waiters",
         [&arbiter] { return static_cast<double>(arbiter.waiter_count()); });
-    ThreadPool scheduler(parallelism);
-    for (size_t i = 0; i < specs.size(); ++i) {
-      scheduler.Schedule([&run_isolated, &arbiter, slice, i] {
-        BudgetLease lease = arbiter.Acquire(slice);
-        run_isolated(i, &lease);
-      });
+    // Checker trees run as top-level foreground tasks on the session
+    // runtime: exactly `parallelism` slot tasks, each pulling the next spec
+    // from a shared cursor, so at most `parallelism` checkers (and budget
+    // slices) are live at once no matter how many workers exist. The slots'
+    // engines submit their join shards and I/O strands to the same runtime,
+    // so a solve-bound checker's idle workers pick up a neighbor's I/O.
+    std::atomic<size_t> next_spec{0};
+    TaskGroup slots(runtime_.get());
+    for (size_t slot = 0; slot < parallelism; ++slot) {
+      slots.Submit(TaskLane::kForeground, /*affinity=*/0,
+                   [&run_isolated, &arbiter, &next_spec, &specs, slice] {
+                     size_t i;
+                     while ((i = next_spec.fetch_add(1)) < specs.size()) {
+                       BudgetLease lease = arbiter.Acquire(slice);
+                       run_isolated(i, &lease);
+                     }
+                   });
     }
-    scheduler.Wait();
+    slots.Wait();
     if (!options_.robustness.isolate_checker_failures) {
       for (const auto& run : runs) {
         if (run.degraded) {

@@ -23,6 +23,7 @@
 #ifndef GRAPPLE_SRC_CORE_GRAPPLE_H_
 #define GRAPPLE_SRC_CORE_GRAPPLE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,7 @@
 #include "src/smt/solver.h"
 #include "src/support/budget_arbiter.h"
 #include "src/support/byte_io.h"
+#include "src/support/task_runtime.h"
 #include "src/symexec/cfet_builder.h"
 
 namespace grapple {
@@ -124,16 +126,38 @@ struct GrappleOptions {
     uint32_t profile_hz = 97;
   };
 
-  // How much hardware one Check() call may use. Thread-count convention
-  // (support/env.h): 0 = hardware concurrency, GRAPPLE_THREADS overrides
-  // num_threads. Total worker threads ≈ checker_parallelism × num_threads.
+  // How much hardware one Check() call may use. Every unit of work in the
+  // session — whole checker runs, engine join shards, partition prefetch
+  // reads, write-behind encodes — executes on one session-owned
+  // work-stealing TaskRuntime (support/task_runtime.h, DESIGN.md §14),
+  // sized by the formula
+  //
+  //     workers = resolve(checker_parallelism) * resolve(num_threads) + 1
+  //
+  // where resolve() applies the 0-means-hardware rule (support/env.h), and
+  // — for num_threads only — the GRAPPLE_THREADS override. The +1 keeps a
+  // worker available for background I/O lanes even when every sized-for
+  // worker is holding a checker task. Results (reports, witnesses, report
+  // ordering) are independent of every knob in this group.
   struct Scheduling {
     // Outer concurrency: how many checkers (phase 2+3 engine runs) execute
-    // at once. Results are independent of this value — reports, witnesses,
-    // and report ordering match the sequential run.
+    // at once. Check() runs at most this many checker tasks concurrently
+    // regardless of the worker count.
     size_t checker_parallelism = 1;
-    // Inner concurrency: engine join-loop workers per engine run.
+    // Inner concurrency: each engine splits its join loop into this many
+    // shards (0 = hardware concurrency; GRAPPLE_THREADS overrides). The
+    // shard count — not the worker count — is what the engine's
+    // deterministic integration order is keyed on, so changing worker
+    // counts or steal policy never changes results.
     size_t num_threads = 1;
+    // How idle workers take queued work from busy ones. GRAPPLE_STEAL
+    // overrides. kPinned disables stealing entirely, reproducing the
+    // legacy two-pool execution for A/B comparison.
+    StealPolicy steal_policy = StealPolicy::kLocalityAware;
+    // Weighted round-robin service credits per lane {foreground, prefetch,
+    // write_behind}: a worker serves up to weight[l] lane-l tasks before
+    // offering the next lane a turn. All entries must be in [1, 1024].
+    std::array<uint32_t, kNumTaskLanes> lane_weights = {4, 2, 1};
   };
 
   // Crash safety and I/O fault tolerance (DESIGN.md §11).
@@ -179,29 +203,6 @@ struct GrappleOptions {
   // options are usable). Grapple's constructor fails on a non-empty result
   // instead of silently clamping values.
   std::vector<std::string> Validate() const;
-};
-
-// Transitional back-compat shim: the pre-session flat option bag.
-// Implicitly converts into the nested GrappleOptions, so call sites written
-// against the old API compile after a one-line change of the declared type
-// (GrappleOptions -> GrappleFlatOptions). New code should use the nested
-// groups directly.
-struct GrappleFlatOptions {
-  size_t loop_unroll = 2;
-  uint64_t memory_budget_bytes = uint64_t{64} << 20;
-  size_t num_threads = 1;
-  bool enable_cache = true;
-  size_t cache_capacity = size_t{1} << 16;
-  size_t max_encoding_items = 64;
-  size_t max_variants_per_triple = 8;
-  std::string work_dir;
-  IcfetOptions icfet;
-  SolverLimits solver_limits;
-  uint32_t simulated_solve_latency_us = 0;
-  bool qualify_events_with_alias_paths = true;
-  obs::WitnessMode witness = obs::WitnessMode::kBugs;
-
-  operator GrappleOptions() const;  // NOLINT(google-explicit-constructor)
 };
 
 // Statistics of one engine run plus its graph generation.
@@ -257,9 +258,10 @@ class Grapple {
 
   // Runs the pipeline for the given property specs and aggregates the
   // results. Phase 1 (alias analysis) runs on the first call and is cached
-  // for the session; phases 2-3 run per spec — sequentially, or on a shared
-  // checker pool when scheduling.checker_parallelism > 1, with the engine
-  // memory budget split across concurrent runs by a BudgetArbiter.
+  // for the session; phases 2-3 run per spec — sequentially, or as
+  // concurrent tasks on the session's TaskRuntime when
+  // scheduling.checker_parallelism > 1, with the engine memory budget split
+  // across concurrent runs by a BudgetArbiter.
   // Reports, witnesses, and phase ordering are identical either way.
   // May be called repeatedly. A checker whose engine run fails with an I/O
   // error yields a degraded result slot (see CheckerRunResult) unless
@@ -277,6 +279,12 @@ class Grapple {
   const Icfet& icfet() const { return icfet_; }
   const CallGraph& call_graph() const { return *call_graph_; }
   double frontend_seconds() const { return frontend_seconds_; }
+
+  // Snapshot of the session scheduler's counters (tasks/busy time per lane,
+  // steals, affinity hits, inline helps). The source for the bench-gated
+  // io_overlap and steal-efficiency gauges and the /statusz "scheduler"
+  // source.
+  TaskRuntimeStats RuntimeStats() const { return runtime_->Stats(); }
 
  private:
   // Cached phase-1 state, built once per session by EnsureAliasPhase().
@@ -302,6 +310,13 @@ class Grapple {
   Icfet icfet_;
   double frontend_seconds_ = 0;
 
+  // The session's unified scheduler (DESIGN.md §14): checker tasks, engine
+  // join shards, and partition-store I/O strands all execute here. Sized
+  // per Scheduling (see that struct's worker formula). Declared before the
+  // alias phase so engines — whose destructors drain queued strand work —
+  // are torn down while the runtime is still alive.
+  std::unique_ptr<TaskRuntime> runtime_;
+
   std::once_flag alias_once_;
   std::unique_ptr<AliasPhase> alias_phase_;
   std::mutex checker_dirs_mu_;
@@ -316,9 +331,10 @@ class Grapple {
   bool owns_statusz_ = false;
   // Same contract for the process-wide sampling profiler.
   bool owns_profiler_ = false;
-  // Declared last so it unregisters (blocking out in-flight scrapes) before
-  // any state its callback reads is torn down.
+  // Declared last so they unregister (blocking out in-flight scrapes)
+  // before any state their callbacks read is torn down.
   obs::Introspection::Handle introspect_session_;
+  obs::Introspection::Handle introspect_scheduler_;
 };
 
 }  // namespace grapple

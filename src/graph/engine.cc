@@ -136,10 +136,22 @@ GraphEngine::GraphEngine(const Grammar* grammar, ConstraintOracle* oracle, Engin
       c_ckpt_written_(metrics_.Counter("ckpt_written_total")),
       c_ckpt_bytes_(metrics_.Counter("ckpt_bytes")),
       c_runs_resumed_(metrics_.Counter("runs_resumed_total")),
+      owned_runtime_(options_.runtime != nullptr
+                         ? nullptr
+                         : std::make_unique<TaskRuntime>(TaskRuntimeOptions{
+                               // One worker per join shard, plus one to
+                               // service the background I/O lanes when the
+                               // pipeline is on (mirrors the dedicated I/O
+                               // worker the legacy two-pool layout had).
+                               ResolveThreadCount(options_.num_threads) +
+                                   (ResolveIoPipeline(options_.io_pipeline) ? 1 : 0),
+                               ResolveStealPolicy(StealPolicy::kLocalityAware)})),
+      runtime_(options_.runtime != nullptr ? options_.runtime : owned_runtime_.get()),
+      join_shards_(ResolveThreadCount(options_.num_threads)),
       store_(options_.work_dir, &profiler_, &metrics_,
              PartitionStorePipeline{ResolveIoPipeline(options_.io_pipeline),
-                                    options_.budget_lease, options_.memory_budget_bytes}),
-      pool_(ResolveThreadCount(options_.num_threads)) {
+                                    options_.budget_lease, options_.memory_budget_bytes,
+                                    runtime_}) {
   obs::InitTracingFromEnv();
   obs::EventLogInstall();
   // Propose this engine's work dir as the crash-dump target; the Grapple
@@ -672,10 +684,14 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
     metrics_.Add(c_join_rounds_);
     obs::ScopedSpan round_span("join_round", "engine");
     // --- parallel candidate generation ---
-    size_t shards = pool_.num_threads();
+    // Shard count is pinned to the configured join parallelism, not to the
+    // runtime's worker count: shards cover contiguous frontier ranges and
+    // are integrated in index order below, so the result is identical for
+    // any worker count and any steal policy.
+    size_t shards = join_shards_;
     std::vector<std::vector<Candidate>> shard_candidates(shards);
     std::atomic<uint64_t> joins{0};
-    pool_.ParallelFor(frontier.size(), [&](size_t shard, size_t begin, size_t end) {
+    auto join_shard = [&](size_t shard, size_t begin, size_t end) {
       obs::ScopedSpan shard_span("join_shard", "engine");
       auto& out = shard_candidates[shard];
       uint64_t local_joins = 0;
@@ -762,7 +778,42 @@ void GraphEngine::ProcessPair(size_t pi, size_t pj) {
         }
       }
       joins.fetch_add(local_joins, std::memory_order_relaxed);
-    });
+    };
+    size_t frontier_size = frontier.size();
+    size_t shards_used = std::min(frontier_size, shards);
+    if (shards_used <= 1) {
+      if (frontier_size > 0) {
+        join_shard(0, 0, frontier_size);
+      }
+    } else {
+      // Explicit task objects on the unified runtime: one foreground task
+      // per contiguous shard, tagged with this pair's locality key so the
+      // locality-aware steal policy prefers to leave them where the pair's
+      // Hint()ed partitions are warm. The group wait help-executes
+      // unclaimed shards, so this cannot deadlock even when every runtime
+      // worker is occupied by a checker task.
+      uint32_t checker = obs::ProfCurrentChecker();
+      uint64_t pair_key =
+          (static_cast<uint64_t>(pi + 1) << 32) | static_cast<uint64_t>(pj + 1);
+      size_t chunk = (frontier_size + shards_used - 1) / shards_used;
+      TaskGroup group(runtime_);
+      for (size_t shard = 0; shard < shards_used; ++shard) {
+        size_t begin = shard * chunk;
+        size_t end = std::min(frontier_size, begin + chunk);
+        if (begin >= end) {
+          continue;
+        }
+        group.Submit(TaskLane::kForeground, pair_key + shard,
+                     [&, shard, begin, end, checker] {
+                       obs::ProfChecker prof_checker(checker);
+                       obs::ProfPair prof_pair(static_cast<uint32_t>(pi),
+                                               static_cast<uint32_t>(pj));
+                       obs::ProfPhase prof_phase("join");
+                       join_shard(shard, begin, end);
+                     });
+      }
+      group.Wait();
+    }
     metrics_.Add(c_joins_attempted_, joins.load());
     metrics_.Observe(h_join_round_joins_, joins.load());
 

@@ -28,7 +28,7 @@
 #include "src/obs/statusz.h"
 #include "src/pathenc/path_encoding.h"
 #include "src/support/budget_arbiter.h"
-#include "src/support/thread_pool.h"
+#include "src/support/task_runtime.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -47,9 +47,20 @@ struct EngineOptions {
   // checker scheduler so N engines share one analysis-wide budget. The
   // lease must outlive the engine and not be touched by other threads.
   BudgetLease* budget_lease = nullptr;
-  // Worker threads for the join loop (1 = sequential, 0 = hardware
-  // concurrency; GRAPPLE_THREADS overrides — see support/env.h).
+  // Join-loop parallelism: the frontier is split into this many contiguous
+  // shards per round (1 = sequential, 0 = hardware concurrency;
+  // GRAPPLE_THREADS overrides — see support/env.h). This is a sharding
+  // factor, not a thread count: shard tasks run on `runtime` (below), and
+  // because shards are integrated in index order the results are identical
+  // for any worker count or steal policy.
   size_t num_threads = 1;
+  // Non-owning task runtime that executes the engine's join shards and the
+  // partition store's I/O strands. The facade injects its session runtime
+  // so engines never own threads; when null (standalone engines in tests,
+  // benches, tools) the engine creates a private runtime sized
+  // ResolveThreadCount(num_threads), plus one worker for the background
+  // I/O lanes when the pipeline is on. Must outlive the engine.
+  TaskRuntime* runtime = nullptr;
   // Pipelined partition I/O: write-behind, schedule-driven prefetch, and
   // the compact block file format (see partition_store.h and DESIGN.md).
   // Results are byte-identical either way; GRAPPLE_IO_PIPELINE overrides.
@@ -233,9 +244,15 @@ class GraphEngine : public EdgeSink {
   obs::MetricId c_ckpt_written_;
   obs::MetricId c_ckpt_bytes_;
   obs::MetricId c_runs_resumed_;
+  // Scheduling. `owned_runtime_` is only set when the caller injected none;
+  // `runtime_` is the one in use either way. Declared before store_ so the
+  // store (whose strands run on the runtime) is destroyed first.
+  std::unique_ptr<TaskRuntime> owned_runtime_;
+  TaskRuntime* runtime_;
+  // Deterministic shard count for the join loop (see EngineOptions).
+  size_t join_shards_;
   PartitionStore store_;
   std::unique_ptr<obs::ProvenanceWriter> provenance_;
-  ThreadPool pool_;
   EngineStats stats_;
 
   std::vector<EdgeRecord> pending_base_;

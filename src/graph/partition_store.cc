@@ -38,7 +38,17 @@ PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
     c_cache_borrows_ = metrics_->Counter("io_cache_budget_borrows_total");
   }
   if (pipeline_.enabled) {
-    io_pool_ = std::make_unique<ThreadPool>(1);
+    if (pipeline_.runtime != nullptr) {
+      runtime_ = pipeline_.runtime;
+    } else {
+      // Standalone store (tests, tools): no shared scheduler was provided,
+      // so spin up a private single-worker runtime. One worker makes every
+      // strand trivially serial, matching the legacy dedicated I/O thread.
+      TaskRuntimeOptions options;
+      options.workers = 1;
+      owned_runtime_ = std::make_unique<TaskRuntime>(options);
+      runtime_ = owned_runtime_.get();
+    }
   }
   introspect_queue_depth_ = obs::Introspection::RegisterGaugeSource(
       "io_queue_depth", [this] { return static_cast<double>(queue_depth_.load(std::memory_order_relaxed)); });
@@ -48,11 +58,10 @@ PartitionStore::PartitionStore(std::string dir, PhaseProfiler* profiler,
 }
 
 PartitionStore::~PartitionStore() {
-  if (io_pool_ != nullptr) {
-    // Drain write-behind so the on-disk state is complete before the pool
-    // (and the rest of the store) is torn down.
-    io_pool_->Wait();
-  }
+  // Drain write-behind so the on-disk state is complete before the store is
+  // torn down. The shared runtime outlives the store, so queued tasks that
+  // capture `this` must finish here, not in the runtime's destructor.
+  DrainAll();
 }
 
 std::string PartitionStore::FileFor(VertexId lo) const {
@@ -65,25 +74,63 @@ uint64_t PartitionStore::CacheCapacity() const {
   return std::max(budget / 4, kMinCacheBytes) + cache_borrowed_;
 }
 
-void PartitionStore::Enqueue(std::function<void()> fn) {
+void PartitionStore::Enqueue(const std::string& path, TaskLane lane,
+                             std::function<void()> fn) {
   int64_t depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (metrics_ != nullptr) {
     metrics_->MaxGauge("io_queue_depth_peak", static_cast<double>(depth));
   }
-  io_pool_->Schedule([this, fn = std::move(fn)] {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++pending_ops_[path];
+  }
+  // Capture the submitting thread's checker so samples taken while this
+  // task runs on a shared worker still attribute to the checker whose
+  // mutation queued the I/O.
+  uint32_t checker = obs::ProfCurrentChecker();
+  runtime_->SubmitSerial(path, lane, [this, path, checker, fn = std::move(fn)] {
+    obs::ProfChecker prof_checker(checker);
+    obs::ProfPhase prof_phase("io");
     fn();
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = pending_ops_.find(path);
+    if (it != pending_ops_.end() && --it->second == 0) {
+      pending_ops_.erase(it);
+    }
   });
 }
 
+void PartitionStore::WaitForPath(const std::string& path) {
+  runtime_->WaitSerial(path, evt::kWaitIoQueue);
+}
+
+void PartitionStore::DrainAll() {
+  if (runtime_ == nullptr) {
+    return;
+  }
+  // Strands retire their own pending_ops_ entry, so waiting out whichever
+  // path is first until the map empties visits every strand exactly once
+  // (new work is only ever queued by the foreground thread — this one).
+  while (true) {
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (pending_ops_.empty()) {
+        return;
+      }
+      path = pending_ops_.begin()->first;
+    }
+    runtime_->WaitSerial(path, evt::kWaitIoBarrier);
+  }
+}
+
 void PartitionStore::Sync() {
-  if (io_pool_ != nullptr) {
+  if (runtime_ != nullptr) {
     ScopedPhase phase(profiler_, "io");
     obs::ProfPhase prof_phase("io");
     obs::ScopedSpan span("io_sync", "io");
-    evt::Emit(evt::kWaitBegin, evt::kWaitIoBarrier);
-    io_pool_->Wait();
-    evt::Emit(evt::kWaitEnd, evt::kWaitIoBarrier);
+    DrainAll();
   }
   ThrowIfIoError();
 }
@@ -108,7 +155,7 @@ void PartitionStore::ThrowIfIoError() {
 }
 
 void PartitionStore::InvalidateCache(const std::string& path) {
-  if (io_pool_ == nullptr) {
+  if (runtime_ == nullptr) {
     return;
   }
   std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -132,7 +179,7 @@ void PartitionStore::InvalidateCache(const std::string& path) {
 
 void PartitionStore::CachePut(const std::string& path, uint64_t version, uint64_t charge,
                               std::shared_ptr<const std::vector<EdgeRecord>> content) {
-  if (io_pool_ == nullptr || content == nullptr) {
+  if (runtime_ == nullptr || content == nullptr) {
     return;
   }
   charge = std::max<uint64_t>(charge, 1);
@@ -169,10 +216,15 @@ std::vector<EdgeRecord> PartitionStore::DecodeOrThrow(const std::string& path,
 uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeRecord> edges,
                                       bool rewrite, const char* span_name,
                                       std::shared_ptr<const std::vector<EdgeRecord>>* content) {
-  ScopedPhase phase(profiler_, "io");
-  obs::ProfPhase prof_phase("io");
   obs::ScopedSpan span(span_name, "io");
   if (!pipeline_.enabled) {
+    // Only the synchronous fallback blocks on the file system, so only it
+    // is charged to the foreground "io" phase. The pipelined handoff below
+    // is queue bookkeeping (plus the wake of a parked worker, which on a
+    // small machine is a preemption point that runs the flush) and stays
+    // in whatever phase the caller is in.
+    ScopedPhase phase(profiler_, "io");
+    obs::ProfPhase prof_phase("io");
     std::vector<uint8_t> buffer;
     for (const auto& edge : edges) {
       SerializeEdge(edge, &buffer);
@@ -188,12 +240,12 @@ uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeR
     }
     return buffer.size();
   }
-  // Write-behind: the caller only pays for handing the edges over; the block
-  // encode and the file write both run on the I/O worker. Ownership is
-  // shared between the queued task and the caller's write-back cache entry,
-  // so no copy is made on either side. Metadata is charged the raw-format
-  // size so partition layout decisions are identical to the synchronous
-  // path.
+  // Write-behind: the caller only pays for handing the edges over; the
+  // block encode and the file write both run as a write-behind-lane task on
+  // the file's strand. Ownership is shared between the queued task and the
+  // caller's write-back cache entry, so no copy is made on either side.
+  // Metadata is charged the raw-format size so partition layout decisions
+  // are identical to the synchronous path.
   uint64_t raw_bytes = RawFormatBytes(edges);
   auto shared = std::make_shared<const std::vector<EdgeRecord>>(std::move(edges));
   if (content != nullptr) {
@@ -203,7 +255,7 @@ uint64_t PartitionStore::WriteOrQueue(const std::string& path, std::vector<EdgeR
     std::lock_guard<std::mutex> lock(cache_mutex_);
     ++pending_writes_[path];
   }
-  Enqueue([this, path, rewrite, edges = std::move(shared)] {
+  Enqueue(path, TaskLane::kWriteBehind, [this, path, rewrite, edges = std::move(shared)] {
     obs::ScopedSpan flush_span(rewrite ? "partition_flush_write" : "partition_flush_append",
                                "io");
     std::vector<uint8_t> buffer;
@@ -321,7 +373,7 @@ size_t PartitionStore::PartitionOf(VertexId v) const {
 }
 
 void PartitionStore::Hint(const std::vector<size_t>& next_indices) {
-  if (io_pool_ == nullptr) {
+  if (runtime_ == nullptr) {
     return;
   }
   obs::ScopedSpan span("partition_hint", "io");
@@ -366,9 +418,12 @@ void PartitionStore::Hint(const std::vector<size_t>& next_indices) {
     if (metrics_ != nullptr) {
       metrics_->Add(c_prefetch_issued_);
     }
-    // The read queues behind every pending write (1-thread FIFO), so it
-    // observes the partition exactly as a foreground load would.
-    Enqueue([this, path = info.path, version = info.version, edges_hint = info.edges] {
+    // The read runs on the file's strand, behind every pending write to
+    // that file, so it observes the partition exactly as a foreground load
+    // would. Prefetch lane: workers serve it after foreground joins but
+    // ahead of write-behind backlog.
+    Enqueue(info.path, TaskLane::kPrefetch,
+            [this, path = info.path, version = info.version, edges_hint = info.edges] {
       obs::ScopedSpan prefetch_span("partition_prefetch", "io");
       std::vector<uint8_t> bytes;
       bool read_ok = ReadFileBytes(path, &bytes);
@@ -402,7 +457,7 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
   obs::ScopedSpan span("partition_load", "io");
   ThrowIfIoError();
   const PartitionInfo& info = partitions_[index];
-  if (io_pool_ != nullptr) {
+  if (runtime_ != nullptr) {
     bool pending = false;
     {
       std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -424,11 +479,9 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
       }
     }
     if (pending) {
-      // The prefetch read is queued (or running); wait it out instead of
-      // issuing a duplicate foreground read.
-      evt::Emit(evt::kWaitBegin, evt::kWaitIoQueue);
-      io_pool_->Wait();
-      evt::Emit(evt::kWaitEnd, evt::kWaitIoQueue);
+      // The prefetch read is queued (or running) on this file's strand;
+      // wait it out instead of issuing a duplicate foreground read.
+      WaitForPath(info.path);
       std::lock_guard<std::mutex> lock(cache_mutex_);
       auto it = cache_.find(info.path);
       if (it != cache_.end() && it->second.version == info.version && it->second.ready &&
@@ -443,18 +496,17 @@ std::vector<EdgeRecord> PartitionStore::Load(size_t index) {
         return *it->second.edges;
       }
     }
-    // Miss (or failed prefetch): read in the foreground. The queue only has
-    // to drain when this file itself has unfinished queued writes — other
-    // files' pending work cannot affect what this read returns.
+    // Miss (or failed prefetch): read in the foreground. Only this file's
+    // strand has to drain, and only when the file has unfinished queued
+    // writes — other files' pending work cannot affect what this read
+    // returns, and now no longer delays it either.
     bool pending_write;
     {
       std::lock_guard<std::mutex> lock(cache_mutex_);
       pending_write = pending_writes_.count(info.path) > 0;
     }
     if (pending_write) {
-      evt::Emit(evt::kWaitBegin, evt::kWaitIoQueue);
-      io_pool_->Wait();
-      evt::Emit(evt::kWaitEnd, evt::kWaitIoQueue);
+      WaitForPath(info.path);
       ThrowIfIoError();
     }
   }
@@ -575,8 +627,10 @@ size_t PartitionStore::SplitAndRewrite(size_t index, std::vector<EdgeRecord> edg
     // Deferred: the last published manifest still references this file.
     retired_.push_back(original.path);
   } else if (pipeline_.enabled) {
-    // Queued so the removal happens after any pending append to the file.
-    Enqueue([path = original.path] { RemoveFile(path); });
+    // Queued on the file's own strand so the removal happens after any
+    // pending append to it.
+    Enqueue(original.path, TaskLane::kWriteBehind,
+            [path = original.path] { RemoveFile(path); });
   } else {
     RemoveFile(original.path);
   }

@@ -8,20 +8,23 @@
 // so that any two partitions still fit the memory budget together.
 //
 // Pipelined mode (see DESIGN.md, "Pipelined partition I/O"): when enabled,
-// every disk operation runs on a single background I/O worker in program
-// order — Rewrite/Append/SplitAndRewrite hand their edges to the worker,
-// which encodes them (compact block format, src/graph/partition_codec.h)
-// and writes the file (write-behind); Hint() queues read-ahead of upcoming
-// partitions into a budget-bounded cache — the same cache that retains
-// just-written partition images (write-back), so a Load of recently
-// written or hinted data never touches disk; a cold miss reads in the
-// foreground, draining the queue first only when the file itself has
-// queued writes (tracked per path). Because the worker is a
-// 1-thread FIFO, a queued read always observes every earlier queued write,
-// so results are byte-identical to the synchronous path. Metadata
-// (bytes/edges/version/segments) is updated at enqueue time on the caller's
-// thread — charged at raw-format size in both modes, so partition layout
-// decisions are mode-independent — and is never touched by the worker.
+// every disk operation runs as a background task on the shared TaskRuntime
+// (DESIGN.md §14) — Rewrite/Append/SplitAndRewrite hand their edges to a
+// write-behind task, which encodes them (compact block format,
+// src/graph/partition_codec.h) and writes the file; Hint() queues
+// prefetch-lane read-ahead of upcoming partitions into a budget-bounded
+// cache — the same cache that retains just-written partition images
+// (write-back), so a Load of recently written or hinted data never touches
+// disk; a cold miss reads in the foreground, waiting first only when the
+// file itself has queued writes (tracked per path). Every task is submitted
+// onto the runtime's per-file serial strand (SubmitSerial keyed by path),
+// so a queued read always observes every earlier queued write to the same
+// file — different files proceed in parallel, but per-file order is the
+// legacy 1-thread-FIFO order, and results stay byte-identical to the
+// synchronous path. Metadata (bytes/edges/version/segments) is updated at
+// enqueue time on the caller's thread — charged at raw-format size in both
+// modes, so partition layout decisions are mode-independent — and is never
+// touched by background tasks.
 #ifndef GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_
 #define GRAPPLE_SRC_GRAPH_PARTITION_STORE_H_
 
@@ -40,7 +43,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/statusz.h"
 #include "src/support/budget_arbiter.h"
-#include "src/support/thread_pool.h"
+#include "src/support/task_runtime.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -71,6 +74,10 @@ struct PartitionStorePipeline {
   // Fallback budget when no lease is present. The prefetch cache is sized
   // at budget/4 — one partition-target's worth of read-ahead.
   uint64_t budget_bytes = uint64_t{64} << 20;
+  // Scheduler that executes the store's per-file I/O strands (non-owning;
+  // must outlive the store). Null with `enabled` set means the store spins
+  // up a private single-worker runtime — the standalone-test configuration.
+  TaskRuntime* runtime = nullptr;
 };
 
 class PartitionStore {
@@ -101,8 +108,8 @@ class PartitionStore {
   size_t PartitionOf(VertexId v) const;
 
   // Reads a partition (base file including appended deltas). In pipelined
-  // mode the prefetch cache is consulted first; a miss drains the I/O queue
-  // (so pending writes to the file land) and reads in the foreground.
+  // mode the prefetch cache is consulted first; a miss waits out the file's
+  // own strand (so pending writes to it land) and reads in the foreground.
   std::vector<EdgeRecord> Load(size_t index);
 
   // Rewrites a partition's file with exactly `edges`.
@@ -119,9 +126,9 @@ class PartitionStore {
   size_t SplitAndRewrite(size_t index, std::vector<EdgeRecord> edges, uint64_t target_bytes);
 
   // Read-ahead hint: the engine expects to Load these partitions soon.
-  // Queues background reads (behind all pending writes, so they see current
-  // data) into the cache, as capacity — possibly borrowed from the budget
-  // lease — allows. No-op when pipelining is off.
+  // Queues prefetch-lane reads (behind each file's pending writes, so they
+  // see current data) into the cache, as capacity — possibly borrowed from
+  // the budget lease — allows. No-op when pipelining is off.
   void Hint(const std::vector<size_t>& next_indices);
 
   // Barrier: blocks until every queued write/read has hit the filesystem
@@ -222,8 +229,18 @@ class PartitionStore {
   // has room. No-op in legacy mode or when `content` is null.
   void CachePut(const std::string& path, uint64_t version, uint64_t charge,
                 std::shared_ptr<const std::vector<EdgeRecord>> content);
-  // Queues `fn` on the I/O worker, maintaining the queue-depth gauge.
-  void Enqueue(std::function<void()> fn);
+  // Queues `fn` on `path`'s serial strand in `lane`, maintaining the
+  // queue-depth gauge and the per-path pending-op count Sync() drains. The
+  // task body re-installs the submitting thread's checker context plus an
+  // "io" profiler phase so samples taken on a shared worker attribute to
+  // the right (checker, io) bucket.
+  void Enqueue(const std::string& path, TaskLane lane, std::function<void()> fn);
+  // Blocks until `path`'s strand is empty (no-op when it already is).
+  // Blocked time is bracketed as kWaitIoQueue — the Load() wait.
+  void WaitForPath(const std::string& path);
+  // Waits out every path with queued work (bracketed as kWaitIoBarrier).
+  // The Sync()/destructor drain.
+  void DrainAll();
   // Drops the cache entry for `path` (if any), counting it as wasted when
   // it was never consumed. Caller holds no locks.
   void InvalidateCache(const std::string& path);
@@ -269,16 +286,21 @@ class PartitionStore {
   std::mutex io_error_mutex_;
   std::string io_error_;
 
-  // --- pipelined-mode state. `cache_mutex_` guards `cache_` and
-  // `pending_writes_`; everything else below is foreground-only. The worker
-  // pool is the last member so its destructor drains the queue while the
-  // rest of the store is alive.
+  // --- pipelined-mode state. `cache_mutex_` guards `cache_`,
+  // `pending_writes_`, and `pending_ops_`; everything else below is
+  // foreground-only. The destructor drains every strand (DrainAll) while
+  // the rest of the store is alive; the owned fallback runtime is the last
+  // member so its worker joins happen before anything else is torn down.
   std::mutex cache_mutex_;
   std::unordered_map<std::string, CacheEntry> cache_;
   // Count of queued-but-unfinished writes per file. A Load miss only has to
-  // drain the I/O queue when its file appears here; otherwise the on-disk
+  // wait out the file's strand when it appears here; otherwise the on-disk
   // bytes are complete and the read can proceed immediately.
   std::unordered_map<std::string, uint64_t> pending_writes_;
+  // Count of queued-but-unfinished tasks of any kind (write, prefetch read,
+  // deferred delete) per file: the work list Sync() and the destructor
+  // drain. Superset of pending_writes_.
+  std::unordered_map<std::string, uint64_t> pending_ops_;
   uint64_t cache_bytes_ = 0;     // foreground-only: sum of charges
   uint64_t cache_borrowed_ = 0;  // capacity borrowed from the lease
   std::atomic<int64_t> queue_depth_{0};
@@ -286,11 +308,14 @@ class PartitionStore {
   // itself is foreground-only, so scrapes read this relaxed copy instead.
   std::atomic<uint64_t> live_cache_bytes_{0};
   // Introspection registrations. Declared after the atomics they read (so
-  // they unregister first in reverse destruction order) but before the pool:
-  // the gauge callbacks never touch io_pool_.
+  // they unregister first in reverse destruction order) but before the
+  // runtime members: the gauge callbacks never touch the runtime.
   obs::Introspection::Handle introspect_queue_depth_;
   obs::Introspection::Handle introspect_cache_bytes_;
-  std::unique_ptr<ThreadPool> io_pool_;  // 1 thread => FIFO program order
+  // Strand executor: `runtime_` points at pipeline_.runtime when the owner
+  // shared one, else at the private fallback. Null iff pipelining is off.
+  std::unique_ptr<TaskRuntime> owned_runtime_;
+  TaskRuntime* runtime_ = nullptr;
 };
 
 }  // namespace grapple

@@ -415,6 +415,10 @@ uint32_t SwapChecker(ThreadProf* tp, uint32_t value) {
   return prev;
 }
 
+uint32_t ReadChecker(ThreadProf* tp) {
+  return tp->checker.load(std::memory_order_relaxed);
+}
+
 uint64_t SwapPair(ThreadProf* tp, uint64_t value) {
   uint64_t prev = tp->pair.load(std::memory_order_relaxed);
   tp->pair.store(value, std::memory_order_relaxed);
@@ -441,13 +445,22 @@ ProfPhase::~ProfPhase() {
   }
 }
 
+uint32_t ProfCurrentChecker() {
+  ThreadProf* tp = CurrentThreadProf();
+  if (tp == nullptr) {
+    return kProfNoChecker;
+  }
+  uint32_t value = profiler_internal::ReadChecker(tp);
+  return value == 0 ? kProfNoChecker : value - 1;
+}
+
 ProfChecker::ProfChecker(uint32_t name_id) {
   ThreadProf* tp = CurrentThreadProf();
   if (tp == nullptr) {
     return;
   }
   tp_ = tp;
-  prev_ = profiler_internal::SwapChecker(tp, name_id + 1);
+  prev_ = profiler_internal::SwapChecker(tp, name_id == kProfNoChecker ? 0 : name_id + 1);
 }
 
 ProfChecker::~ProfChecker() {
@@ -797,6 +810,8 @@ const char* ProfileWaitKindName(uint32_t kind) {
       return "io_queue";
     case evt::kWaitSolve:
       return "solve";
+    case evt::kWaitTask:
+      return "task";
     default:
       return "unknown";
   }

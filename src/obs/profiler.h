@@ -50,6 +50,7 @@ struct ThreadProf;
 ThreadProf* CurrentThreadProf();
 uint32_t SwapPhase(ThreadProf* tp, uint32_t value);
 uint32_t SwapChecker(ThreadProf* tp, uint32_t value);
+uint32_t ReadChecker(ThreadProf* tp);
 uint64_t SwapPair(ThreadProf* tp, uint64_t value);
 }  // namespace profiler_internal
 
@@ -67,8 +68,19 @@ class ProfPhase {
   uint32_t prev_ = 0;
 };
 
+// Sentinel for "no checker context". Accepted by ProfChecker (installs the
+// empty context) and returned by ProfCurrentChecker when none is live.
+inline constexpr uint32_t kProfNoChecker = ~0u;
+
+// The innermost live ProfChecker's name id on the calling thread, or
+// kProfNoChecker. Task-runtime submitters capture this and re-install it
+// (via ProfChecker) inside task bodies, so work executed on a shared
+// worker thread is still attributed to the checker that scheduled it.
+uint32_t ProfCurrentChecker();
+
 // RAII checker marker; takes an EventLogInternString id (the checker layer
-// already interns checker names for kCheckerStart events).
+// already interns checker names for kCheckerStart events) or kProfNoChecker
+// to explicitly install "no checker".
 class ProfChecker {
  public:
   explicit ProfChecker(uint32_t name_id);

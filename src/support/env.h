@@ -17,7 +17,20 @@
 //   GRAPPLE_THREADS          positive integer: overrides every engine-level
 //                            worker-thread option (EngineOptions.num_threads,
 //                            GrappleOptions::Scheduling::num_threads) at the
-//                            point the pool is sized; see ResolveThreadCount
+//                            point workers are sized; see ResolveThreadCount.
+//                            It does NOT touch checker_parallelism: the
+//                            session's TaskRuntime is sized as
+//                            resolve(checker_parallelism) x
+//                            resolve(num_threads) + 1, so this knob scales
+//                            the per-checker factor only (DESIGN.md §14)
+//   GRAPPLE_STEAL            locality|always|pinned: overrides the task
+//                            runtime's steal policy
+//                            (GrappleOptions::Scheduling::steal_policy)
+//                            outright. "pinned" disables stealing and
+//                            reproduces the legacy two-pool execution for
+//                            A/B timing; results are byte-identical under
+//                            every policy; see ResolveStealPolicy in
+//                            support/task_runtime.h
 //   GRAPPLE_IO_PIPELINE      on|off: overrides the pipelined-partition-I/O
 //                            option (EngineOptions.io_pipeline) outright at
 //                            the point the store is built; results are

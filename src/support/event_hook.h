@@ -59,9 +59,11 @@ enum Type : uint16_t {
 enum WaitKind : uint64_t {
   kWaitNone = 0,
   kWaitArbiter = 1,    // BudgetArbiter::Acquire blocked on budget
-  kWaitIoBarrier = 2,  // PartitionStore::Sync() draining the I/O worker
+  kWaitIoBarrier = 2,  // PartitionStore::Sync() draining the I/O strands
   kWaitIoQueue = 3,    // Load() waiting on a pending prefetch/write
   kWaitSolve = 4,      // simulated out-of-process solve block
+  kWaitTask = 5,       // task-runtime join/strand wait (TaskGroup::Wait,
+                       // TaskRuntime::WaitSerial) blocked on a worker
 };
 
 // Sink signature. For kIoRetry / kFaultInjected / kCrashExit, `a2` carries a

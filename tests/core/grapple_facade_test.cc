@@ -109,31 +109,33 @@ TEST(GrappleFacadeTest, ConstructorDiesOnInvalidOptions) {
   EXPECT_DEATH(Grapple(MustParse(kSmall), options), "invalid GrappleOptions.*loop_unroll");
 }
 
-TEST(GrappleFacadeTest, FlatOptionsShimMapsOntoNestedGroups) {
-  GrappleFlatOptions flat;
-  flat.loop_unroll = 3;
-  flat.memory_budget_bytes = 123;
-  flat.num_threads = 7;
-  flat.enable_cache = false;
-  flat.cache_capacity = 99;
-  flat.max_encoding_items = 11;
-  flat.max_variants_per_triple = 5;
-  flat.work_dir = "/tmp/x";
-  flat.qualify_events_with_alias_paths = false;
-  flat.witness = obs::WitnessMode::kOff;
-  GrappleOptions nested = flat;
-  EXPECT_EQ(nested.precision.loop_unroll, 3u);
-  EXPECT_EQ(nested.engine.memory_budget_bytes, 123u);
-  EXPECT_EQ(nested.scheduling.num_threads, 7u);
-  EXPECT_FALSE(nested.engine.enable_cache);
-  EXPECT_EQ(nested.engine.cache_capacity, 99u);
-  EXPECT_EQ(nested.engine.max_encoding_items, 11u);
-  EXPECT_EQ(nested.engine.max_variants_per_triple, 5u);
-  EXPECT_EQ(nested.work_dir, "/tmp/x");
-  EXPECT_FALSE(nested.precision.qualify_events_with_alias_paths);
-  EXPECT_EQ(nested.observability.witness, obs::WitnessMode::kOff);
-  // Defaults untouched by the flat bag stay at their nested defaults.
-  EXPECT_EQ(nested.scheduling.checker_parallelism, 1u);
+TEST(GrappleFacadeTest, SchedulingOptionsValidate) {
+  // Both knobs at 0 would multiply to hardware-concurrency squared workers.
+  GrappleOptions both_zero;
+  both_zero.scheduling.checker_parallelism = 0;
+  both_zero.scheduling.num_threads = 0;
+  std::vector<std::string> errors = both_zero.Validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("checker_parallelism"), std::string::npos);
+
+  // One of them at 0 (hardware concurrency) is the supported configuration.
+  GrappleOptions one_zero;
+  one_zero.scheduling.checker_parallelism = 2;
+  one_zero.scheduling.num_threads = 0;
+  EXPECT_TRUE(one_zero.Validate().empty());
+
+  GrappleOptions oversubscribed;
+  oversubscribed.scheduling.checker_parallelism = 64;
+  oversubscribed.scheduling.num_threads = 64;
+  errors = oversubscribed.Validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("1024"), std::string::npos);
+
+  GrappleOptions starved_lane;
+  starved_lane.scheduling.lane_weights = {4, 0, 1};
+  errors = starved_lane.Validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("lane_weights[1]"), std::string::npos);
 }
 
 TEST(GrappleFacadeTest, ResultAggregatesAcrossPhases) {

@@ -3,10 +3,11 @@
 // registry lifetimes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/obs/metrics.h"
-#include "src/support/thread_pool.h"
+#include "src/support/task_runtime.h"
 
 namespace grapple {
 namespace obs {
@@ -32,21 +33,31 @@ TEST(MetricsRegistryTest, CounterIdIsStableAcrossReRegistration) {
   EXPECT_EQ(first, second);
 }
 
-TEST(MetricsRegistryTest, ConcurrentAddsFromThreadPool) {
+TEST(MetricsRegistryTest, ConcurrentAddsFromTaskRuntime) {
   MetricsRegistry registry;
   MetricId counter = registry.Counter("hits");
   MetricId hist = registry.Histogram("latency");
   constexpr size_t kPerItem = 16;
   constexpr size_t kItems = 2048;
-  ThreadPool pool(8);
-  pool.ParallelFor(kItems, [&](size_t, size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      for (size_t k = 0; k < kPerItem; ++k) {
-        registry.Add(counter);
+  constexpr size_t kShards = 8;
+  TaskRuntimeOptions options;
+  options.workers = kShards;
+  TaskRuntime runtime(options);
+  TaskGroup group(&runtime);
+  constexpr size_t kChunk = (kItems + kShards - 1) / kShards;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    size_t begin = shard * kChunk;
+    size_t end = std::min(kItems, begin + kChunk);
+    group.Submit(TaskLane::kForeground, /*affinity=*/0, [&, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t k = 0; k < kPerItem; ++k) {
+          registry.Add(counter);
+        }
+        registry.Observe(hist, i + 1);
       }
-      registry.Observe(hist, i + 1);
-    }
-  });
+    });
+  }
+  group.Wait();
   MetricsSnapshot snapshot = registry.Snapshot();
   EXPECT_EQ(snapshot.CounterOr("hits"), kItems * kPerItem);
   const HistogramSnapshot& h = snapshot.histograms.at("latency");

@@ -152,7 +152,7 @@ TEST(ProfilerTest, SignalStormKeepsLedgerConsistent) {
   // Drops (ring overwrites, torn slots) are legal under a storm but must be
   // accounted, never silently lost.
   for (const ProfileEntry& entry : data.entries) {
-    EXPECT_LE(entry.wait_kind, static_cast<uint32_t>(evt::kWaitSolve));
+    EXPECT_LE(entry.wait_kind, static_cast<uint32_t>(evt::kWaitTask));
   }
 }
 

@@ -1,12 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 
 #include "src/support/byte_io.h"
 #include "src/support/lru_cache.h"
 #include "src/support/rng.h"
-#include "src/support/thread_pool.h"
+#include "src/support/task_runtime.h"
 #include "src/support/timer.h"
 
 namespace grapple {
@@ -113,26 +114,42 @@ TEST(LruCacheTest, OverwriteKeepsSize) {
   EXPECT_EQ(cache.Get(1), std::optional<int>(2));
 }
 
-TEST(ThreadPoolTest, ParallelForCoversRange) {
-  ThreadPool pool(4);
+// Sharded fan-out over a range via TaskGroup, the pattern the engine's
+// join loop uses. Deeper scheduler coverage lives in task_runtime_test.cc.
+TEST(TaskRuntimeTest, GroupFanOutCoversRange) {
+  TaskRuntimeOptions options;
+  options.workers = 4;
+  TaskRuntime runtime(options);
+  constexpr size_t kItems = 1000;
+  constexpr size_t kShards = 4;
+  constexpr size_t kChunk = (kItems + kShards - 1) / kShards;
   std::atomic<int64_t> sum{0};
-  pool.ParallelFor(1000, [&](size_t, size_t begin, size_t end) {
-    int64_t local = 0;
-    for (size_t i = begin; i < end; ++i) {
-      local += static_cast<int64_t>(i);
-    }
-    sum.fetch_add(local);
-  });
+  TaskGroup group(&runtime);
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    size_t begin = shard * kChunk;
+    size_t end = std::min(kItems, begin + kChunk);
+    group.Submit(TaskLane::kForeground, /*affinity=*/0, [&, begin, end] {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) {
+        local += static_cast<int64_t>(i);
+      }
+      sum.fetch_add(local);
+    });
+  }
+  group.Wait();
   EXPECT_EQ(sum.load(), 999 * 1000 / 2);
 }
 
-TEST(ThreadPoolTest, WaitDrainsScheduledTasks) {
-  ThreadPool pool(2);
+TEST(TaskRuntimeTest, DestructorDrainsSubmittedTasks) {
   std::atomic<int> count{0};
-  for (int i = 0; i < 50; ++i) {
-    pool.Schedule([&] { count.fetch_add(1); });
+  {
+    TaskRuntimeOptions options;
+    options.workers = 2;
+    TaskRuntime runtime(options);
+    for (int i = 0; i < 50; ++i) {
+      runtime.Submit(TaskLane::kWriteBehind, /*affinity=*/0, [&] { count.fetch_add(1); });
+    }
   }
-  pool.Wait();
   EXPECT_EQ(count.load(), 50);
 }
 
