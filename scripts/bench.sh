@@ -24,7 +24,7 @@ out_dir="${2:-${build_dir}/bench-reports}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 benches=(table1_subjects table2_bugs table3_performance fig9_breakdown
-  table4_caching table5_encoding)
+  table4_caching table5_encoding service_bench)
 
 if [[ ! -x "${build_dir}/bench/${benches[0]}" ]]; then
   echo "==> configuring and building benches in ${build_dir}"

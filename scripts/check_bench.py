@@ -193,6 +193,41 @@ DEFAULT_WATCH = [
         "direction": "higher_is_better",
         "min": 1.0,
     },
+    {
+        # Warm throughput of the analysis service's two-tenant burst
+        # (bench/service_bench.cpp). Wall-clock over loopback HTTP, so the
+        # tolerance is wide; the floor catches the service falling back to
+        # cold sessions (a warm check is >10x a cold one on any subject).
+        "key": "service_bench/zookeeper/service/gauge:svc_checks_per_sec",
+        "direction": "higher_is_better",
+        "min": 1.0,
+        "tolerance": 0.75,
+    },
+    {
+        # Warm tail latency of the same burst. Baseline-relative only
+        # (allow 2x jitter): the interesting regressions are order-of-
+        # magnitude — a lost session cache or serialized admission.
+        "key": "service_bench/zookeeper/service/gauge:svc_p99_ms",
+        "direction": "lower_is_better",
+        "tolerance": 1.0,
+    },
+    {
+        # Share of /check requests served from a resident session during
+        # the bench (2 colds + 24 warms => ~0.92). A collapse means the
+        # cache is thrashing or fingerprinting broke.
+        "key": "service_bench/zookeeper/service/gauge:svc_warm_hit_rate",
+        "direction": "higher_is_better",
+        "min": 0.5,
+        "tolerance": 0.5,
+    },
+    {
+        # Every service response body — cold, warm, either tenant — must be
+        # byte-identical to the one-shot analyze_file --json aggregation,
+        # at any scale.
+        "key": "service_bench/zookeeper/service/gauge:svc_warm_identical",
+        "direction": "higher_is_better",
+        "min": 1.0,
+    },
 ]
 
 

@@ -29,6 +29,13 @@
 #                            # + --json round-trip) and analyze_file
 #                            # --profile (collapsed stacks), and the report
 #                            # byte-compared against an unprofiled run
+#   scripts/ci.sh service    # grappled daemon smoke: ephemeral port, a
+#                            # two-tenant burst through grapple-client with
+#                            # /statusz + /metricsz scraped mid-run, every
+#                            # response byte-compared against a cold
+#                            # one-shot analyze_file --json run, then a
+#                            # SIGTERM shutdown that must exit 0 and leave
+#                            # no work dirs behind
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -299,6 +306,124 @@ run_profile_smoke() {
   echo "==> [profile] profiled report identical; decoders agree"
 }
 
+# Analysis-service smoke: the full daemon lifecycle over real HTTP.
+# grappled starts on an ephemeral port (discovered via --port-file), two
+# tenants drive a concurrent burst through grapple-client, /statusz and
+# /metricsz are scraped while the burst is in flight, and every /check
+# response — cold or warm, either tenant — must be byte-identical to what
+# a cold one-shot `analyze_file <subject> --json` prints. Afterwards the
+# daemon gets SIGTERM and must exit 0, report warm hits in its final
+# /statusz, and leave neither its work root nor its port file behind.
+run_service_smoke() {
+  local build_dir="${repo_root}/build-ci-release"
+  echo "==> [service] configure + build"
+  cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release > /dev/null
+  build_filtered "${build_dir}"
+  local out_dir="${build_dir}/service-smoke"
+  rm -rf "${out_dir}"
+  mkdir -p "${out_dir}"
+  local subject="${repo_root}/examples/testdata/leaky.grap"
+  local client="${build_dir}/tools/grapple-client"
+
+  echo "==> [service] cold one-shot reference (analyze_file --json)"
+  # Exit 1 just means "reports found", which is the point of leaky.grap;
+  # 2 (usage/parse) and 3 (witness replay) are real failures.
+  local ref_rc=0
+  "${build_dir}/examples/analyze_file" "${subject}" --json \
+    > "${out_dir}/ref.json" 2> /dev/null || ref_rc=$?
+  if [[ "${ref_rc}" -gt 1 ]]; then
+    echo "service: analyze_file failed with rc=${ref_rc}" >&2
+    return 1
+  fi
+  test -s "${out_dir}/ref.json"
+
+  echo "==> [service] start grappled on an ephemeral port"
+  "${build_dir}/tools/grappled" --port 0 --port-file "${out_dir}/port" \
+    --slots 2 --workers 4 2> "${out_dir}/grappled.log" &
+  local daemon_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    if [[ -s "${out_dir}/port" ]]; then
+      port="$(cat "${out_dir}/port")"
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "service: grappled never published its port" >&2
+    cat "${out_dir}/grappled.log" >&2
+    return 1
+  fi
+  local base="http://127.0.0.1:${port}"
+  local work_root
+  work_root="$(sed -n 's/.*work_root=//p' "${out_dir}/grappled.log" | head -1)"
+  test -d "${work_root}"
+
+  echo "==> [service] two-tenant burst on 127.0.0.1:${port}"
+  "${client}" --port "${port}" --tenant alpha --fields reports "${subject}" \
+    > "${out_dir}/alpha-cold.json"
+  "${client}" --port "${port}" --tenant beta --priority batch --fields reports \
+    "${subject}" > "${out_dir}/beta-cold.json"
+  local burst_pids=()
+  local tenant c i
+  for tenant in alpha beta; do
+    for c in 1 2; do
+      (
+        for i in 1 2 3; do
+          "${client}" --port "${port}" --tenant "${tenant}" --fields reports \
+            "${subject}" > "${out_dir}/${tenant}-${c}-${i}.json"
+        done
+      ) &
+      burst_pids+=("$!")
+    done
+  done
+  echo "==> [service] mid-run /statusz + /metricsz scrape"
+  obs_get "${base}/statusz" > "${out_dir}/statusz-mid.json"
+  obs_get "${base}/metricsz" > "${out_dir}/metricsz-mid.txt"
+  local pid
+  for pid in "${burst_pids[@]}"; do
+    wait "${pid}"
+  done
+  python3 -m json.tool "${out_dir}/statusz-mid.json" > /dev/null
+  grep -q '"service"' "${out_dir}/statusz-mid.json"
+  grep -q '^grapple_service_requests_total' "${out_dir}/metricsz-mid.txt"
+
+  echo "==> [service] responses byte-identical to the one-shot run"
+  local response
+  for response in "${out_dir}"/alpha-*.json "${out_dir}"/beta-*.json; do
+    cmp "${out_dir}/ref.json" "${response}"
+  done
+
+  echo "==> [service] warm sessions visible in /statusz"
+  obs_get "${base}/statusz" > "${out_dir}/statusz-final.json"
+  python3 - "${out_dir}/statusz-final.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    sessions = json.load(f)["sources"]["service"]["sessions"]
+assert sessions["warm_hits"] > 0, sessions
+assert sessions["resident"] == 2, sessions
+PY
+  "${client}" --port "${port}" --tenant alpha "${subject}" > "${out_dir}/envelope.json"
+  grep -q '"warm":true' "${out_dir}/envelope.json"
+
+  echo "==> [service] SIGTERM shutdown"
+  kill -TERM "${daemon_pid}"
+  wait "${daemon_pid}"
+  grep -q 'grappled: bye' "${out_dir}/grappled.log"
+  if [[ -e "${work_root}" ]]; then
+    echo "service: leaked work dirs under ${work_root}" >&2
+    find "${work_root}" >&2
+    return 1
+  fi
+  if [[ -e "${out_dir}/port" ]]; then
+    echo "service: leaked port file" >&2
+    return 1
+  fi
+  echo "==> [service] clean shutdown, no leaked work dirs"
+}
+
 # ThreadSanitizer pass: the whole suite runs under TSan (the scheduler,
 # arbiter, and engine tests all spin up real thread contention), then the
 # parallel pipeline is exercised end-to-end on a generated workload via the
@@ -339,13 +464,16 @@ case "${mode}" in
   profile)
     run_profile_smoke
     ;;
+  service)
+    run_service_smoke
+    ;;
   all)
     run_pass release -DCMAKE_BUILD_TYPE=Release
     run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DGRAPPLE_SANITIZE=address,undefined
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|obs|profile|all]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|tsan|bench|recovery|soak|obs|profile|service|all]" >&2
     exit 2
     ;;
 esac

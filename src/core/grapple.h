@@ -276,6 +276,10 @@ class Grapple {
   CheckerRunResult CheckOne(const FsmSpec& spec);
 
   const Program& program() const { return *program_; }
+  // Where this session spills partitions, checkpoints, and profiles —
+  // either the configured GrappleOptions::work_dir or the session's private
+  // temp dir. Stable for the session's lifetime.
+  const std::string& work_dir() const { return work_dir_; }
   const Icfet& icfet() const { return icfet_; }
   const CallGraph& call_graph() const { return *call_graph_; }
   double frontend_seconds() const { return frontend_seconds_; }

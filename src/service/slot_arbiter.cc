@@ -1,0 +1,67 @@
+#include "src/service/slot_arbiter.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace grapple {
+
+SlotLease::~SlotLease() { Release(); }
+
+SlotLease::SlotLease(SlotLease&& other) noexcept : arbiter_(other.arbiter_) {
+  other.arbiter_ = nullptr;
+}
+
+SlotLease& SlotLease::operator=(SlotLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    arbiter_ = other.arbiter_;
+    other.arbiter_ = nullptr;
+  }
+  return *this;
+}
+
+void SlotLease::Release() {
+  if (arbiter_ != nullptr) {
+    arbiter_->Return();
+    arbiter_ = nullptr;
+  }
+}
+
+SlotArbiter::SlotArbiter(size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+SlotLease SlotArbiter::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t ticket = next_ticket_++;
+  cv_.wait(lock, [&] { return serving_ == ticket && in_use_ < slots_; });
+  ++serving_;
+  ++in_use_;
+  peak_in_use_ = std::max(peak_in_use_, in_use_);
+  // Wake the next ticket holder; it re-checks slot availability itself.
+  cv_.notify_all();
+  return SlotLease(this);
+}
+
+void SlotArbiter::Return() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_use_;
+  }
+  cv_.notify_all();
+}
+
+size_t SlotArbiter::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+uint64_t SlotArbiter::waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ticket_ - serving_;
+}
+
+size_t SlotArbiter::peak_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_in_use_;
+}
+
+}  // namespace grapple

@@ -79,6 +79,21 @@
 //                            (default 97 — prime, avoids lockstep with
 //                            periodic work), overriding
 //                            Observability::profile_hz; see ResolveProfileHz
+//   GRAPPLE_SERVICE_PORT     integer: the grappled analysis daemon's
+//                            loopback listen port (0 = ephemeral),
+//                            overriding ServiceOptions::port
+//                            (src/service/service.h, DESIGN.md §15)
+//   GRAPPLE_MAX_RESIDENT_SESSIONS
+//                            positive integer: cap on warm Grapple sessions
+//                            the daemon keeps resident (LRU-evicted beyond
+//                            this; in-flight sessions are never dropped),
+//                            overriding ServiceOptions::max_resident_sessions
+//                            (default 8)
+//   GRAPPLE_ADMISSION_QUEUE  positive integer: bound on queued-but-unstarted
+//                            check requests across all tenants; requests
+//                            beyond it are rejected with HTTP 429,
+//                            overriding ServiceOptions::admission_capacity
+//                            (default 64)
 //
 // Thread-count convention: a thread-count option of 0 means "use the
 // hardware concurrency" — uniformly, wherever a pool is sized. Call sites

@@ -7,7 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 
 namespace grapple {
@@ -22,8 +26,12 @@ const char* StatusText(int status) {
       return "Bad Request";
     case 404:
       return "Not Found";
+    case 429:
+      return "Too Many Requests";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
@@ -52,11 +60,43 @@ void WriteFully(int fd, const std::string& data) {
   }
 }
 
+// Case-insensitive Content-Length lookup over the raw header block.
+// Returns SIZE_MAX when absent or malformed.
+size_t ParseContentLength(const std::string& headers) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find('\n', pos);
+    std::string line = headers.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? headers.size() : eol + 1;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(0, colon);
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (name != "content-length") {
+      continue;
+    }
+    size_t value_begin = line.find_first_not_of(" \t", colon + 1);
+    if (value_begin == std::string::npos) {
+      return SIZE_MAX;
+    }
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(line.c_str() + value_begin, &end, 10);
+    if (end == line.c_str() + value_begin) {
+      return SIZE_MAX;
+    }
+    return static_cast<size_t>(value);
+  }
+  return SIZE_MAX;
+}
+
 }  // namespace
 
 SocketServer::~SocketServer() { Stop(); }
 
-bool SocketServer::Start(int port, Handler handler, std::string* error) {
+bool SocketServer::Start(int port, Handler handler, std::string* error, size_t handler_threads) {
   auto fail = [&](const std::string& why) {
     if (error != nullptr) {
       *error = "socket server: " + why;
@@ -88,7 +128,7 @@ bool SocketServer::Start(int port, Handler handler, std::string* error) {
     ::close(fd);
     return fail(why);
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, 64) != 0) {
     std::string why = std::string("listen failed: ") + std::strerror(errno);
     ::close(fd);
     return fail(why);
@@ -108,7 +148,12 @@ bool SocketServer::Start(int port, Handler handler, std::string* error) {
   handler_ = std::move(handler);
   port_.store(ntohs(addr.sin_port), std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Serve(); });
+  size_t pool = std::clamp<size_t>(handler_threads, 1, 64);
+  handler_threads_.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { Serve(); });
   return true;
 }
 
@@ -119,8 +164,24 @@ void SocketServer::Stop() {
   // Wake the poll loop; the thread observes running_ == false and exits.
   char byte = 0;
   [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
-  if (thread_.joinable()) {
-    thread_.join();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  conns_cv_.notify_all();
+  for (auto& thread : handler_threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  handler_threads_.clear();
+  // Connections that were still queued never reached a handler; close them
+  // unanswered rather than leaking the fds.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int conn : pending_conns_) {
+      ::close(conn);
+    }
+    pending_conns_.clear();
   }
   CloseFd(&listen_fd_);
   CloseFd(&wake_fds_[0]);
@@ -151,21 +212,59 @@ void SocketServer::Serve() {
     if (conn < 0) {
       continue;
     }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      pending_conns_.push_back(conn);
+    }
+    conns_cv_.notify_one();
+  }
+}
+
+void SocketServer::HandlerLoop() {
+  for (;;) {
+    int conn = -1;
+    {
+      std::unique_lock<std::mutex> lock(conns_mu_);
+      conns_cv_.wait(lock, [this] {
+        return !pending_conns_.empty() || !running_.load(std::memory_order_acquire);
+      });
+      if (pending_conns_.empty()) {
+        return;  // stopping and nothing left to serve
+      }
+      conn = pending_conns_.front();
+      pending_conns_.pop_front();
+    }
     HandleConnection(conn);
     ::close(conn);
   }
 }
 
 void SocketServer::HandleConnection(int fd) {
-  // Scrape requests are one short line plus headers; 8 KiB is generous.
-  // Stop reading at the header terminator — bodies are ignored.
+  // Header block first (8 KiB is generous for one request line + headers),
+  // then the body per Content-Length, bounded by kMaxBodyBytes.
   timeval timeout{};
-  timeout.tv_sec = 2;
+  timeout.tv_sec = 5;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   std::string request;
-  char buffer[1024];
-  while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
+  char buffer[4096];
+  size_t header_end = std::string::npos;
+  size_t body_begin = 0;
+  while (request.size() < 8192 + kMaxBodyBytes) {
+    size_t crlf = request.find("\r\n\r\n");
+    size_t lf = request.find("\n\n");
+    if (crlf != std::string::npos || lf != std::string::npos) {
+      if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+        header_end = crlf;
+        body_begin = crlf + 4;
+      } else {
+        header_end = lf;
+        body_begin = lf + 2;
+      }
+      break;
+    }
+    if (request.size() >= 8192) {
+      break;  // header block too large; reject below
+    }
     ssize_t n = ::read(fd, buffer, sizeof(buffer));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) {
@@ -177,28 +276,56 @@ void SocketServer::HandleConnection(int fd) {
   }
 
   HttpResponse response;
-  size_t line_end = request.find('\n');
-  std::string line = line_end == std::string::npos ? request : request.substr(0, line_end);
-  if (!line.empty() && line.back() == '\r') {
-    line.pop_back();
+  bool parsed_ok = false;
+  HttpRequest parsed;
+  if (header_end != std::string::npos) {
+    std::string line;
+    size_t line_end = request.find('\n');
+    line = line_end == std::string::npos ? request : request.substr(0, line_end);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 != std::string::npos && sp2 != sp1) {
+      parsed.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      size_t question = target.find('?');
+      if (question == std::string::npos) {
+        parsed.path = target;
+      } else {
+        parsed.path = target.substr(0, question);
+        parsed.query = target.substr(question + 1);
+      }
+      // Body: everything announced by Content-Length (absent = no body).
+      size_t content_length = ParseContentLength(request.substr(0, header_end));
+      if (content_length == SIZE_MAX) {
+        content_length = 0;
+      }
+      if (content_length <= kMaxBodyBytes) {
+        parsed.body = request.substr(std::min(body_begin, request.size()));
+        while (parsed.body.size() < content_length) {
+          ssize_t n = ::read(fd, buffer, sizeof(buffer));
+          if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+              continue;
+            }
+            break;
+          }
+          parsed.body.append(buffer, static_cast<size_t>(n));
+        }
+        if (parsed.body.size() >= content_length) {
+          parsed.body.resize(content_length);
+          parsed_ok = true;
+        }
+      }
+    }
   }
-  size_t sp1 = line.find(' ');
-  size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) {
+  if (parsed_ok) {
+    response = handler_(parsed);
+  } else {
     response.status = 400;
     response.body = "bad request\n";
-  } else {
-    HttpRequest parsed;
-    parsed.method = line.substr(0, sp1);
-    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    size_t question = target.find('?');
-    if (question == std::string::npos) {
-      parsed.path = target;
-    } else {
-      parsed.path = target.substr(0, question);
-      parsed.query = target.substr(question + 1);
-    }
-    response = handler_(parsed);
   }
 
   std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +

@@ -1,0 +1,163 @@
+// Session-cache policy tests (src/service/session_cache.h) over a toy
+// session type: once-per-key creation, LRU eviction, pin safety (in-flight
+// sessions are never dropped), and the bypass path when the cache is full
+// of pinned entries.
+#include "src/service/session_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grapple {
+namespace {
+
+struct ToySession {
+  explicit ToySession(int id) : id(id) {}
+  int id;
+};
+
+using Cache = SessionCache<ToySession>;
+
+TEST(SessionCacheTest, MissThenHitSetsWarmFlag) {
+  Cache cache(4);
+  int factory_calls = 0;
+  auto factory = [&] {
+    ++factory_calls;
+    return std::make_unique<ToySession>(1);
+  };
+  {
+    Cache::Handle cold = cache.Acquire(7, factory);
+    ASSERT_TRUE(cold.valid());
+    EXPECT_FALSE(cold.warm());
+    EXPECT_TRUE(cold.cached());
+  }
+  Cache::Handle hot = cache.Acquire(7, factory);
+  ASSERT_TRUE(hot.valid());
+  EXPECT_TRUE(hot.warm());
+  EXPECT_EQ(factory_calls, 1);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SessionCacheTest, FactoryRunsOncePerKeyUnderContention) {
+  Cache cache(4);
+  std::atomic<int> factory_calls{0};
+  std::atomic<int> warm{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      Cache::Handle handle = cache.Acquire(42, [&] {
+        factory_calls.fetch_add(1);
+        // Widen the creation window so every other thread piles onto the
+        // creating-entry wait path.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return std::make_unique<ToySession>(42);
+      });
+      EXPECT_TRUE(handle.valid());
+      EXPECT_EQ(handle.session()->id, 42);
+      if (handle.warm()) {
+        warm.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(factory_calls.load(), 1);
+  EXPECT_EQ(warm.load(), 7);
+}
+
+TEST(SessionCacheTest, EvictsLeastRecentlyUsedIdleEntry) {
+  // Declared before the cache: the destructor evicts what is left resident,
+  // and the hook must still have somewhere to record it.
+  std::vector<uint64_t> evicted;
+  Cache cache(2);
+  cache.set_evict_hook([&](uint64_t key, ToySession*) { evicted.push_back(key); });
+  auto factory_for = [](int id) {
+    return [id] { return std::make_unique<ToySession>(id); };
+  };
+  cache.Acquire(1, factory_for(1));
+  cache.Acquire(2, factory_for(2));
+  // Touch 1 so 2 becomes the LRU victim.
+  cache.Acquire(1, factory_for(1));
+  cache.Acquire(3, factory_for(3));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+  // Key 2 is a miss again; key 1 stayed resident.
+  EXPECT_TRUE(cache.Acquire(1, factory_for(1)).warm());
+}
+
+TEST(SessionCacheTest, PinnedEntriesSurviveTrim) {
+  std::vector<uint64_t> evicted;
+  Cache cache(4);
+  cache.set_evict_hook([&](uint64_t key, ToySession*) { evicted.push_back(key); });
+  Cache::Handle pinned = cache.Acquire(1, [] { return std::make_unique<ToySession>(1); });
+  cache.Acquire(2, [] { return std::make_unique<ToySession>(2); });
+  cache.Acquire(3, [] { return std::make_unique<ToySession>(3); });
+  // Budget pressure: trim to zero. The pinned (in-flight) session must
+  // survive; only idle ones go.
+  EXPECT_EQ(cache.TrimTo(0), 2u);
+  EXPECT_EQ(cache.resident(), 1u);
+  ASSERT_TRUE(pinned.valid());
+  EXPECT_EQ(pinned.session()->id, 1);
+  pinned.Release();
+  EXPECT_EQ(cache.TrimTo(0), 1u);
+  EXPECT_EQ(evicted.size(), 3u);
+}
+
+TEST(SessionCacheTest, BypassWhenFullAndAllPinned) {
+  Cache cache(1);
+  Cache::Handle pinned = cache.Acquire(1, [] { return std::make_unique<ToySession>(1); });
+  // Cache full, sole entry pinned: a different key cannot evict and must
+  // not block — it gets an uncached one-shot session.
+  Cache::Handle bypass = cache.Acquire(2, [] { return std::make_unique<ToySession>(2); });
+  ASSERT_TRUE(bypass.valid());
+  EXPECT_FALSE(bypass.cached());
+  EXPECT_FALSE(bypass.warm());
+  EXPECT_EQ(bypass.session()->id, 2);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  EXPECT_EQ(cache.resident(), 1u);
+}
+
+TEST(SessionCacheTest, FailedCreationIsRetriable) {
+  Cache cache(2);
+  Cache::Handle failed = cache.Acquire(9, [] { return std::unique_ptr<ToySession>(); });
+  EXPECT_FALSE(failed.valid());
+  // The failed entry was withdrawn; the next Acquire re-runs the factory.
+  Cache::Handle ok = cache.Acquire(9, [] { return std::make_unique<ToySession>(9); });
+  ASSERT_TRUE(ok.valid());
+  EXPECT_FALSE(ok.warm());
+}
+
+TEST(SessionCacheTest, RunMutexSerializesSharedSessions) {
+  Cache cache(2);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      Cache::Handle handle =
+          cache.Acquire(5, [] { return std::make_unique<ToySession>(5); });
+      std::lock_guard<std::mutex> run_lock(handle.run_mu());
+      int now = concurrent.fetch_add(1) + 1;
+      int seen = max_concurrent.load();
+      while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      concurrent.fetch_sub(1);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(max_concurrent.load(), 1);
+}
+
+}  // namespace
+}  // namespace grapple
